@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every exhibit bench regenerates one of the paper's tables/figures, asserts
+its shape targets, saves the rendered text to ``benchmarks/results/`` and
+attaches it to pytest-benchmark's ``extra_info`` so it survives captured
+stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Seeds used by exhibit benches (kept small: each seed is a full set of
+#: deterministic simulations).
+BENCH_SEEDS = (11, 23)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_exhibit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered exhibit and echo it (visible with ``-s``)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

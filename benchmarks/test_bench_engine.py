@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+Measures simulated-task throughput (tasks retired per wall second) for the
+plain and grouped schedulers — the engine's own efficiency, independent of
+the paper's results.
+"""
+
+from repro.core.eewa import EEWAScheduler
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+REF = 2.5e9
+
+
+def small_program(batches=4, tasks=128):
+    return [
+        flat_batch(
+            i, [TaskSpec(f"c{t % 4}", cpu_cycles=0.002 * REF) for t in range(tasks)]
+        )
+        for i in range(batches)
+    ]
+
+
+def test_bench_engine_cilk_throughput(benchmark):
+    machine = opteron_8380_machine()
+    program = small_program()
+    result = benchmark(lambda: simulate(program, CilkScheduler(), machine, seed=1))
+    assert result.tasks_executed == 4 * 128
+
+
+def test_bench_engine_eewa_throughput(benchmark):
+    machine = opteron_8380_machine()
+    program = small_program()
+    result = benchmark(lambda: simulate(program, EEWAScheduler(), machine, seed=1))
+    assert result.tasks_executed == 4 * 128
+
+
+def test_bench_engine_many_cores(benchmark):
+    machine = opteron_8380_machine(num_cores=64)
+    program = small_program(batches=2, tasks=512)
+    result = benchmark(lambda: simulate(program, CilkScheduler(), machine, seed=1))
+    assert result.tasks_executed == 2 * 512

@@ -1,0 +1,79 @@
+"""Benches for the extension experiments (beyond the paper's exhibits).
+
+* thermal headroom study (per-core and per-socket RC model);
+* imbalance sweep (the Fig. 3 slack-to-savings relation, quantified);
+* regression-mode memory-bound scheduling (the paper's future work).
+"""
+
+from conftest import save_exhibit
+
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.core.membound import MemoryBoundMode
+from repro.experiments.ext_imbalance import run_imbalance_sweep
+from repro.experiments.ext_thermal import run_thermal_study
+from repro.experiments.report import format_table
+from repro.machine.topology import opteron_8380_machine
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import memory_bound_spec
+from repro.workloads.generators import generate_program
+
+
+def test_bench_ext_thermal(benchmark, results_dir):
+    study = benchmark.pedantic(
+        lambda: run_thermal_study(batches=20), rounds=1, iterations=1
+    )
+    save_exhibit(results_dir, "ext_thermal", study.table())
+
+    cilk = study.row("cilk")
+    eewa = study.row("eewa")
+    # Aggregate heat drops with EEWA...
+    assert eewa.mean_peak_c < cilk.mean_peak_c - 2.0
+    # ...and three of four sockets run visibly cooler.
+    cooler = sum(
+        1 for c, e in zip(sorted(cilk.socket_peaks_c), sorted(eewa.socket_peaks_c))
+        if e < c - 2.0
+    )
+    assert cooler >= 3
+
+
+def test_bench_ext_imbalance(benchmark, results_dir):
+    sweep = benchmark.pedantic(
+        lambda: run_imbalance_sweep(batches=8), rounds=1, iterations=1
+    )
+    save_exhibit(results_dir, "ext_imbalance", sweep.table())
+
+    assert sweep.savings_monotone_in_slack()
+    low_slack = min(sweep.points, key=lambda p: p.slack_cores)
+    high_slack = max(sweep.points, key=lambda p: p.slack_cores)
+    assert low_slack.energy_saving_pct < 8.0
+    assert high_slack.energy_saving_pct > 25.0
+    # Time held everywhere.
+    assert all(abs(p.time_change_pct) < 6.0 for p in sweep.points)
+
+
+def test_bench_ext_regression_membound(benchmark, results_dir):
+    def run_modes():
+        machine = opteron_8380_machine()
+        program = generate_program(memory_bound_spec(), batches=10, seed=3)
+        out = {}
+        for mode in (MemoryBoundMode.FALLBACK, MemoryBoundMode.REGRESSION):
+            policy = EEWAScheduler(EEWAConfig(memory_bound_mode=mode))
+            out[mode.value] = simulate(program, policy, machine, seed=3)
+        return out
+
+    runs = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    table = format_table(
+        ["mode", "time (ms)", "energy (J)"],
+        [
+            (name, r.total_time * 1e3, r.total_joules)
+            for name, r in runs.items()
+        ],
+        title="Extension — memory-bound app: fallback vs regression CC table",
+    )
+    save_exhibit(results_dir, "ext_regression", table)
+
+    fallback, regression = runs["fallback"], runs["regression"]
+    # The future-work extension converts the fallback's zero savings into
+    # real ones at bounded time cost.
+    assert regression.total_joules < 0.92 * fallback.total_joules
+    assert regression.total_time < 1.12 * fallback.total_time

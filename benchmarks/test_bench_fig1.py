@@ -1,0 +1,39 @@
+"""Fig. 1 bench — the Section II motivating example.
+
+Asserts the paper's analytic ordering of the four dual-core schedules and
+that the simulated EEWA converges onto schedule (b): same finish time as
+all-fast, lower energy.
+"""
+
+import pytest
+from conftest import save_exhibit
+
+from repro.experiments.fig1 import analytic_schedules, fig1_rows, run_fig1
+from repro.experiments.report import format_table
+
+
+def test_bench_fig1(benchmark, results_dir):
+    rows = benchmark.pedantic(lambda: fig1_rows(0.1), rounds=1, iterations=1)
+    table = format_table(
+        ["schedule", "time (s)", "energy (J)"],
+        rows,
+        title="Fig. 1 — four dual-core schedules + simulated EEWA",
+    )
+    save_exhibit(results_dir, "fig1", table)
+
+    a, b, c, d = analytic_schedules(0.1)
+    # Paper ordering: (b) dominates; (c)/(d) degrade time badly.
+    assert b.finish_time == pytest.approx(a.finish_time)
+    assert b.energy < a.energy
+    assert c.finish_time == pytest.approx(2 * b.finish_time)
+    assert c.energy == pytest.approx(2 * b.energy)
+    assert d.finish_time == pytest.approx(2 * b.finish_time)
+
+    result = run_fig1(0.1, batches=4)
+    # Simulated EEWA: profiling batch all-fast, then the (b) configuration.
+    assert result.trace.level_histograms()[-1] == (1, 1)
+    steady = result.trace.batches[-1]
+    assert steady.duration == pytest.approx(2 * 0.1, rel=0.02)
+    # Steady-batch machine power sits between schedule (b)'s and (a)'s.
+    per_batch_energy = result.total_joules / result.batches_executed
+    assert b.energy * 0.95 < per_batch_energy < a.energy * 1.05

@@ -1,0 +1,39 @@
+"""Fig. 6 bench — normalised time & energy, 7 benchmarks x 3 schedulers.
+
+Paper shape targets asserted here:
+* EEWA cuts energy 8.7-29.8% below Cilk (we accept a 4-40% envelope);
+* Cilk-D's energy sits between Cilk's and (for most benchmarks) EEWA's;
+* EEWA's execution time stays within a few percent of Cilk's.
+"""
+
+from conftest import BENCH_SEEDS, save_exhibit
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_bench_fig6(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig6(seeds=BENCH_SEEDS), rounds=1, iterations=1
+    )
+    save_exhibit(results_dir, "fig6", result.table())
+
+    reductions = [row.eewa_energy_reduction_pct for row in result.rows]
+    time_changes = [row.eewa_time_change_pct for row in result.rows]
+    benchmark.extra_info["eewa_energy_reduction_pct"] = {
+        row.benchmark: round(row.eewa_energy_reduction_pct, 1) for row in result.rows
+    }
+    benchmark.extra_info["eewa_time_change_pct"] = {
+        row.benchmark: round(row.eewa_time_change_pct, 1) for row in result.rows
+    }
+
+    # Shape: every benchmark saves energy; the band spans near the paper's.
+    assert min(reductions) > 4.0
+    assert max(reductions) > 20.0
+    assert max(reductions) < 40.0
+    # Shape: time is held within a few percent either way.
+    assert all(-12.0 < dt < 8.0 for dt in time_changes)
+    # Shape: EEWA beats Cilk-D on energy for every benchmark.
+    for row in result.rows:
+        assert row.energy_eewa < row.energy_cilk_d
+        # And Cilk-D itself beats Cilk.
+        assert row.energy_cilk_d < row.energy_cilk

@@ -1,0 +1,32 @@
+"""Fig. 8 bench — cores per frequency across the 10 batches of SHA-1.
+
+Paper shape targets: batch 1 all 16 cores at 2.5 GHz; afterwards a stable
+configuration with a handful of fast cores (paper: 5) and the majority at
+0.8 GHz (paper: 11).
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_bench_fig8(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig8(batches=10, seed=11), rounds=1, iterations=1
+    )
+    save_exhibit(results_dir, "fig8", result.table())
+
+    hists = result.histograms
+    benchmark.extra_info["histograms"] = [list(h) for h in hists]
+
+    assert len(hists) == 10
+    # Batch 1: profiling at full speed.
+    assert hists[0] == (16, 0, 0, 0)
+    # Later batches: a few fast cores, majority at the lowest frequency.
+    for hist in hists[1:]:
+        assert sum(hist) == 16
+        assert 3 <= hist[0] <= 9, hist
+        assert hist[3] >= 7, hist
+    # Configuration is stable after the first adjustment (paper: identical
+    # from the 3rd batch on).
+    assert len(set(hists[2:])) <= 2

@@ -1,0 +1,32 @@
+"""Fig. 9 bench — DMC scalability over 4/8/12/16 cores.
+
+Paper shape targets: no savings at 4 cores (saturated machine, overhead
+within a fraction of a percent), monotonically growing savings with core
+count, ~24% at 12 cores, more at 16; time change stays small everywhere.
+"""
+
+from conftest import BENCH_SEEDS, save_exhibit
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_bench_fig9(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig9(seeds=BENCH_SEEDS), rounds=1, iterations=1
+    )
+    save_exhibit(results_dir, "fig9", result.table())
+
+    savings = result.eewa_savings_by_cores()
+    benchmark.extra_info["eewa_savings_pct_by_cores"] = {
+        str(k): round(v, 1) for k, v in savings.items()
+    }
+
+    # Saturated small machine: nothing to harvest.
+    assert abs(savings[4]) < 5.0
+    # Larger machines: growing, substantial savings.
+    assert savings[12] > 12.0
+    assert savings[16] > 18.0
+    assert savings[16] >= savings[12] >= savings[8] - 2.0
+    # Performance held within a few percent at every scale.
+    for point in result.points:
+        assert 0.85 < point.time_eewa < 1.08, point

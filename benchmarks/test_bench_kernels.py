@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the real benchmark kernels.
+
+These are genuine pytest-benchmark measurements (many rounds) of the
+algorithms in :mod:`repro.kernels` — the numbers behind
+``REFERENCE_COSTS`` and hence the workload calibration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.bwt import bwc_compress, bwt_forward
+from repro.kernels.bzip2 import compress_block
+from repro.kernels.dmc import dmc_compress
+from repro.kernels.jpeg import forward_blocks, jpeg_encode
+from repro.kernels.lzw import lzw_compress
+from repro.kernels.md5 import md5_digest
+from repro.kernels.sha1 import sha1_digest
+
+
+@pytest.fixture(scope="module")
+def text4k() -> bytes:
+    words = [b"the", b"quick", b"brown", b"fox", b"jumps", b"over", b"lazy", b"dog"]
+    rng = np.random.default_rng(0)
+    out = bytearray()
+    while len(out) < 4096:
+        out += words[int(rng.integers(len(words)))] + b" "
+    return bytes(out[:4096])
+
+
+@pytest.fixture(scope="module")
+def image64() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    x, y = np.meshgrid(np.arange(64), np.arange(64))
+    img = 128 + 60 * np.sin(x / 9.0) + 50 * np.cos(y / 7.0) + rng.normal(0, 6, (64, 64))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def test_bench_kernel_bwt(benchmark, text4k):
+    result = benchmark(bwt_forward, text4k)
+    assert len(result.transformed) == len(text4k)
+
+
+def test_bench_kernel_bwc(benchmark, text4k):
+    block = benchmark(bwc_compress, text4k)
+    assert block.raw_length == len(text4k)
+
+
+def test_bench_kernel_bzip2_block(benchmark, text4k):
+    block = benchmark(compress_block, text4k)
+    assert block.rle1_length > 0
+
+
+def test_bench_kernel_dmc(benchmark, text4k):
+    payload = benchmark(dmc_compress, text4k[:1024])
+    assert len(payload) > 4
+
+
+def test_bench_kernel_jpeg_dct(benchmark, image64):
+    quantised, _ = benchmark(forward_blocks, image64, 75)
+    assert quantised.shape[0] == 64
+
+
+def test_bench_kernel_jpeg_full(benchmark, image64):
+    encoded = benchmark(jpeg_encode, image64, 75)
+    assert encoded.symbol_count > 0
+
+
+def test_bench_kernel_lzw(benchmark, text4k):
+    payload = benchmark(lzw_compress, text4k)
+    assert len(payload) < len(text4k)
+
+
+def test_bench_kernel_md5(benchmark, text4k):
+    digest = benchmark(md5_digest, text4k)
+    assert len(digest) == 16
+
+
+def test_bench_kernel_sha1(benchmark, text4k):
+    digest = benchmark(sha1_digest, text4k)
+    assert len(digest) == 20

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Energy study: where do EEWA's savings come from, and when do they vanish?
+
+Sweeps the workload-imbalance dial (the number of heavy anchor tasks per
+batch) and reports, for each point, machine utilisation and EEWA's energy
+delta versus Cilk — reproducing the paper's Fig. 3/Fig. 9 story: savings
+are the *underutilisation* of the machine converted into lower
+frequencies, so a saturated machine yields none.
+
+Also compares the three leftover-core parking policies on the most
+imbalanced point (a DESIGN.md ablation).
+
+Usage:
+    python examples/energy_study.py
+"""
+
+from __future__ import annotations
+
+from repro import CilkScheduler, EEWAScheduler, opteron_8380_machine, simulate
+from repro.core import EEWAConfig
+from repro.workloads import generate_program, imbalance_sweep_spec
+
+
+def run_point(heavy_tasks: int, config: EEWAConfig | None = None):
+    machine = opteron_8380_machine()
+    spec = imbalance_sweep_spec(heavy_tasks)
+    program = generate_program(spec, batches=10, seed=5)
+    cilk = simulate(program, CilkScheduler(), machine, seed=5)
+    eewa = simulate(program, EEWAScheduler(config), machine, seed=5)
+    return spec, cilk, eewa
+
+
+def main() -> None:
+    print("Imbalance sweep: few huge anchor tasks -> lots of slack;")
+    print("many anchors -> saturated machine, nothing to harvest.\n")
+    print(f"{'anchors':>7s} {'util':>6s} {'dT%':>7s} {'dE%':>7s}   modal config")
+    for heavy in (2, 4, 6, 8, 10, 12, 14):
+        spec, cilk, eewa = run_point(heavy)
+        dt = 100 * (eewa.total_time / cilk.total_time - 1)
+        de = 100 * (eewa.total_joules / cilk.total_joules - 1)
+        print(
+            f"{heavy:7d} {spec.utilization(16):6.0%} {dt:+7.1f} {de:+7.1f}"
+            f"   {eewa.trace.modal_histogram()}"
+        )
+
+    print("\nLeftover-core parking ablation (2 anchors, maximal slack):")
+    for policy in ("slowest", "join_slowest_group", "fastest"):
+        _, cilk, eewa = run_point(2, EEWAConfig(leftover_policy=policy))
+        de = 100 * (eewa.total_joules / cilk.total_joules - 1)
+        print(f"  {policy:20s} energy {de:+6.1f}% vs cilk")
+
+    print("\nSpin-waste anatomy (2 anchors):")
+    _, cilk, eewa = run_point(2)
+    for name, r in (("cilk", cilk), ("eewa", eewa)):
+        print(
+            f"  {name:5s} total {r.total_joules:7.2f} J — "
+            f"running {r.running_joules:6.2f} J, "
+            f"spinning {r.spin_joules:6.2f} J, "
+            f"baseline {r.baseline_joules:6.2f} J"
+        )
+
+
+if __name__ == "__main__":
+    main()

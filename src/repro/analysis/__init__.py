@@ -1,0 +1,40 @@
+"""Metrics and multi-seed statistics for experiment reports."""
+
+from repro.analysis.metrics import (
+    edp,
+    energy_reduction_percent,
+    geometric_mean,
+    mean,
+    normalized_energy,
+    normalized_time,
+    percent_change,
+    std,
+    time_degradation_percent,
+)
+from repro.analysis.stats import Summary, aggregate
+from repro.analysis.thermal import (
+    CoreThermalSummary,
+    ThermalParams,
+    ThermalReport,
+    socket_thermal_report,
+    thermal_report,
+)
+
+__all__ = [
+    "CoreThermalSummary",
+    "Summary",
+    "ThermalParams",
+    "ThermalReport",
+    "socket_thermal_report",
+    "thermal_report",
+    "aggregate",
+    "edp",
+    "energy_reduction_percent",
+    "geometric_mean",
+    "mean",
+    "normalized_energy",
+    "normalized_time",
+    "percent_change",
+    "std",
+    "time_degradation_percent",
+]

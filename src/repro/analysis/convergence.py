@@ -1,0 +1,116 @@
+"""Convergence and stability analysis of EEWA's per-batch decisions.
+
+The paper's Fig. 8 shows the adjuster settling on a stable configuration by
+the third batch. These metrics quantify that behaviour for any run:
+
+* :func:`batches_to_stable` — index of the first batch from which the
+  frequency configuration never changes again;
+* :func:`config_changes` — number of batch-to-batch configuration changes;
+* :func:`deadline_misses` — batches whose duration exceeded the ideal
+  iteration time ``T`` (the first batch's duration) by a tolerance, i.e.
+  where EEWA failed its own keep-the-performance contract;
+* :func:`duration_stability` — coefficient of variation of the steady
+  batch durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import mean, std
+from repro.sim.engine import SimResult
+
+
+def _histograms(result: SimResult) -> list[tuple[int, ...]]:
+    return result.trace.level_histograms()
+
+
+def batches_to_stable(result: SimResult) -> Optional[int]:
+    """First batch index from which the configuration never changes.
+
+    Batch 0 (the profiling batch) is excluded from the candidates — the
+    paper's EEWA *always* changes after it. Returns ``None`` when the
+    configuration never settles.
+    """
+    hists = _histograms(result)
+    if len(hists) <= 1:
+        return 0
+    for start in range(1, len(hists)):
+        if len(set(hists[start:])) == 1:
+            return start
+    return None  # pragma: no cover - loop always terminates at len-1
+
+
+def config_changes(result: SimResult) -> int:
+    """Number of batch boundaries at which the configuration changed."""
+    hists = _histograms(result)
+    return sum(1 for a, b in zip(hists, hists[1:]) if a != b)
+
+
+def deadline_misses(result: SimResult, *, tolerance: float = 0.10) -> list[int]:
+    """Batches that overran the ideal iteration time by > ``tolerance``.
+
+    The budget is the first batch's duration (EEWA's ``T``); batch 0 itself
+    cannot miss by definition.
+    """
+    durations = result.trace.batch_durations()
+    if not durations:
+        return []
+    budget = durations[0] * (1.0 + tolerance)
+    return [
+        result.trace.batches[i].batch_index
+        for i, d in enumerate(durations[1:], start=1)
+        if d > budget
+    ]
+
+
+def duration_stability(result: SimResult, *, skip_first: int = 1) -> float:
+    """Coefficient of variation of the steady batch durations (lower is
+    steadier); 0.0 for runs with fewer than two steady batches."""
+    durations = result.trace.batch_durations()[skip_first:]
+    if len(durations) < 2:
+        return 0.0
+    m = mean(durations)
+    if m <= 0:
+        return 0.0
+    return std(durations) / m
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """All convergence metrics for one run."""
+
+    stable_from_batch: Optional[int]
+    config_changes: int
+    deadline_misses: tuple[int, ...]
+    duration_cv: float
+
+    @property
+    def converged(self) -> bool:
+        return self.stable_from_batch is not None
+
+    @property
+    def met_deadlines(self) -> bool:
+        return not self.deadline_misses
+
+
+def convergence_summary(
+    result: SimResult, *, tolerance: float = 0.10
+) -> ConvergenceSummary:
+    """Compute every convergence metric for a run."""
+    return ConvergenceSummary(
+        stable_from_batch=batches_to_stable(result),
+        config_changes=config_changes(result),
+        deadline_misses=tuple(deadline_misses(result, tolerance=tolerance)),
+        duration_cv=duration_stability(result),
+    )
+
+
+def compare_convergence(
+    results: Sequence[SimResult], *, tolerance: float = 0.10
+) -> dict[str, ConvergenceSummary]:
+    """Per-policy convergence summaries keyed by policy name."""
+    return {
+        r.policy_name: convergence_summary(r, tolerance=tolerance) for r in results
+    }

@@ -1,0 +1,62 @@
+"""Normalisation and ratio helpers used by the experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.sim.engine import SimResult
+
+
+def normalized_time(result: SimResult, baseline: SimResult) -> float:
+    """Execution time relative to a baseline run (Fig. 6/9 y-axis)."""
+    return result.total_time / baseline.total_time
+
+
+def normalized_energy(result: SimResult, baseline: SimResult) -> float:
+    """Whole-machine energy relative to a baseline run (Fig. 6/9 y-axis)."""
+    return result.total_joules / baseline.total_joules
+
+
+def percent_change(value: float, baseline: float) -> float:
+    """Signed percent change vs baseline (negative = reduction)."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline is zero")
+    return 100.0 * (value / baseline - 1.0)
+
+
+def energy_reduction_percent(result: SimResult, baseline: SimResult) -> float:
+    """Positive percentage of energy saved vs baseline."""
+    return -percent_change(result.total_joules, baseline.total_joules)
+
+
+def time_degradation_percent(result: SimResult, baseline: SimResult) -> float:
+    """Positive percentage of slowdown vs baseline (negative = speedup)."""
+    return percent_change(result.total_time, baseline.total_time)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def edp(result: SimResult) -> float:
+    """Energy-delay product — a combined efficiency metric for ablations."""
+    return result.total_joules * result.total_time

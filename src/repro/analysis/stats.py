@@ -1,0 +1,56 @@
+"""Multi-seed aggregation.
+
+The paper runs every benchmark 100 times on real hardware and averages the
+wall-meter readings; our simulator is deterministic per seed, so variance
+comes from seeds (workload jitter/drift and steal-victim choices).
+:func:`aggregate` reduces a set of per-seed runs to summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.metrics import mean, std
+from repro.sim.engine import SimResult
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std of the headline metrics over seeds."""
+
+    policy_name: str
+    runs: int
+    time_mean: float
+    time_std: float
+    energy_mean: float
+    energy_std: float
+    spin_energy_mean: float
+    adjust_overhead_mean: float
+
+    @property
+    def average_power(self) -> float:
+        if self.time_mean <= 0:
+            return 0.0
+        return self.energy_mean / self.time_mean
+
+
+def aggregate(results: Sequence[SimResult]) -> Summary:
+    """Summarise same-policy runs across seeds."""
+    if not results:
+        raise ValueError("aggregate needs at least one result")
+    names = {r.policy_name for r in results}
+    if len(names) != 1:
+        raise ValueError(f"mixed policies in aggregate: {sorted(names)}")
+    times = [r.total_time for r in results]
+    energies = [r.total_joules for r in results]
+    return Summary(
+        policy_name=results[0].policy_name,
+        runs=len(results),
+        time_mean=mean(times),
+        time_std=std(times),
+        energy_mean=mean(energies),
+        energy_std=std(energies),
+        spin_energy_mean=mean([r.spin_joules for r in results]),
+        adjust_overhead_mean=mean([r.adjust_overhead_seconds for r in results]),
+    )

@@ -1,0 +1,211 @@
+"""Thermal-headroom analysis over recorded power traces.
+
+An extension beyond the paper (whose related work motivates energy budgets
+with "the heat dissipation problem"): given a run executed with
+``record_power_series=True``, integrate a first-order RC thermal model per
+core
+
+``dT/dt = (P * R_th - (T - T_amb)) / tau``
+
+over the piecewise-constant power trace (exact exponential update per
+piece) and report peak temperatures and time spent above a throttling
+threshold. EEWA's lower per-core power translates directly into thermal
+headroom — cores that would throttle under all-fast scheduling stay cool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimResult
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """First-order RC thermal model parameters.
+
+    Defaults approximate a 2009-era 45 nm core under a shared heatsink:
+    ~1.8 K/W thermal resistance, a few seconds of time constant, 45 °C
+    ambient-at-heatsink, 95 °C throttle trip point.
+    """
+
+    r_th_k_per_w: float = 1.8
+    tau_s: float = 2.5
+    ambient_c: float = 45.0
+    throttle_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_k_per_w <= 0 or self.tau_s <= 0:
+            raise ConfigurationError("thermal parameters must be positive")
+        if self.throttle_c <= self.ambient_c:
+            raise ConfigurationError("throttle point must exceed ambient")
+
+    def steady_state_c(self, watts: float) -> float:
+        """Equilibrium temperature under constant power."""
+        return self.ambient_c + watts * self.r_th_k_per_w
+
+
+@dataclass(frozen=True)
+class CoreThermalSummary:
+    """Thermal outcome for one core."""
+
+    core_id: int
+    peak_c: float
+    final_c: float
+    seconds_above_throttle: float
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Whole-machine thermal outcome."""
+
+    params: ThermalParams
+    cores: tuple[CoreThermalSummary, ...]
+
+    @property
+    def peak_c(self) -> float:
+        return max(c.peak_c for c in self.cores)
+
+    @property
+    def total_throttle_seconds(self) -> float:
+        return sum(c.seconds_above_throttle for c in self.cores)
+
+    @property
+    def would_throttle(self) -> bool:
+        return self.total_throttle_seconds > 0.0
+
+
+def _piece_update(
+    t0: float, dt: float, watts: float, params: ThermalParams
+) -> tuple[float, float, float]:
+    """Evolve temperature over one constant-power piece.
+
+    Returns (T_end, piece_peak, seconds_above_throttle). The trajectory is
+    monotone within a piece (exponential approach to the steady state), so
+    the peak is at whichever end is hotter, and the threshold crossing has
+    a closed form.
+    """
+    target = params.steady_state_c(watts)
+    decay = math.exp(-dt / params.tau_s)
+    t1 = target + (t0 - target) * decay
+    peak = max(t0, t1)
+
+    thr = params.throttle_c
+    above = 0.0
+    lo, hi = min(t0, t1), max(t0, t1)
+    if lo >= thr:
+        above = dt
+    elif hi > thr:
+        # Time at which T(t) crosses thr: T(t) = target + (t0-target)e^{-t/tau}.
+        ratio = (thr - target) / (t0 - target)
+        t_cross = -params.tau_s * math.log(ratio)
+        above = dt - t_cross if t1 > t0 else t_cross
+        above = min(max(above, 0.0), dt)
+    return t1, peak, above
+
+
+def _integrate(pieces: list[tuple[float, float, float]], params: ThermalParams):
+    temp = params.ambient_c
+    peak = temp
+    above = 0.0
+    for t_start, t_end, watts in pieces:
+        temp, piece_peak, piece_above = _piece_update(
+            temp, t_end - t_start, watts, params
+        )
+        peak = max(peak, piece_peak)
+        above += piece_above
+    return temp, peak, above
+
+
+def thermal_report(
+    result: SimResult, params: ThermalParams | None = None
+) -> ThermalReport:
+    """Integrate the thermal model over a run's recorded power series."""
+    if params is None:
+        params = ThermalParams()
+    series = result.meter.power_series
+    if series is None:
+        raise ConfigurationError(
+            "run the simulation with record_power_series=True for thermal analysis"
+        )
+    cores = []
+    for core_id, pieces in enumerate(series):
+        temp, peak, above = _integrate(pieces, params)
+        cores.append(
+            CoreThermalSummary(
+                core_id=core_id,
+                peak_c=peak,
+                final_c=temp,
+                seconds_above_throttle=above,
+            )
+        )
+    return ThermalReport(params=params, cores=tuple(cores))
+
+
+def _merge_power_series(
+    series: list[list[tuple[float, float, float]]]
+) -> list[tuple[float, float, float]]:
+    """Sum piecewise-constant power traces over a group of cores."""
+    boundaries = sorted({t for s in series for piece in s for t in piece[:2]})
+    merged: list[tuple[float, float, float]] = []
+    cursors = [0] * len(series)
+    for t0, t1 in zip(boundaries, boundaries[1:]):
+        total = 0.0
+        mid = (t0 + t1) / 2
+        for i, s in enumerate(series):
+            while cursors[i] < len(s) and s[cursors[i]][1] <= t0:
+                cursors[i] += 1
+            if cursors[i] < len(s) and s[cursors[i]][0] <= mid < s[cursors[i]][1]:
+                total += s[cursors[i]][2]
+        if merged and merged[-1][2] == total and merged[-1][1] == t0:
+            merged[-1] = (merged[-1][0], t1, total)
+        else:
+            merged.append((t0, t1, total))
+    return merged
+
+
+def socket_thermal_report(
+    result: SimResult,
+    groups: tuple[tuple[int, ...], ...] | None = None,
+    params: ThermalParams | None = None,
+) -> ThermalReport:
+    """Thermal report treating each core *group* as one thermal node.
+
+    Models a shared heatsink per socket: the group's power traces are
+    summed and integrated against group-level parameters (default: the
+    per-core resistance divided by the group size — the same silicon area
+    under one sink). ``groups`` defaults to the machine's DVFS domains, or
+    quad-core sockets when none are configured.
+    """
+    series = result.meter.power_series
+    if series is None:
+        raise ConfigurationError(
+            "run the simulation with record_power_series=True for thermal analysis"
+        )
+    if groups is None:
+        groups = result.machine.dvfs_domains
+    if groups is None:
+        n = result.machine.num_cores
+        size = 4 if n % 4 == 0 else n
+        groups = tuple(tuple(range(s, s + size)) for s in range(0, n, size))
+    if params is None:
+        base = ThermalParams()
+        params = ThermalParams(
+            r_th_k_per_w=base.r_th_k_per_w / max(len(g) for g in groups),
+            tau_s=base.tau_s,
+            ambient_c=base.ambient_c,
+            throttle_c=base.throttle_c,
+        )
+    nodes = []
+    for gid, group in enumerate(groups):
+        merged = _merge_power_series([series[c] for c in group])
+        temp, peak, above = _integrate(merged, params)
+        nodes.append(
+            CoreThermalSummary(
+                core_id=gid, peak_c=peak, final_c=temp,
+                seconds_above_throttle=above,
+            )
+        )
+    return ThermalReport(params=params, cores=tuple(nodes))

@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``list`` — available benchmarks, policies and exhibits;
+* ``run`` — one benchmark under one policy, with timing/energy and traces;
+* ``compare`` — one benchmark under all policies, normalised to Cilk;
+* ``figure`` — regenerate one paper exhibit (fig1/fig6/fig7/fig8/fig9/table3);
+* ``calibrate`` — re-measure the real kernels behind the workload costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import (
+    fig1_rows,
+    format_table,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table3,
+)
+from repro.experiments.runner import make_policy
+from repro.machine.topology import opteron_8380_machine
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import BENCHMARK_NAMES, benchmark_program
+
+POLICY_NAMES = ("cilk", "cilk-d", "eewa")
+EXHIBITS = ("fig1", "fig6", "fig7", "fig8", "fig9", "table3")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EEWA (IPDPS 2014) reproduction: simulate, compare, regenerate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, policies and exhibits")
+
+    run = sub.add_parser("run", help="run one benchmark under one policy")
+    run.add_argument("benchmark", choices=BENCHMARK_NAMES + ("STREAM-like", "DMC-phased"))
+    run.add_argument("policy", choices=POLICY_NAMES)
+    run.add_argument("--batches", type=int, default=None)
+    run.add_argument("--cores", type=int, default=16)
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--trace", action="store_true", help="print per-batch traces")
+    run.add_argument(
+        "--per-socket-dvfs", action="store_true",
+        help="quad-core shared frequency planes (the physical Opteron 8380)",
+    )
+    run.add_argument("--json", metavar="PATH", help="write a JSON result summary")
+    run.add_argument("--csv", metavar="PATH", help="write per-batch metrics as CSV")
+    run.add_argument(
+        "--thermal", action="store_true",
+        help="record power traces and print a thermal-headroom report",
+    )
+
+    cmp_ = sub.add_parser("compare", help="one benchmark under all policies")
+    cmp_.add_argument("benchmark", choices=BENCHMARK_NAMES + ("STREAM-like",))
+    cmp_.add_argument("--batches", type=int, default=None)
+    cmp_.add_argument("--cores", type=int, default=16)
+    cmp_.add_argument("--seed", type=int, default=11)
+
+    fig = sub.add_parser("figure", help="regenerate one paper exhibit")
+    fig.add_argument("exhibit", choices=EXHIBITS)
+    fig.add_argument("--seed", type=int, default=11)
+
+    spec = sub.add_parser("run-spec", help="run a JSON workload spec file")
+    spec.add_argument("spec_file", help="path to a workload spec JSON")
+    spec.add_argument("policy", choices=POLICY_NAMES)
+    spec.add_argument("--batches", type=int, default=None)
+    spec.add_argument("--cores", type=int, default=16)
+    spec.add_argument("--seed", type=int, default=11)
+    spec.add_argument("--diagnose", action="store_true",
+                      help="print the static workload diagnostics first")
+
+    cal = sub.add_parser("calibrate", help="re-measure real kernel costs")
+    cal.add_argument("--repeats", type=int, default=3)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("benchmarks (paper Table II):", ", ".join(BENCHMARK_NAMES))
+    print("extra workloads: STREAM-like (memory-bound), DMC-phased (varying)")
+    print("policies:", ", ".join(POLICY_NAMES), "(+ wats via the API)")
+    print("exhibits:", ", ".join(EXHIBITS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = opteron_8380_machine(
+        num_cores=args.cores, per_socket_dvfs=args.per_socket_dvfs
+    )
+    program = benchmark_program(args.benchmark, batches=args.batches, seed=args.seed)
+    policy = make_policy(args.policy)
+    result = simulate(
+        program, policy, machine, seed=args.seed,
+        record_power_series=args.thermal,
+    )
+    print(
+        f"{args.benchmark} / {args.policy} on {args.cores} cores: "
+        f"{result.total_time*1e3:.1f} ms, {result.total_joules:.2f} J "
+        f"(avg {result.average_power:.0f} W), {result.tasks_executed} tasks"
+    )
+    print(
+        f"  energy breakdown: running {result.running_joules:.1f} J, "
+        f"spinning {result.spin_joules:.1f} J, "
+        f"baseline {result.baseline_joules:.1f} J"
+    )
+    if args.trace:
+        print("  per-batch (duration ms | cores per level):")
+        for bt in result.trace.batches:
+            print(
+                f"    batch {bt.batch_index:3d}: {bt.duration*1e3:8.2f} | "
+                f"{bt.level_histogram}"
+            )
+    if args.thermal:
+        from repro.analysis.thermal import thermal_report
+
+        report = thermal_report(result)
+        print(
+            f"  thermal: peak {report.peak_c:.1f} C "
+            f"(throttle at {report.params.throttle_c:.0f} C, "
+            f"{report.total_throttle_seconds*1e3:.1f} ms above)"
+        )
+    if args.json:
+        from repro.sim.export import result_to_json
+
+        with open(args.json, "w") as fh:
+            fh.write(result_to_json(result))
+        print(f"  wrote {args.json}")
+    if args.csv:
+        from repro.sim.export import batches_to_csv
+
+        with open(args.csv, "w") as fh:
+            fh.write(batches_to_csv(result))
+        print(f"  wrote {args.csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    machine = opteron_8380_machine(num_cores=args.cores)
+    program = benchmark_program(args.benchmark, batches=args.batches, seed=args.seed)
+    rows = []
+    base = None
+    for name in POLICY_NAMES:
+        result = simulate(program, make_policy(name), machine, seed=args.seed)
+        if base is None:
+            base = result
+        rows.append(
+            (
+                name,
+                result.total_time * 1e3,
+                result.total_joules,
+                result.total_time / base.total_time,
+                result.total_joules / base.total_joules,
+            )
+        )
+    print(
+        format_table(
+            ["policy", "time (ms)", "energy (J)", "t/cilk", "E/cilk"],
+            rows,
+            title=f"{args.benchmark} on {args.cores} cores (seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    seeds = (args.seed,)
+    if args.exhibit == "fig1":
+        print(
+            format_table(
+                ["schedule", "time (s)", "energy (J)"],
+                fig1_rows(0.1),
+                title="Fig. 1 — four dual-core schedules + simulated EEWA",
+            )
+        )
+    elif args.exhibit == "fig6":
+        print(run_fig6(seeds=seeds).table())
+    elif args.exhibit == "fig7":
+        print(run_fig7(seeds=seeds).table())
+    elif args.exhibit == "fig8":
+        print(run_fig8(seed=args.seed).table())
+    elif args.exhibit == "fig9":
+        print(run_fig9(seeds=seeds).table())
+    elif args.exhibit == "table3":
+        print(run_table3(seed=args.seed).table())
+    return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    from repro.workloads.generators import generate_program
+    from repro.workloads.io import load_spec
+    from repro.workloads.validation import diagnose
+
+    spec = load_spec(args.spec_file)
+    machine = opteron_8380_machine(num_cores=args.cores)
+    if args.diagnose:
+        print(diagnose(spec, args.cores).summary())
+        print()
+    program = generate_program(spec, batches=args.batches, seed=args.seed)
+    result = simulate(program, make_policy(args.policy), machine, seed=args.seed)
+    print(
+        f"{spec.name} / {args.policy} on {args.cores} cores: "
+        f"{result.total_time*1e3:.1f} ms, {result.total_joules:.2f} J, "
+        f"{result.tasks_executed} tasks"
+    )
+    for bt in result.trace.batches:
+        print(f"  batch {bt.batch_index:3d}: {bt.duration*1e3:8.2f} ms | "
+              f"{bt.level_histogram}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.kernels.profile import REFERENCE_COSTS, measure_kernel_costs
+
+    costs = measure_kernel_costs(repeats=args.repeats)
+    rows = [
+        (bench, cls, costs[(bench, cls)] * 1e3, REFERENCE_COSTS[(bench, cls)] * 1e3)
+        for (bench, cls) in sorted(costs)
+    ]
+    print(
+        format_table(
+            ["benchmark", "stage", "measured (ms)", "frozen (ms)"],
+            rows,
+            title=f"kernel stage costs ({args.repeats} repeats, median)",
+            float_fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "run-spec":
+        return _cmd_run_spec(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

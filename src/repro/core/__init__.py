@@ -1,0 +1,77 @@
+"""EEWA core: profiler, CC table, k-tuple search, adjuster, scheduler."""
+
+from repro.core.adjuster import (
+    AdjusterDecision,
+    OverheadModel,
+    WorkloadAwareFrequencyAdjuster,
+)
+from repro.core.cc_table import CCTable, build_cc_table, cc_table_from_values
+from repro.core.cgroups import (
+    CGroup,
+    CGroupPlan,
+    LEFTOVER_POLICIES,
+    build_cgroup_plan,
+    uniform_plan,
+)
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.core.ktuple import (
+    KTupleSolution,
+    default_power_estimate,
+    exhaustive_search,
+    power_model_estimate,
+    search_ktuple,
+)
+from repro.core.membound import (
+    ApplicationClassification,
+    BoundKind,
+    MemoryBoundMode,
+    classify_application,
+    classify_task,
+)
+from repro.core.preference import preference_lists, preference_order
+from repro.core.profiler import (
+    DEFAULT_MISS_THRESHOLD,
+    OnlineProfiler,
+    TaskClassStats,
+)
+from repro.core.regression import (
+    FrequencyTimeModel,
+    RegressionProfiler,
+    build_regression_cc_table,
+    fit_frequency_time_model,
+)
+
+__all__ = [
+    "AdjusterDecision",
+    "ApplicationClassification",
+    "BoundKind",
+    "CCTable",
+    "CGroup",
+    "CGroupPlan",
+    "DEFAULT_MISS_THRESHOLD",
+    "EEWAConfig",
+    "EEWAScheduler",
+    "FrequencyTimeModel",
+    "KTupleSolution",
+    "LEFTOVER_POLICIES",
+    "MemoryBoundMode",
+    "OnlineProfiler",
+    "OverheadModel",
+    "RegressionProfiler",
+    "TaskClassStats",
+    "WorkloadAwareFrequencyAdjuster",
+    "build_cc_table",
+    "build_cgroup_plan",
+    "build_regression_cc_table",
+    "cc_table_from_values",
+    "classify_application",
+    "classify_task",
+    "default_power_estimate",
+    "exhaustive_search",
+    "fit_frequency_time_model",
+    "power_model_estimate",
+    "preference_lists",
+    "preference_order",
+    "search_ktuple",
+    "uniform_plan",
+]

@@ -1,0 +1,177 @@
+"""Workload-aware frequency adjuster.
+
+Ties the online profiler, the CC table, the k-tuple search and the c-group
+builder into the single decision the paper's Fig. 2 places between batches:
+given the workload information of iteration ``I_d``, produce the frequency
+configuration (and task-class placement) for iteration ``I_{d+1}``.
+
+Overhead accounting
+-------------------
+Table III reports the wall-clock cost of the search on the paper's machine.
+We report two numbers:
+
+* ``wallclock_seconds`` — the *measured* Python ``perf_counter`` time of the
+  decision (what pytest-benchmark exercises);
+* ``simulated_seconds`` — the cost charged inside the simulation, from a
+  simple linear model ``base + per_cell * (k * r)`` calibrated to the
+  paper's scale (sub-millisecond per invocation, tens of milliseconds over
+  a full run). Simulated results must not depend on the speed of the host
+  Python interpreter, hence the model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.cc_table import CC_MODES, DEFAULT_HEADROOM, CCTable, build_cc_table
+from repro.core.cgroups import CGroupPlan, build_cgroup_plan, uniform_plan
+from repro.core.ktuple import KTupleSolution, exhaustive_search, search_ktuple
+from repro.core.profiler import OnlineProfiler
+from repro.errors import SearchError
+from repro.machine.frequency import FrequencyScale
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Simulated decision cost: ``base + per_cell * (k * r)`` seconds."""
+
+    base_seconds: float = 5e-4
+    per_cell_seconds: float = 1e-5
+
+    def cost(self, k: int, r: int) -> float:
+        return self.base_seconds + self.per_cell_seconds * k * r
+
+
+@dataclass(frozen=True)
+class AdjusterDecision:
+    """Outcome of one between-batch adjustment."""
+
+    plan: CGroupPlan
+    table: Optional[CCTable]
+    solution: Optional[KTupleSolution]
+    wallclock_seconds: float
+    simulated_seconds: float
+    fallback_reason: Optional[str] = None
+
+    @property
+    def fell_back(self) -> bool:
+        return self.fallback_reason is not None
+
+
+SearchFn = Callable[[CCTable, int], Optional[KTupleSolution]]
+
+SEARCH_ALGORITHMS: dict[str, SearchFn] = {
+    "backtracking": search_ktuple,
+    "exhaustive": exhaustive_search,
+}
+
+
+@dataclass
+class WorkloadAwareFrequencyAdjuster:
+    """The paper's frequency adjuster (Section III-A).
+
+    Parameters
+    ----------
+    scale:
+        Machine frequency ladder.
+    num_cores:
+        Total cores ``m``.
+    search:
+        ``"backtracking"`` (Algorithm 1, the default) or ``"exhaustive"``
+        (the costlier yardstick used in the ablation).
+    cc_mode:
+        ``"discrete"`` (granularity-aware, the reproduction default) or
+        ``"fluid"`` (the paper's Table I formula) — see
+        :data:`repro.core.cc_table.CC_MODES`.
+    leftover_policy:
+        Where cores not demanded by any class are parked
+        (see :mod:`repro.core.cgroups`).
+    overhead_model:
+        Simulated decision-cost model.
+    """
+
+    scale: FrequencyScale
+    num_cores: int
+    search: str = "backtracking"
+    cc_mode: str = "discrete"
+    headroom: float = DEFAULT_HEADROOM
+    leftover_policy: str = "slowest"
+    overhead_model: OverheadModel = field(default_factory=OverheadModel)
+    decisions: list[AdjusterDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.search not in SEARCH_ALGORITHMS:
+            raise SearchError(
+                f"unknown search {self.search!r}; expected one of {sorted(SEARCH_ALGORITHMS)}"
+            )
+        if self.cc_mode not in CC_MODES:
+            raise SearchError(f"unknown cc_mode {self.cc_mode!r}")
+        if self.num_cores < 1:
+            raise SearchError("num_cores must be >= 1")
+
+    # -- the decision -----------------------------------------------------------
+
+    def decide(self, profiler: OnlineProfiler) -> AdjusterDecision:
+        """Compute the frequency configuration for the next batch."""
+        t0 = time.perf_counter()
+        search_fn = SEARCH_ALGORITHMS[self.search]
+
+        classes = profiler.classes_by_workload()
+        if not classes:
+            decision = self._fallback(t0, None, "no profiled task classes")
+            self.decisions.append(decision)
+            return decision
+
+        table = build_cc_table(
+            classes,
+            self.scale,
+            profiler.require_ideal_time(),
+            mode=self.cc_mode,
+            headroom=self.headroom,
+        )
+        solution = search_fn(table, self.num_cores)
+        if solution is None:
+            decision = self._fallback(t0, table, "no feasible k-tuple")
+            self.decisions.append(decision)
+            return decision
+
+        plan = build_cgroup_plan(
+            solution, table, self.num_cores, leftover_policy=self.leftover_policy
+        )
+        wall = time.perf_counter() - t0
+        decision = AdjusterDecision(
+            plan=plan,
+            table=table,
+            solution=solution,
+            wallclock_seconds=wall,
+            simulated_seconds=self.overhead_model.cost(table.k, table.r),
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _fallback(
+        self, t0: float, table: Optional[CCTable], reason: str
+    ) -> AdjusterDecision:
+        """All-fastest uniform plan — behaves like plain work-stealing."""
+        names = table.class_names if table is not None else ()
+        plan = uniform_plan(self.num_cores, level=0, class_names=tuple(names))
+        wall = time.perf_counter() - t0
+        k = table.k if table is not None else 1
+        return AdjusterDecision(
+            plan=plan,
+            table=table,
+            solution=None,
+            wallclock_seconds=wall,
+            simulated_seconds=self.overhead_model.cost(k, self.scale.r),
+            fallback_reason=reason,
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def total_wallclock(self) -> float:
+        return sum(d.wallclock_seconds for d in self.decisions)
+
+    def total_simulated(self) -> float:
+        return sum(d.simulated_seconds for d in self.decisions)

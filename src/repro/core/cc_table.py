@@ -1,0 +1,176 @@
+"""Core-Count (CC) table construction — Table I of the paper.
+
+For ``k`` task classes (heaviest first) and ``r`` frequencies (fastest
+first), ``CC[j][i]`` is the number of cores at frequency ``F_j`` needed to
+finish every task of class ``TC_i`` within the ideal iteration time ``T``:
+
+``CC[0][i] = n_i * w_i / T``      (cores at the fastest frequency)
+``CC[j][i] = (F_0 / F_j) * CC[0][i]``   (slower cores, proportionally more)
+
+Entries are real-valued; integer rounding happens later when cores are
+actually allocated to c-groups (:mod:`repro.core.cgroups`), mirroring the
+paper's example table in Fig. 3 which happens to be integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.core.profiler import TaskClassStats
+from repro.machine.frequency import FrequencyScale
+
+
+@dataclass(frozen=True)
+class CCTable:
+    """An ``r x k`` core-count table bound to its classes and scale."""
+
+    scale: FrequencyScale
+    class_names: tuple[str, ...]
+    values: np.ndarray  # shape (r, k), float64
+    ideal_time: float
+
+    def __post_init__(self) -> None:
+        r, k = self.values.shape
+        if r != self.scale.r:
+            raise SearchError(f"CC table has {r} rows for {self.scale.r} frequencies")
+        if k != len(self.class_names):
+            raise SearchError(f"CC table has {k} columns for {len(self.class_names)} classes")
+        if k == 0:
+            raise SearchError("CC table needs at least one task class")
+        if np.any(self.values < 0):
+            raise SearchError("CC table entries must be non-negative")
+
+    @property
+    def r(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.values.shape[1]
+
+    def __getitem__(self, ji: tuple[int, int]) -> float:
+        j, i = ji
+        return float(self.values[j, i])
+
+    def column(self, i: int) -> np.ndarray:
+        return self.values[:, i]
+
+    def row(self, j: int) -> np.ndarray:
+        return self.values[j, :]
+
+    def fastest_row_total(self) -> float:
+        """Sum of row ``F_0`` — cores needed if everything ran fast.
+
+        The paper (Fig. 3 discussion) observes this can be far below ``m``
+        when workloads are imbalanced; the gap is exactly the slack EEWA
+        converts into energy savings.
+        """
+        return float(self.values[0, :].sum())
+
+
+#: CC construction modes. ``"fluid"`` is the paper's Table I formula, which
+#: treats a class's workload as infinitely divisible. ``"discrete"`` accounts
+#: for task granularity: a class of ``n`` tasks each taking ``t`` seconds at
+#: level ``j`` needs ``ceil(n / floor(T / t))`` cores, and a level where a
+#: single task exceeds ``T`` is infeasible (``inf``). The paper's testbed
+#: tolerated the fluid approximation; our simulator honestly charges
+#: granularity, so the reproduction defaults to ``"discrete"`` (see
+#: DESIGN.md's ablation list — the fluid mode shows the degradation the
+#: approximation causes).
+CC_MODES = ("fluid", "discrete")
+
+
+#: Default jitter headroom for discrete-mode feasibility: a level is usable
+#: for a class only if a single task fits in ``T / (1 + headroom)`` — tasks
+#: jitter batch to batch, and a class whose per-task time exactly equals the
+#: budget will routinely overshoot it.
+DEFAULT_HEADROOM = 0.10
+
+
+def build_cc_table(
+    classes: Sequence[TaskClassStats],
+    scale: FrequencyScale,
+    ideal_time: float,
+    *,
+    mode: str = "fluid",
+    headroom: float = DEFAULT_HEADROOM,
+) -> CCTable:
+    """Construct the CC table from profiled task classes.
+
+    ``classes`` must be ordered heaviest-first (use
+    :meth:`~repro.core.profiler.OnlineProfiler.classes_by_workload`); the
+    order is validated because the k-tuple search's monotonicity constraint
+    assumes it.
+    """
+    if mode not in CC_MODES:
+        raise SearchError(f"unknown CC mode {mode!r}; expected one of {CC_MODES}")
+    if not classes:
+        raise SearchError("cannot build a CC table with no task classes")
+    if ideal_time <= 0:
+        raise SearchError(f"ideal time must be positive, got {ideal_time}")
+    workloads = [c.mean_workload for c in classes]
+    if any(a < b - 1e-12 for a, b in zip(workloads, workloads[1:])):
+        raise SearchError("task classes must be sorted by mean workload, heaviest first")
+
+    totals = np.array([c.total_workload for c in classes], dtype=np.float64)
+    fastest_row = totals / ideal_time  # CC[0][i] = n_i * w_i / T
+    slowdowns = np.array([scale.slowdown(j) for j in range(scale.r)], dtype=np.float64)
+    values = np.outer(slowdowns, fastest_row)  # CC[j][i] = (F_0/F_j) * CC[0][i]
+
+    if mode == "discrete":
+        if headroom < 0:
+            raise SearchError("headroom must be non-negative")
+        counts = np.array([c.count for c in classes], dtype=np.float64)
+        means = np.array([c.mean_workload for c in classes], dtype=np.float64)
+        for j in range(scale.r):
+            task_time = means * slowdowns[j]  # per-task seconds at level j
+            # Pack against a deflated budget: per-task times jitter batch to
+            # batch, so planning to land exactly on T systematically
+            # overruns it.
+            with np.errstate(divide="ignore"):
+                per_core = np.floor(
+                    ideal_time / np.maximum(task_time * (1.0 + headroom), 1e-300)
+                )
+            for i in range(len(classes)):
+                if task_time[i] <= 0:
+                    values[j, i] = 0.0
+                elif task_time[i] * (1.0 + headroom) > ideal_time:
+                    values[j, i] = np.inf  # one task alone blows the budget
+                else:
+                    values[j, i] = np.ceil(counts[i] / per_core[i])
+        # A class that no longer fits T even at F_0 (workload drifted past
+        # the first batch's level) must still be schedulable — F_0 is the
+        # best the machine can do, so pin its F_0 demand to the fluid core
+        # count instead of abandoning the whole search to the fallback.
+        for i in range(len(classes)):
+            if not np.isfinite(values[0, i]):
+                values[0, i] = min(
+                    float(np.ceil(fastest_row[i])), float(max(1, counts[i]))
+                )
+
+    return CCTable(
+        scale=scale,
+        class_names=tuple(c.function for c in classes),
+        values=values,
+        ideal_time=ideal_time,
+    )
+
+
+def cc_table_from_values(
+    values: Sequence[Sequence[float]],
+    scale: FrequencyScale,
+    *,
+    class_names: Sequence[str] | None = None,
+    ideal_time: float = 1.0,
+) -> CCTable:
+    """Build a CC table directly from numbers (tests, the Fig. 3 example)."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 2:
+        raise SearchError("CC values must be a 2-D array")
+    k = array.shape[1]
+    names = tuple(class_names) if class_names is not None else tuple(f"TC{i}" for i in range(k))
+    return CCTable(scale=scale, class_names=names, values=array, ideal_time=ideal_time)

@@ -1,0 +1,180 @@
+"""c-group assembly: from a k-tuple to concrete cores and pools.
+
+A *c-group* is "a set of cores with the same operating frequency"
+(Section II-A). The k-tuple gives real-valued core demands per frequency
+level; this module turns them into an integral per-core frequency plan:
+
+* demands are aggregated per level and rounded up (every class must still
+  fit its share of the ideal iteration time);
+* if rounding overflows the machine, the slowest selected level is merged
+  into the next faster one (never the other way — a class moved to a faster
+  group still meets its deadline);
+* cores left over after all demands are met are parked in the machine's
+  slowest level — they hold no allocated class, spin at minimum power, and
+  help out at batch tails via the preference lists. This is what produces
+  the paper's Fig. 8 shape (5 cores at 2.5 GHz, 11 at 0.8 GHz for SHA-1).
+
+The leftover policy is configurable for the ablation study
+(``"slowest"`` | ``"join_slowest_group"`` | ``"fastest"``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cc_table import CCTable
+from repro.core.ktuple import KTupleSolution
+from repro.errors import SearchError
+
+LEFTOVER_POLICIES = ("slowest", "join_slowest_group", "fastest")
+
+
+@dataclass(frozen=True)
+class CGroup:
+    """One c-group: a frequency level and the cores pinned to it."""
+
+    index: int  # position among used groups, 0 = fastest
+    level: int  # frequency level in the machine scale
+    core_ids: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.core_ids)
+
+
+@dataclass(frozen=True)
+class CGroupPlan:
+    """Complete per-batch placement decision.
+
+    Attributes
+    ----------
+    core_levels:
+        Target DVFS level per core (dense, length ``m``).
+    groups:
+        Used c-groups, fastest first (``groups[0]`` is ``G_0``).
+    class_to_group:
+        Task-class function name -> group index holding its tasks.
+    group_of_core:
+        Core id -> group index.
+    """
+
+    core_levels: tuple[int, ...]
+    groups: tuple[CGroup, ...]
+    class_to_group: dict[str, int]
+    group_of_core: tuple[int, ...]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def level_histogram(self, r: int) -> tuple[int, ...]:
+        hist = [0] * r
+        for level in self.core_levels:
+            hist[level] += 1
+        return tuple(hist)
+
+    def fastest_group_index(self) -> int:
+        return 0
+
+
+def build_cgroup_plan(
+    solution: KTupleSolution,
+    table: CCTable,
+    num_cores: int,
+    *,
+    leftover_policy: str = "slowest",
+) -> CGroupPlan:
+    """Realise a k-tuple as an integral c-group plan."""
+    if leftover_policy not in LEFTOVER_POLICIES:
+        raise SearchError(f"unknown leftover policy {leftover_policy!r}")
+    if len(solution.assignment) != table.k:
+        raise SearchError("solution and table disagree on class count")
+    r = table.r
+
+    # Aggregate demand per selected level, then round up.
+    demand = solution.demand_by_level()
+    counts: dict[int, int] = {
+        level: max(1, math.ceil(d - 1e-9)) for level, d in demand.items() if d > 0
+    }
+    # Classes with zero demand (empty classes) still need a home: the level
+    # the tuple chose, or any selected one. Map them after group assembly.
+    class_level = {i: solution.assignment[i] for i in range(table.k)}
+
+    # Merge slowest levels into faster ones while the rounding overflows m.
+    while sum(counts.values()) > num_cores and len(counts) > 1:
+        levels_sorted = sorted(counts)  # ascending index = fastest..slowest
+        slowest = levels_sorted[-1]
+        target = levels_sorted[-2]
+        counts[target] = counts[target] + counts[slowest] - 1
+        del counts[slowest]
+        for i, lvl in class_level.items():
+            if lvl == slowest:
+                class_level[i] = target
+    if sum(counts.values()) > num_cores:
+        # Single level still overflowing: clamp (performance will degrade,
+        # but the plan stays valid — the search should have prevented this).
+        only = next(iter(counts))
+        counts[only] = num_cores
+
+    # Park leftover cores.
+    leftover = num_cores - sum(counts.values())
+    if leftover > 0:
+        if leftover_policy == "slowest":
+            park_level = r - 1
+        elif leftover_policy == "join_slowest_group":
+            park_level = max(counts)
+        else:  # "fastest"
+            park_level = 0
+        counts[park_level] = counts.get(park_level, 0) + leftover
+
+    # Lay cores out deterministically: fastest group gets the lowest ids.
+    used_levels = sorted(counts)
+    core_levels: list[int] = []
+    groups: list[CGroup] = []
+    group_of_core: list[int] = [0] * num_cores
+    next_core = 0
+    for gidx, level in enumerate(used_levels):
+        ids = tuple(range(next_core, next_core + counts[level]))
+        next_core += counts[level]
+        groups.append(CGroup(index=gidx, level=level, core_ids=ids))
+        for cid in ids:
+            group_of_core[cid] = gidx
+        core_levels.extend([level] * counts[level])
+
+    if next_core != num_cores:
+        raise SearchError(
+            f"core allocation mismatch: placed {next_core} of {num_cores}"
+        )
+
+    # Map classes to groups. A class whose level was merged/unselected goes
+    # to the nearest *faster-or-equal* used level so it still meets T.
+    level_to_group = {g.level: g.index for g in groups}
+    class_to_group: dict[str, int] = {}
+    for i, name in enumerate(table.class_names):
+        lvl = class_level[i]
+        if lvl in level_to_group:
+            class_to_group[name] = level_to_group[lvl]
+        else:
+            faster = [g.index for g in groups if g.level <= lvl]
+            class_to_group[name] = faster[-1] if faster else 0
+
+    return CGroupPlan(
+        core_levels=tuple(core_levels),
+        groups=tuple(groups),
+        class_to_group=class_to_group,
+        group_of_core=tuple(group_of_core),
+    )
+
+
+def uniform_plan(num_cores: int, level: int, class_names: tuple[str, ...] = ()) -> CGroupPlan:
+    """A degenerate one-group plan with every core at ``level``.
+
+    Used for the first (profiling) batch and the memory-bound fallback.
+    """
+    group = CGroup(index=0, level=level, core_ids=tuple(range(num_cores)))
+    return CGroupPlan(
+        core_levels=tuple([level] * num_cores),
+        groups=(group,),
+        class_to_group={name: 0 for name in class_names},
+        group_of_core=tuple([0] * num_cores),
+    )

@@ -1,0 +1,186 @@
+"""k-tuple search over the CC table — Algorithm 1 of the paper.
+
+The frequency adjuster must pick, for each task class ``TC_i``, a frequency
+level ``a_i`` such that:
+
+1. **capacity** — the selected core counts fit the machine:
+   ``sum_i CC[a_i][i] <= m``;
+2. **lowest-first** — the search explores low frequencies before high ones
+   (energy priority), i.e. ``j`` descends from ``r-1``;
+3. **monotonicity** — ``a_i <= a_j`` for ``i < j``: heavier classes (lower
+   ``i``; columns are sorted heaviest-first) never run on slower cores than
+   lighter ones.
+
+:func:`search_ktuple` is a faithful transcription of the paper's
+backtracking Algorithm 1, including its greedy first-feasible-solution
+behaviour and ``O(k * r^2)`` worst case. :func:`exhaustive_search`
+enumerates every monotone tuple and returns the one minimising a power
+estimate — the "more optimal but more expensive" alternative the paper
+mentions and we use for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.cc_table import CCTable
+from repro.errors import SearchError
+from repro.machine.power import PowerModel
+
+
+@dataclass(frozen=True)
+class KTupleSolution:
+    """A feasible assignment of task classes to frequency levels.
+
+    ``assignment[i]`` is the level index ``a_i`` for class ``i`` (classes in
+    CC-table column order, heaviest first). ``core_demand[i]`` is the
+    (real-valued) ``CC[a_i][i]`` core count the class needs at that level.
+    """
+
+    assignment: tuple[int, ...]
+    core_demand: tuple[float, ...]
+
+    @property
+    def total_cores(self) -> float:
+        return sum(self.core_demand)
+
+    @property
+    def levels_used(self) -> tuple[int, ...]:
+        """Distinct levels in ascending (fastest-first) order."""
+        return tuple(sorted(set(self.assignment)))
+
+    def demand_by_level(self) -> dict[int, float]:
+        """Aggregate core demand per frequency level."""
+        demand: dict[int, float] = {}
+        for level, cores in zip(self.assignment, self.core_demand):
+            demand[level] = demand.get(level, 0.0) + cores
+        return demand
+
+    def is_monotone(self) -> bool:
+        return all(a <= b for a, b in zip(self.assignment, self.assignment[1:]))
+
+
+def search_ktuple(table: CCTable, num_cores: int) -> Optional[KTupleSolution]:
+    """Algorithm 1: backtracking search for the first feasible k-tuple.
+
+    Returns ``None`` when even the all-fastest assignment does not fit in
+    ``num_cores`` (the adjuster then falls back to running everything at
+    ``F_0``, i.e. plain work-stealing behaviour).
+    """
+    if num_cores < 1:
+        raise SearchError("num_cores must be >= 1")
+    r, k = table.r, table.k
+    cc = table.values
+    a = [0] * k
+    state = {"c_n": 0.0}
+
+    def select(i: int, j: int) -> bool:
+        if cc[j, i] + state["c_n"] <= num_cores + 1e-9:
+            a[i] = j
+            state["c_n"] += cc[j, i]
+            return True
+        return False
+
+    def search(i: int) -> bool:
+        if i >= k:
+            return True
+        lower = a[i - 1] if i > 0 else 0  # monotonicity bound (constraint 3)
+        for j in range(r - 1, lower - 1, -1):  # lowest frequency first (constraint 2)
+            if select(i, j):
+                if search(i + 1):
+                    return True
+                state["c_n"] -= cc[a[i], i]
+        return False
+
+    if not search(0):
+        return None
+    assignment = tuple(a)
+    demand = tuple(float(cc[j, i]) for i, j in enumerate(assignment))
+    return KTupleSolution(assignment=assignment, core_demand=demand)
+
+
+def default_power_estimate(
+    table: CCTable, num_cores: Optional[int] = None
+) -> Callable[[KTupleSolution], float]:
+    """Cubic-in-frequency power proxy: ``P(F_j) ~ (F_j / F_0)^3``.
+
+    With affine voltage scaling, ``V^2 f`` is between quadratic and cubic in
+    ``f``; the cube is the classic first-order proxy and needs no calibrated
+    power model. When ``num_cores`` is given, cores not demanded by any
+    class are charged at the slowest level's power — they spin there under
+    the default leftover policy, and their count differs between candidate
+    tuples, so omitting them would bias the comparison toward fast tuples.
+    """
+    scale = table.scale
+
+    def estimate(solution: KTupleSolution) -> float:
+        total = sum(
+            cores * scale.relative_speed(level) ** 3
+            for level, cores in zip(solution.assignment, solution.core_demand)
+        )
+        if num_cores is not None:
+            leftover = max(0.0, num_cores - solution.total_cores)
+            total += leftover * scale.relative_speed(scale.slowest_index) ** 3
+        return total
+
+    return estimate
+
+
+def power_model_estimate(
+    table: CCTable, power: PowerModel, num_cores: Optional[int] = None
+) -> Callable[[KTupleSolution], float]:
+    """Energy estimate using a calibrated power model.
+
+    Each class's cores run busy for the ideal iteration time ``T``; cores
+    left over by the tuple spin at the slowest level (the default leftover
+    policy), so with ``num_cores`` given they are charged at that power.
+    The machine baseline is identical across candidates and omitted.
+    """
+
+    def estimate(solution: KTupleSolution) -> float:
+        total = sum(
+            power.busy_power(table.scale[level]) * cores
+            for level, cores in zip(solution.assignment, solution.core_demand)
+        )
+        if num_cores is not None:
+            leftover = max(0.0, num_cores - solution.total_cores)
+            total += leftover * power.busy_power(table.scale.slowest)
+        return table.ideal_time * total
+
+    return estimate
+
+
+def exhaustive_search(
+    table: CCTable,
+    num_cores: int,
+    *,
+    estimate: Optional[Callable[[KTupleSolution], float]] = None,
+) -> Optional[KTupleSolution]:
+    """Enumerate all monotone k-tuples; return the feasible minimum-power one.
+
+    Complexity is ``C(k + r - 1, r - 1)`` candidates — fine for the small
+    tables of real machines, and the yardstick the ablation benchmark
+    compares Algorithm 1 against.
+    """
+    if num_cores < 1:
+        raise SearchError("num_cores must be >= 1")
+    if estimate is None:
+        estimate = default_power_estimate(table, num_cores)
+    r, k = table.r, table.k
+    cc = table.values
+
+    best: Optional[KTupleSolution] = None
+    best_score = float("inf")
+    # Monotone non-decreasing assignments == combinations with repetition.
+    for combo in itertools.combinations_with_replacement(range(r), k):
+        demand = [float(cc[j, i]) for i, j in enumerate(combo)]
+        if sum(demand) > num_cores + 1e-9:
+            continue
+        candidate = KTupleSolution(assignment=combo, core_demand=tuple(demand))
+        score = estimate(candidate)
+        if score < best_score - 1e-15:
+            best = candidate
+            best_score = score
+    return best

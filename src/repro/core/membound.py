@@ -1,0 +1,71 @@
+"""Memory-boundness detection and fallback — Section IV-D.
+
+The CC table's frequency scaling (``CC[j][i] = (F_0/F_j) * CC[0][i]``)
+assumes execution time is inversely proportional to frequency, which holds
+only for CPU-bound tasks. The paper's runtime check: while profiling the
+first batch it also reads cache-miss and retired-instruction counters; a
+task whose miss intensity exceeds a threshold is memory-bound, and "if most
+tasks of an application are memory-bound, the application is regarded as
+memory-bound by EEWA" — in which case EEWA "simply adopts the traditional
+work-stealing for the rest of the batches".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.profiler import DEFAULT_MISS_THRESHOLD, OnlineProfiler
+from repro.machine.counters import PerfCounters
+
+
+class BoundKind(enum.Enum):
+    """Classification of a task or application."""
+
+    CPU_BOUND = "cpu"
+    MEMORY_BOUND = "memory"
+
+
+class MemoryBoundMode(enum.Enum):
+    """What EEWA does with a memory-bound application."""
+
+    #: Paper behaviour: plain work-stealing at F_0 for the rest of the run.
+    FALLBACK = "fallback"
+    #: Paper's proposed future work: model t(f) per class by regression and
+    #: keep adjusting frequencies (see :mod:`repro.core.regression`).
+    REGRESSION = "regression"
+    #: Pretend everything is CPU-bound (ablation: shows why the check exists).
+    IGNORE = "ignore"
+
+
+def classify_task(counters: PerfCounters, threshold: float = DEFAULT_MISS_THRESHOLD) -> BoundKind:
+    """Single-task classification by cache-miss intensity."""
+    if counters.miss_intensity > threshold:
+        return BoundKind.MEMORY_BOUND
+    return BoundKind.CPU_BOUND
+
+
+@dataclass(frozen=True)
+class ApplicationClassification:
+    """Verdict for a whole application after the first profiled batch."""
+
+    kind: BoundKind
+    memory_bound_fraction: float
+    tasks_observed: int
+
+
+def classify_application(
+    profiler: OnlineProfiler, *, majority: float = 0.5
+) -> ApplicationClassification:
+    """Apply the paper's most-tasks-memory-bound rule."""
+    fraction = profiler.memory_bound_fraction()
+    kind = (
+        BoundKind.MEMORY_BOUND
+        if profiler.application_is_memory_bound(majority)
+        else BoundKind.CPU_BOUND
+    )
+    return ApplicationClassification(
+        kind=kind,
+        memory_bound_fraction=fraction,
+        tasks_observed=profiler.tasks_seen,
+    )

@@ -1,0 +1,43 @@
+"""Preference lists — the rob-the-weaker-first stealing order.
+
+Section III-B, Fig. 5: a core in c-group ``G_i`` escalates through groups in
+the order ``{G_i, G_{i+1}, ..., G_{u-1}, G_{i-1}, ..., G_0}`` — its own
+group first, then progressively weaker (slower) groups, and only then
+stronger groups, nearest-stronger first.
+
+The intuition (from WATS): when a fast core runs dry it should drain the
+slow cores' queues (the weaker groups struggle more with the same work),
+whereas a slow core should touch a fast group's queue only as a last
+resort — that is the Fig. 1(c) failure mode EEWA avoids.
+
+Preference lists are renewed every batch because different batches may use
+different c-groups (Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+
+def preference_order(group_index: int, num_groups: int) -> tuple[int, ...]:
+    """The stealing order for a core in ``G_{group_index}`` of ``u`` groups.
+
+    >>> preference_order(1, 4)
+    (1, 2, 3, 0)
+    >>> preference_order(2, 4)
+    (2, 3, 1, 0)
+    """
+    if num_groups < 1:
+        raise SchedulingError("num_groups must be >= 1")
+    if not 0 <= group_index < num_groups:
+        raise SchedulingError(
+            f"group index {group_index} out of range [0, {num_groups})"
+        )
+    weaker = range(group_index, num_groups)  # G_i, G_{i+1}, ..., G_{u-1}
+    stronger = range(group_index - 1, -1, -1)  # G_{i-1}, ..., G_0
+    return tuple(weaker) + tuple(stronger)
+
+
+def preference_lists(num_groups: int) -> list[tuple[int, ...]]:
+    """Preference order for every group index (one list per group)."""
+    return [preference_order(i, num_groups) for i in range(num_groups)]

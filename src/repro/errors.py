@@ -1,0 +1,40 @@
+"""Exception hierarchy for the EEWA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A machine / workload / scheduler configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler policy violated the runtime contract."""
+
+
+class SearchError(ReproError):
+    """The k-tuple search was invoked with inconsistent inputs."""
+
+
+class ProfilingError(ReproError):
+    """Online profiling was queried before the data it needs exists."""
+
+
+class KernelError(ReproError):
+    """A benchmark kernel was fed malformed input."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification cannot be realised."""

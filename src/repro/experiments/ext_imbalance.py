@@ -1,0 +1,94 @@
+"""Extension experiment: savings as a function of workload imbalance.
+
+Formalises the Fig. 3 discussion ("workload imbalance causes the
+underutilization of the computational capacity of the cores ... this is
+why EEWA can ... reduce energy consumption"): sweeping the number of heavy
+anchor tasks per batch moves the machine from granularity-bound (lots of
+slack) to saturated (none), and EEWA's savings track the slack almost
+linearly until they hit zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.eewa import EEWAScheduler
+from repro.experiments.report import format_table
+from repro.machine.topology import MachineConfig, opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.sim.engine import simulate
+from repro.workloads.generators import generate_program
+from repro.workloads.synthetic import imbalance_sweep_spec
+from repro.workloads.validation import diagnose
+
+DEFAULT_ANCHORS = (2, 4, 6, 8, 10, 12, 14)
+
+
+@dataclass(frozen=True)
+class ImbalancePoint:
+    anchors: int
+    utilization: float
+    slack_cores: float
+    energy_saving_pct: float
+    time_change_pct: float
+    modal_config: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ImbalanceSweepResult:
+    points: tuple[ImbalancePoint, ...]
+
+    def table(self) -> str:
+        return format_table(
+            ["anchors", "util", "slack cores", "dE %", "dT %", "modal config"],
+            [
+                (
+                    p.anchors,
+                    f"{p.utilization:.0%}",
+                    p.slack_cores,
+                    -p.energy_saving_pct,
+                    p.time_change_pct,
+                    str(p.modal_config),
+                )
+                for p in self.points
+            ],
+            title="Extension — EEWA savings vs workload imbalance",
+            float_fmt="{:.1f}",
+        )
+
+    def savings_monotone_in_slack(self) -> bool:
+        """More slack must never yield less saving (within noise)."""
+        ordered = sorted(self.points, key=lambda p: p.slack_cores)
+        savings = [p.energy_saving_pct for p in ordered]
+        return all(b >= a - 2.0 for a, b in zip(savings, savings[1:]))
+
+
+def run_imbalance_sweep(
+    *,
+    anchors: Sequence[int] = DEFAULT_ANCHORS,
+    machine: Optional[MachineConfig] = None,
+    batches: int = 10,
+    seed: int = 5,
+) -> ImbalanceSweepResult:
+    """Run the sweep and collect (slack -> savings) points."""
+    if machine is None:
+        machine = opteron_8380_machine()
+    points = []
+    for n in anchors:
+        spec = imbalance_sweep_spec(n)
+        d = diagnose(spec, machine.num_cores)
+        program = generate_program(spec, batches=batches, seed=seed)
+        cilk = simulate(program, CilkScheduler(), machine, seed=seed)
+        eewa = simulate(program, EEWAScheduler(), machine, seed=seed)
+        points.append(
+            ImbalancePoint(
+                anchors=n,
+                utilization=d.utilization,
+                slack_cores=d.slack_cores,
+                energy_saving_pct=100.0 * (1 - eewa.total_joules / cilk.total_joules),
+                time_change_pct=100.0 * (eewa.total_time / cilk.total_time - 1),
+                modal_config=eewa.trace.modal_histogram() or (),
+            )
+        )
+    return ImbalanceSweepResult(points=tuple(points))

@@ -1,0 +1,91 @@
+"""Fig. 9 — scalability: DMC on 4/8/12/16 cores under Cilk, Cilk-D, EEWA.
+
+Paper shape targets: with few cores (4) the machine is saturated — EEWA
+keeps everything fast, saves nothing, and loses only fractions of a percent
+to overhead; savings grow monotonically with core count (23.8% at 12 cores
+vs Cilk with only 2.8% slowdown; more at 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import DEFAULT_SEEDS, run_benchmark
+from repro.machine.topology import MachineConfig, opteron_8380_machine
+
+DEFAULT_CORE_COUNTS = (4, 8, 12, 16)
+POLICIES = ("cilk", "cilk-d", "eewa")
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    """Normalised metrics at one core count (Cilk at that count = 1.0)."""
+
+    cores: int
+    time_cilk_d: float
+    time_eewa: float
+    energy_cilk_d: float
+    energy_eewa: float
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    benchmark: str
+    points: tuple[Fig9Point, ...]
+
+    def table(self) -> str:
+        return format_table(
+            ["cores", "t(cilk-d)", "t(eewa)", "E(cilk-d)", "E(eewa)", "eewa dE%"],
+            [
+                (
+                    p.cores,
+                    p.time_cilk_d,
+                    p.time_eewa,
+                    p.energy_cilk_d,
+                    p.energy_eewa,
+                    100.0 * (p.energy_eewa - 1.0),
+                )
+                for p in self.points
+            ],
+            title=f"Fig. 9 — {self.benchmark} scalability (Cilk = 1.0 per core count)",
+        )
+
+    def eewa_savings_by_cores(self) -> dict[int, float]:
+        """Core count -> EEWA energy reduction percent vs Cilk."""
+        return {p.cores: 100.0 * (1.0 - p.energy_eewa) for p in self.points}
+
+
+def run_fig9(
+    *,
+    benchmark: str = "DMC",
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    base_machine: Optional[MachineConfig] = None,
+    batches: int | None = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> Fig9Result:
+    """Regenerate Fig. 9's core-count sweep."""
+    if base_machine is None:
+        base_machine = opteron_8380_machine()
+    points = []
+    for cores in core_counts:
+        machine = base_machine.with_cores(cores)
+        outcomes = {
+            policy: run_benchmark(
+                benchmark, policy, machine=machine, batches=batches, seeds=seeds
+            )
+            for policy in POLICIES
+        }
+        base_t = outcomes["cilk"].time_mean
+        base_e = outcomes["cilk"].energy_mean
+        points.append(
+            Fig9Point(
+                cores=cores,
+                time_cilk_d=outcomes["cilk-d"].time_mean / base_t,
+                time_eewa=outcomes["eewa"].time_mean / base_t,
+                energy_cilk_d=outcomes["cilk-d"].energy_mean / base_e,
+                energy_eewa=outcomes["eewa"].energy_mean / base_e,
+            )
+        )
+    return Fig9Result(benchmark=benchmark, points=tuple(points))

@@ -1,0 +1,145 @@
+"""Plain-text table/series rendering for experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep the formatting consistent across exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Fixed-width text table."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, float_fmt: str = "{:.3f}"
+) -> str:
+    """One figure series as ``name: x=y, x=y, ...``."""
+    pairs = ", ".join(f"{x}={float_fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def format_percent(value: float) -> str:
+    sign = "+" if value >= 0 else ""
+    return f"{sign}{value:.1f}%"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    max_value: float | None = None,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal ASCII bar chart — a terminal rendering of a figure panel.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 0.5], width=4))
+    a  #### 1.000
+    b  ##   0.500
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title or ""
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = max(0, min(width, round(width * value / top)))
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{str(label).ljust(label_w)}  {bar} {value_fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    width: int = 40,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Multiple series per label, one bar row each (Fig. 6-style panels)."""
+    if not series:
+        raise ValueError("need at least one series")
+    for vals in series.values():
+        if len(vals) != len(labels):
+            raise ValueError("every series must align with labels")
+    top = max(max(vals) for vals in series.values())
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(str(l)) for l in labels)
+    series_w = max(len(name) for name in series)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        for j, (name, vals) in enumerate(series.items()):
+            value = vals[i]
+            filled = max(0, min(width, round(width * value / top)))
+            prefix = str(label).ljust(label_w) if j == 0 else " " * label_w
+            lines.append(
+                f"{prefix}  {name.ljust(series_w)} "
+                f"{'#' * filled}{' ' * (width - filled)} {value_fmt.format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def frequency_timeline(
+    histograms: Sequence[Sequence[int]],
+    frequencies_ghz: Sequence[float],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fig. 8-style stacked timeline: one column per batch, one glyph per
+    core, fastest level at the top.
+
+    Levels render as digits (0 = fastest); reading down a column shows the
+    machine's configuration for that batch.
+    """
+    if not histograms:
+        return title or ""
+    lines = [title] if title else []
+    num_cores = sum(histograms[0])
+    for row in range(num_cores):
+        glyphs = []
+        for hist in histograms:
+            # Expand the histogram into per-core level glyphs, fastest first.
+            expanded = [str(lv) for lv, n in enumerate(hist) for _ in range(n)]
+            glyphs.append(expanded[row] if row < len(expanded) else " ")
+        lines.append("core %2d | %s" % (row, " ".join(glyphs)))
+    lines.append("batch     " + " ".join(f"{i+1:<1d}" if i < 9 else "+" for i in range(len(histograms))))
+    lines.append(
+        "levels: "
+        + ", ".join(f"{j}={f:.1f}GHz" for j, f in enumerate(frequencies_ghz))
+    )
+    return "\n".join(lines)

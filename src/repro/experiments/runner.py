@@ -1,0 +1,139 @@
+"""Experiment runner: one call from (benchmark, policy, machine) to results.
+
+Centralises policy construction and multi-seed averaging so every figure
+module (fig6, fig7, ...) shares identical conventions: the *same* generated
+program is fed to every policy being compared, and runs repeat over seeds
+(the simulated stand-in for the paper's 100 repeated hardware runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.errors import ConfigurationError
+from repro.machine.topology import MachineConfig, opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.policy import SchedulerPolicy
+from repro.runtime.task import Batch
+from repro.runtime.wats import WATSScheduler
+from repro.sim.engine import SimResult, simulate
+from repro.workloads.benchmarks import benchmark_program
+
+#: Seeds used when an experiment averages over repetitions.
+DEFAULT_SEEDS = (11, 23, 37)
+
+PolicyFactory = Callable[[], SchedulerPolicy]
+
+
+def make_policy(
+    name: str,
+    *,
+    core_levels: Optional[Sequence[int]] = None,
+    eewa_config: Optional[EEWAConfig] = None,
+) -> SchedulerPolicy:
+    """Construct a scheduler policy by name.
+
+    ``core_levels`` applies to the fixed-configuration policies (``cilk``
+    on an asymmetric machine, ``wats``); ``eewa_config`` to ``eewa``.
+    """
+    if name == "cilk":
+        return CilkScheduler(core_levels=core_levels)
+    if name == "cilk-d":
+        if core_levels is not None:
+            raise ConfigurationError("cilk-d does not take fixed core levels")
+        return CilkDScheduler()
+    if name == "wats":
+        if core_levels is None:
+            raise ConfigurationError("wats requires fixed core_levels")
+        return WATSScheduler(core_levels)
+    if name == "eewa":
+        if core_levels is not None:
+            raise ConfigurationError("eewa controls frequencies itself")
+        return EEWAScheduler(eewa_config)
+    raise ConfigurationError(f"unknown policy {name!r}")
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One benchmark under one policy, possibly over several seeds."""
+
+    benchmark: str
+    policy: str
+    results: tuple[SimResult, ...]
+
+    @property
+    def time_mean(self) -> float:
+        return sum(r.total_time for r in self.results) / len(self.results)
+
+    @property
+    def energy_mean(self) -> float:
+        return sum(r.total_joules for r in self.results) / len(self.results)
+
+    @property
+    def first(self) -> SimResult:
+        return self.results[0]
+
+
+def run_benchmark(
+    benchmark: str,
+    policy: str,
+    *,
+    machine: Optional[MachineConfig] = None,
+    batches: int | None = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    core_levels: Optional[Sequence[int]] = None,
+    eewa_config: Optional[EEWAConfig] = None,
+    program_override: Optional[Sequence[Batch]] = None,
+) -> RunOutcome:
+    """Run ``benchmark`` under ``policy`` once per seed.
+
+    Each seed regenerates the program (workload jitter/drift) *and* reseeds
+    the scheduler's victim selection, so repetitions are genuinely
+    independent — but for a fixed seed every policy sees the identical
+    program, keeping comparisons paired.
+    """
+    if machine is None:
+        machine = opteron_8380_machine()
+    results = []
+    for seed in seeds:
+        if program_override is not None:
+            program = program_override
+        else:
+            program = benchmark_program(benchmark, batches=batches, seed=seed)
+        policy_obj = make_policy(
+            policy, core_levels=core_levels, eewa_config=eewa_config
+        )
+        results.append(simulate(program, policy_obj, machine, seed=seed))
+    return RunOutcome(benchmark=benchmark, policy=policy, results=tuple(results))
+
+
+def modal_eewa_levels(
+    benchmark: str,
+    *,
+    machine: Optional[MachineConfig] = None,
+    batches: int | None = None,
+    seed: int = DEFAULT_SEEDS[0],
+    eewa_config: Optional[EEWAConfig] = None,
+) -> list[int]:
+    """The per-core level vector of EEWA's most-used configuration.
+
+    Fig. 7 fixes the asymmetric machine to "the most often used frequency
+    configurations in different batches of the benchmark"; this runs EEWA
+    once and reads that configuration off the trace.
+    """
+    if machine is None:
+        machine = opteron_8380_machine()
+    program = benchmark_program(benchmark, batches=batches, seed=seed)
+    result = simulate(
+        program, EEWAScheduler(eewa_config), machine, seed=seed
+    )
+    hist = result.trace.modal_histogram()
+    if hist is None:
+        return [0] * machine.num_cores
+    levels: list[int] = []
+    for level, count in enumerate(hist):
+        levels.extend([level] * count)
+    return levels

@@ -1,0 +1,90 @@
+"""Bit-level I/O used by the entropy coders.
+
+A :class:`BitWriter` packs bits MSB-first into a ``bytearray``; a
+:class:`BitReader` consumes them in the same order. Both are deliberately
+simple and allocation-light — these run inside the benchmark kernels whose
+operation counts calibrate the simulator's workloads, so the work they do
+should be proportional to the data they touch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+
+
+class BitWriter:
+    """MSB-first bit packer."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._out.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise KernelError("width must be non-negative")
+        if value < 0 or (width < 64 and value >> width):
+            raise KernelError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """``value`` one-bits followed by a zero terminator."""
+        if value < 0:
+            raise KernelError("unary values must be non-negative")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._out) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padded to a byte boundary) and return the buffer."""
+        out = bytearray(self._out)
+        if self._nbits:
+            out.append(self._acc << (8 - self._nbits))
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit consumer over a ``bytes`` buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise KernelError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        if width < 0:
+            raise KernelError("width must be non-negative")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count

@@ -1,0 +1,103 @@
+"""Simplified bzip2 pipeline (the Bzip-2 benchmark).
+
+Real bzip2 = RLE1 -> BWT -> MTF -> RLE2 -> multi-table Huffman, applied per
+block (100k-900k). This module implements exactly that pipeline with a
+single Huffman table per block, block-structured so the workload generator
+can treat "compress one block" as one task:
+
+``bzip2_compress`` splits the input into blocks, applies
+:func:`compress_block` per block, and concatenates; ``bzip2_decompress``
+inverts block-by-block. Everything is lossless and round-trip-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.kernels.bwt import BWTResult, bwt_forward, bwt_inverse
+from repro.kernels.huffman import HuffmanTable, huffman_compress, huffman_decompress
+from repro.kernels.mtf import mtf_decode, mtf_encode
+from repro.kernels.rle import (
+    rle2_decode_zeros,
+    rle2_encode_zeros,
+    rle_decode,
+    rle_encode,
+)
+
+DEFAULT_BLOCK_SIZE = 16 * 1024
+
+
+@dataclass(frozen=True)
+class Bzip2Block:
+    """One compressed block."""
+
+    payload: bytes
+    table: HuffmanTable
+    symbol_count: int
+    primary_index: int
+    rle1_length: int
+
+
+@dataclass(frozen=True)
+class Bzip2Stream:
+    """A sequence of compressed blocks plus original length."""
+
+    blocks: tuple[Bzip2Block, ...]
+    raw_length: int
+
+
+def compress_block(raw: bytes) -> Bzip2Block:
+    """RLE1 -> BWT -> MTF -> RLE2 -> Huffman for one block."""
+    if not raw:
+        raise KernelError("cannot compress an empty block")
+    rle1 = rle_encode(raw)
+    bwt = bwt_forward(rle1)
+    symbols = rle2_encode_zeros(mtf_encode(bwt.transformed))
+    if symbols:
+        payload, table, count = huffman_compress(symbols)
+    else:
+        payload, table, count = b"", HuffmanTable.from_frequencies({0: 1}), 0
+    return Bzip2Block(
+        payload=payload,
+        table=table,
+        symbol_count=count,
+        primary_index=bwt.primary_index,
+        rle1_length=len(rle1),
+    )
+
+
+def decompress_block(block: Bzip2Block) -> bytes:
+    """Inverse of :func:`compress_block`."""
+    if block.symbol_count == 0:
+        transformed = b""
+    else:
+        symbols = huffman_decompress(block.payload, block.table, block.symbol_count)
+        transformed = mtf_decode(rle2_decode_zeros(symbols))
+    if len(transformed) != block.rle1_length:
+        raise KernelError("bzip2 block length mismatch")
+    rle1 = bwt_inverse(
+        BWTResult(transformed=transformed, primary_index=block.primary_index)
+    )
+    return rle_decode(rle1)
+
+
+def bzip2_compress(data: bytes, block_size: int = DEFAULT_BLOCK_SIZE) -> Bzip2Stream:
+    """Compress ``data`` block-by-block."""
+    if block_size < 1:
+        raise KernelError("block_size must be >= 1")
+    blocks = tuple(
+        compress_block(data[i : i + block_size])
+        for i in range(0, len(data), block_size)
+    )
+    return Bzip2Stream(blocks=blocks, raw_length=len(data))
+
+
+def bzip2_decompress(stream: Bzip2Stream) -> bytes:
+    """Inverse of :func:`bzip2_compress`."""
+    out = b"".join(decompress_block(b) for b in stream.blocks)
+    if len(out) != stream.raw_length:
+        raise KernelError(
+            f"bzip2 stream length mismatch: {len(out)} != {stream.raw_length}"
+        )
+    return out

@@ -1,0 +1,232 @@
+"""Dynamic Markov Coding (Cormack & Horspool, 1987).
+
+The DMC benchmark of Table II: a bit-level predictive compressor. A
+finite-state Markov model predicts each bit; a binary arithmetic coder
+turns predictions into output bits; the model *grows* by cloning states
+whose transitions become heavily used, specialising the context.
+
+Components
+----------
+* :class:`ArithmeticEncoder` / :class:`ArithmeticDecoder` — a classic
+  32-bit binary arithmetic coder with pending-bit (underflow) handling.
+* :class:`DMCModel` — counts-based predictor with state cloning.
+* :func:`dmc_compress` / :func:`dmc_decompress` — byte-stream interface
+  (MSB-first bits, 32-bit length header).
+
+Encoder and decoder share the model-update code path, so their state
+machines stay in lockstep as long as the coded bits round-trip — which the
+property tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+from repro.kernels.bitio import BitReader, BitWriter
+
+_TOP = 0xFFFFFFFF
+_HALF = 0x80000000
+_QUARTER = 0x40000000
+_THREE_QUARTERS = 0xC0000000
+
+
+class ArithmeticEncoder:
+    """Binary arithmetic encoder over ``[low, high]`` 32-bit intervals."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._high = _TOP
+        self._pending = 0
+        self._writer = BitWriter()
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+        inverse = bit ^ 1
+        for _ in range(self._pending):
+            self._writer.write_bit(inverse)
+        self._pending = 0
+
+    def encode(self, bit: int, p0: float) -> None:
+        """Encode ``bit`` given probability ``p0`` of a zero bit."""
+        span = self._high - self._low + 1
+        split = self._low + max(1, min(span - 1, int(span * p0))) - 1
+        if bit == 0:
+            self._high = split
+        else:
+            self._low = split + 1
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low = (self._low << 1) & _TOP
+            self._high = ((self._high << 1) | 1) & _TOP
+
+    def finish(self) -> bytes:
+        # Disambiguate the final interval with one more bit (plus pending).
+        self._pending += 1
+        self._emit(0 if self._low < _QUARTER else 1)
+        # Pad so the decoder can always fill its 32-bit window.
+        payload = self._writer.getvalue()
+        return payload + b"\x00" * 4
+
+
+class ArithmeticDecoder:
+    """Mirror of :class:`ArithmeticEncoder`."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._reader = BitReader(payload)
+        self._low = 0
+        self._high = _TOP
+        self._code = 0
+        for _ in range(32):
+            self._code = (self._code << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        if self._reader.bits_remaining > 0:
+            return self._reader.read_bit()
+        return 0
+
+    def decode(self, p0: float) -> int:
+        span = self._high - self._low + 1
+        split = self._low + max(1, min(span - 1, int(span * p0))) - 1
+        if self._code <= split:
+            bit = 0
+            self._high = split
+        else:
+            bit = 1
+            self._low = split + 1
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._code -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._code -= _QUARTER
+            else:
+                break
+            self._low = (self._low << 1) & _TOP
+            self._high = ((self._high << 1) | 1) & _TOP
+            self._code = ((self._code << 1) | self._next_bit()) & _TOP
+        return bit
+
+
+@dataclass
+class DMCModel:
+    """Cloning Markov model over bits.
+
+    Each state holds transition counts ``c[0], c[1]`` and successor ids
+    ``next[0], next[1]``. On traversing ``(state, bit)``, if the transition
+    is popular (``c[bit] > clone_min``) and the successor has substantial
+    traffic from elsewhere (``visits(next) - c[bit] > other_min``), the
+    successor is cloned and its counts split proportionally — DMC's whole
+    trick for discovering longer contexts.
+    """
+
+    clone_min: float = 2.0
+    other_min: float = 2.0
+    max_states: int = 1 << 16
+    _c0: list[float] = field(default_factory=lambda: [0.2])
+    _c1: list[float] = field(default_factory=lambda: [0.2])
+    _n0: list[int] = field(default_factory=lambda: [0])
+    _n1: list[int] = field(default_factory=lambda: [0])
+    state: int = 0
+
+    @property
+    def num_states(self) -> int:
+        return len(self._c0)
+
+    def p0(self) -> float:
+        """Probability that the next bit is zero, Laplace-smoothed."""
+        s = self.state
+        c0, c1 = self._c0[s], self._c1[s]
+        return (c0 + 0.2) / (c0 + c1 + 0.4)
+
+    def update(self, bit: int) -> None:
+        """Advance on ``bit``, counting and possibly cloning."""
+        s = self.state
+        counts = self._c1 if bit else self._c0
+        nexts = self._n1 if bit else self._n0
+        target = nexts[s]
+        transition_count = counts[s]
+        target_visits = self._c0[target] + self._c1[target]
+
+        if (
+            transition_count > self.clone_min
+            and target_visits - transition_count > self.other_min
+            and self.num_states < self.max_states
+        ):
+            ratio = transition_count / target_visits
+            new = self.num_states
+            self._c0.append(self._c0[target] * ratio)
+            self._c1.append(self._c1[target] * ratio)
+            self._n0.append(self._n0[target])
+            self._n1.append(self._n1[target])
+            self._c0[target] *= 1.0 - ratio
+            self._c1[target] *= 1.0 - ratio
+            nexts[s] = new
+            target = new
+
+        counts[s] = transition_count + 1.0
+        self.state = target
+
+    def reset_position(self) -> None:
+        self.state = 0
+
+
+#: Decompression refuses to expand beyond this many bytes — a corrupt
+#: length header must not turn into a multi-gigabyte decode loop.
+MAX_OUTPUT_BYTES = 1 << 26
+
+
+def dmc_compress(data: bytes, *, max_states: int = 1 << 16) -> bytes:
+    """Compress ``data`` with DMC; 32-bit byte-length header."""
+    if len(data) > MAX_OUTPUT_BYTES:
+        raise KernelError(
+            f"input exceeds the {MAX_OUTPUT_BYTES}-byte codec limit"
+        )
+    model = DMCModel(max_states=max_states)
+    encoder = ArithmeticEncoder()
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bit = (byte >> shift) & 1
+            encoder.encode(bit, model.p0())
+            model.update(bit)
+    header = BitWriter()
+    header.write_bits(len(data), 32)
+    return header.getvalue() + encoder.finish()
+
+
+def dmc_decompress(payload: bytes, *, max_states: int = 1 << 16) -> bytes:
+    """Inverse of :func:`dmc_compress` (same ``max_states`` required)."""
+    if len(payload) < 4:
+        raise KernelError("DMC payload too short for header")
+    length = BitReader(payload[:4]).read_bits(32)
+    if length > MAX_OUTPUT_BYTES:
+        raise KernelError(
+            f"corrupt DMC header: {length} bytes claimed (limit {MAX_OUTPUT_BYTES})"
+        )
+    model = DMCModel(max_states=max_states)
+    decoder = ArithmeticDecoder(payload[4:])
+    out = bytearray()
+    for _ in range(length):
+        byte = 0
+        for _ in range(8):
+            bit = decoder.decode(model.p0())
+            model.update(bit)
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)

@@ -1,0 +1,128 @@
+"""Canonical Huffman coding.
+
+Implements the classic two-queue code construction plus canonical code
+assignment so that the decoder only needs the per-symbol code lengths —
+the scheme used by DEFLATE, bzip2 and the JPEG entropy stage.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import KernelError
+from repro.kernels.bitio import BitReader, BitWriter
+
+MAX_CODE_LENGTH = 32
+
+
+def code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Huffman code length per symbol from its frequency.
+
+    Zero-frequency symbols get no code. A single-symbol alphabet gets a
+    1-bit code (the degenerate case every real format special-cases).
+    """
+    items = [(f, s) for s, f in frequencies.items() if f > 0]
+    if not items:
+        raise KernelError("cannot build a Huffman code for an empty alphabet")
+    if any(f < 0 for f, _ in items):
+        raise KernelError("frequencies must be non-negative")
+    if len(items) == 1:
+        return {items[0][1]: 1}
+
+    # Heap of (weight, tiebreak, symbols-with-depths).
+    heap: list[tuple[int, int, list[tuple[int, int]]]] = []
+    for tiebreak, (freq, sym) in enumerate(sorted(items)):
+        heapq.heappush(heap, (freq, tiebreak, [(sym, 0)]))
+    counter = len(items)
+    while len(heap) > 1:
+        w1, _, g1 = heapq.heappop(heap)
+        w2, _, g2 = heapq.heappop(heap)
+        merged = [(s, d + 1) for s, d in g1] + [(s, d + 1) for s, d in g2]
+        heapq.heappush(heap, (w1 + w2, counter, merged))
+        counter += 1
+    _, _, group = heap[0]
+    lengths = {s: d for s, d in group}
+    if max(lengths.values()) > MAX_CODE_LENGTH:
+        raise KernelError("Huffman code length overflow")
+    return lengths
+
+
+def canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical (code, length) pairs from code lengths.
+
+    Symbols are ordered by (length, symbol); codes count upward, shifting
+    left at each length increase — the canonical construction.
+    """
+    if not lengths:
+        raise KernelError("no code lengths given")
+    order = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = order[0][1]
+    for sym, length in order:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """Encoder/decoder table built from symbol frequencies."""
+
+    codes: dict[int, tuple[int, int]]
+
+    @classmethod
+    def from_frequencies(cls, frequencies: dict[int, int]) -> "HuffmanTable":
+        return cls(canonical_codes(code_lengths(frequencies)))
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable[int]) -> "HuffmanTable":
+        freq: dict[int, int] = {}
+        for s in symbols:
+            freq[s] = freq.get(s, 0) + 1
+        return cls.from_frequencies(freq)
+
+    def encode(self, symbols: Sequence[int], writer: BitWriter) -> None:
+        for s in symbols:
+            try:
+                code, length = self.codes[s]
+            except KeyError:
+                raise KernelError(f"symbol {s} not in Huffman table") from None
+            writer.write_bits(code, length)
+
+    def decode(self, reader: BitReader, count: int) -> list[int]:
+        """Decode exactly ``count`` symbols."""
+        # Invert to (length, code) -> symbol for simple bit-at-a-time decode.
+        inverse = {(ln, code): s for s, (code, ln) in self.codes.items()}
+        max_len = max(ln for _, ln in self.codes.values())
+        out: list[int] = []
+        for _ in range(count):
+            code = 0
+            length = 0
+            while True:
+                code = (code << 1) | reader.read_bit()
+                length += 1
+                sym = inverse.get((length, code))
+                if sym is not None:
+                    out.append(sym)
+                    break
+                if length > max_len:
+                    raise KernelError("invalid Huffman bit stream")
+        return out
+
+
+def huffman_compress(symbols: Sequence[int]) -> tuple[bytes, HuffmanTable, int]:
+    """Compress a symbol sequence; returns (payload, table, symbol count)."""
+    table = HuffmanTable.from_symbols(symbols)
+    writer = BitWriter()
+    table.encode(symbols, writer)
+    return writer.getvalue(), table, len(symbols)
+
+
+def huffman_decompress(payload: bytes, table: HuffmanTable, count: int) -> list[int]:
+    """Inverse of :func:`huffman_compress`."""
+    return table.decode(BitReader(payload), count)

@@ -1,0 +1,283 @@
+"""Baseline-JPEG-style grayscale encoder (the JE benchmark).
+
+Implements the computational pipeline of a baseline JPEG encoder on a
+single (luminance) channel:
+
+1. level shift and 8x8 blocking (edge blocks replicated-padded);
+2. 2-D DCT-II per block (exact, via the orthonormal DCT matrix in numpy);
+3. quantisation with the Annex-K luminance table scaled by a quality
+   factor (libjpeg's scaling convention);
+4. zigzag scan;
+5. entropy coding: DPCM of DC terms and (run, size) symbols for AC terms,
+   both canonical-Huffman coded with amplitude bits appended.
+
+A matching decoder inverts the entropy stage exactly and the transform
+stage up to quantisation loss, so tests can assert exact symbol round-trip
+and bounded reconstruction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.bitio import BitReader, BitWriter
+from repro.kernels.huffman import HuffmanTable
+
+#: Annex K luminance quantisation table.
+QUANT_BASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+_EOB = 0x00  # end-of-block AC symbol
+_ZRL = 0xF0  # sixteen-zero-run AC symbol
+
+
+def dct_matrix() -> np.ndarray:
+    """The 8x8 orthonormal DCT-II matrix ``C`` with ``Y = C @ X @ C.T``."""
+    n = 8
+    c = np.zeros((n, n))
+    for k in range(n):
+        scale = np.sqrt(1.0 / n) if k == 0 else np.sqrt(2.0 / n)
+        for i in range(n):
+            c[k, i] = scale * np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+    return c
+
+
+_DCT = dct_matrix()
+
+
+def quant_table(quality: int) -> np.ndarray:
+    """Annex-K table scaled by libjpeg's quality convention (1..100)."""
+    if not 1 <= quality <= 100:
+        raise KernelError("quality must be in [1, 100]")
+    scale = 5000 / quality if quality < 50 else 200 - 2 * quality
+    table = np.floor((QUANT_BASE * scale + 50) / 100)
+    return np.clip(table, 1, 255)
+
+
+def zigzag_order() -> list[tuple[int, int]]:
+    """The 64 (row, col) pairs in JPEG zigzag order."""
+    order = []
+    for s in range(15):
+        indices = [(i, s - i) for i in range(8) if 0 <= s - i < 8]
+        order.extend(indices if s % 2 else indices[::-1])
+    return order
+
+
+_ZIGZAG = zigzag_order()
+
+
+def block_split(image: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Pad to multiples of 8 (edge replication) and split into 8x8 blocks."""
+    if image.ndim != 2:
+        raise KernelError("expected a 2-D grayscale image")
+    h, w = image.shape
+    if h == 0 or w == 0:
+        raise KernelError("empty image")
+    ph, pw = (-h) % 8, (-w) % 8
+    padded = np.pad(image.astype(np.float64), ((0, ph), (0, pw)), mode="edge")
+    bh, bw = padded.shape[0] // 8, padded.shape[1] // 8
+    blocks = padded.reshape(bh, 8, bw, 8).transpose(0, 2, 1, 3).reshape(-1, 8, 8)
+    return blocks, h, w
+
+
+def block_join(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`block_split`, cropping the padding."""
+    bh = (height + 7) // 8
+    bw = (width + 7) // 8
+    if blocks.shape[0] != bh * bw:
+        raise KernelError("block count does not match image size")
+    grid = blocks.reshape(bh, bw, 8, 8).transpose(0, 2, 1, 3).reshape(bh * 8, bw * 8)
+    return grid[:height, :width]
+
+
+def forward_blocks(image: np.ndarray, quality: int) -> tuple[np.ndarray, np.ndarray]:
+    """Level-shift, DCT and quantise; returns (quantised int blocks, table)."""
+    blocks, _, _ = block_split(image)
+    shifted = blocks - 128.0
+    coeffs = np.einsum("ij,bjk,lk->bil", _DCT, shifted, _DCT)
+    q = quant_table(quality)
+    return np.round(coeffs / q).astype(np.int32), q
+
+
+def inverse_blocks(quantised: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Dequantise and inverse-DCT; returns pixel blocks clipped to [0,255]."""
+    coeffs = quantised.astype(np.float64) * q
+    pixels = np.einsum("ji,bjk,kl->bil", _DCT, coeffs, _DCT) + 128.0
+    return np.clip(pixels, 0.0, 255.0)
+
+
+def _magnitude_category(value: int) -> int:
+    """JPEG 'size' of a coefficient: bits needed for |value|."""
+    return int(abs(value)).bit_length()
+
+
+def _amplitude_bits(value: int, size: int) -> int:
+    """One's-complement amplitude encoding of JPEG."""
+    return value if value >= 0 else value + (1 << size) - 1
+
+
+def _amplitude_decode(bits: int, size: int) -> int:
+    if size == 0:
+        return 0
+    if bits >> (size - 1):
+        return bits
+    return bits - (1 << size) + 1
+
+
+def entropy_encode(quantised: np.ndarray) -> tuple[list[int], list[tuple[int, int]]]:
+    """Produce (symbol stream, amplitude list) for all blocks.
+
+    Symbols: per block, one DC size symbol then AC (run<<4 | size) symbols
+    with EOB/ZRL, exactly baseline JPEG's alphabet. Amplitudes are
+    (value_bits, bit_width) pairs interleaved in symbol order.
+    """
+    symbols: list[int] = []
+    amplitudes: list[tuple[int, int]] = []
+    prev_dc = 0
+    for block in quantised:
+        zz = [int(block[r, c]) for r, c in _ZIGZAG]
+        diff = zz[0] - prev_dc
+        prev_dc = zz[0]
+        size = _magnitude_category(diff)
+        symbols.append(size)
+        amplitudes.append((_amplitude_bits(diff, size), size))
+        run = 0
+        for coeff in zz[1:]:
+            if coeff == 0:
+                run += 1
+                continue
+            while run >= 16:
+                symbols.append(_ZRL)
+                amplitudes.append((0, 0))
+                run -= 16
+            size = _magnitude_category(coeff)
+            symbols.append((run << 4) | size)
+            amplitudes.append((_amplitude_bits(coeff, size), size))
+            run = 0
+        if run:
+            symbols.append(_EOB)
+            amplitudes.append((0, 0))
+    return symbols, amplitudes
+
+
+def entropy_decode(
+    symbols: list[int], amplitudes: list[tuple[int, int]], num_blocks: int
+) -> np.ndarray:
+    """Exact inverse of :func:`entropy_encode`."""
+    blocks = np.zeros((num_blocks, 8, 8), dtype=np.int32)
+    pos = 0
+    prev_dc = 0
+    for b in range(num_blocks):
+        size = symbols[pos]
+        bits, width = amplitudes[pos]
+        if width != size:
+            raise KernelError("DC amplitude width mismatch")
+        pos += 1
+        diff = _amplitude_decode(bits, size)
+        dc = prev_dc + diff
+        prev_dc = dc
+        zz = [0] * 64
+        zz[0] = dc
+        index = 1
+        while index < 64:
+            if pos >= len(symbols):
+                raise KernelError("truncated JPEG symbol stream")
+            sym = symbols[pos]
+            bits, width = amplitudes[pos]
+            pos += 1
+            if sym == _EOB:
+                break
+            if sym == _ZRL:
+                index += 16
+                continue
+            run, size = sym >> 4, sym & 0xF
+            index += run
+            if index >= 64 or size == 0:
+                raise KernelError("corrupt AC symbol")
+            zz[index] = _amplitude_decode(bits, size)
+            index += 1
+        for value, (r, c) in zip(zz, _ZIGZAG):
+            blocks[b, r, c] = value
+    return blocks
+
+
+@dataclass(frozen=True)
+class JpegImage:
+    """An entropy-coded grayscale JPEG-style image."""
+
+    payload: bytes
+    table: HuffmanTable
+    symbol_count: int
+    height: int
+    width: int
+    quality: int
+
+
+def jpeg_encode(image: np.ndarray, quality: int = 75) -> JpegImage:
+    """Full encode pipeline for a uint8 grayscale image."""
+    quantised, _ = forward_blocks(image, quality)
+    symbols, amplitudes = entropy_encode(quantised)
+    table = HuffmanTable.from_symbols(symbols)
+    writer = BitWriter()
+    for sym, (bits, width) in zip(symbols, amplitudes):
+        code, length = table.codes[sym]
+        writer.write_bits(code, length)
+        if width:
+            writer.write_bits(bits, width)
+    h, w = image.shape
+    return JpegImage(
+        payload=writer.getvalue(),
+        table=table,
+        symbol_count=len(symbols),
+        height=h,
+        width=w,
+        quality=quality,
+    )
+
+
+def jpeg_decode(encoded: JpegImage) -> np.ndarray:
+    """Decode back to a uint8 grayscale image (lossy round-trip)."""
+    reader = BitReader(encoded.payload)
+    inverse = {(ln, code): s for s, (code, ln) in encoded.table.codes.items()}
+    max_len = max(ln for _, ln in encoded.table.codes.values())
+    symbols: list[int] = []
+    amplitudes: list[tuple[int, int]] = []
+    for _ in range(encoded.symbol_count):
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            sym = inverse.get((length, code))
+            if sym is not None:
+                break
+            if length > max_len:
+                raise KernelError("invalid JPEG Huffman stream")
+        symbols.append(sym)
+        if sym in (_EOB, _ZRL):
+            amplitudes.append((0, 0))
+            continue
+        # DC symbols are raw sizes (<= 0x0F range shares encoding with AC
+        # run=0); the amplitude width is the low nibble either way.
+        width = sym & 0xF if sym > 0xF else sym
+        amplitudes.append((reader.read_bits(width), width))
+
+    num_blocks = ((encoded.height + 7) // 8) * ((encoded.width + 7) // 8)
+    quantised = entropy_decode(symbols, amplitudes, num_blocks)
+    pixels = inverse_blocks(quantised, quant_table(encoded.quality))
+    image = block_join(pixels, encoded.height, encoded.width)
+    return np.round(image).astype(np.uint8)

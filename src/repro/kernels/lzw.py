@@ -1,0 +1,115 @@
+"""Lempel-Ziv-Welch compression with variable-width codes.
+
+The classic dictionary coder of the paper's LZW benchmark: codes start at
+9 bits over the 256-entry byte alphabet plus a CLEAR code, widen as the
+dictionary grows, and reset when it fills.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernels.bitio import BitReader, BitWriter
+
+_MIN_WIDTH = 9
+_MAX_WIDTH = 16
+_CLEAR = 256
+_FIRST_CODE = 257
+
+
+def lzw_compress(data: bytes) -> bytes:
+    """Compress ``data``; the output embeds a 32-bit code count header."""
+    writer = BitWriter()
+    codes: list[int] = []
+
+    table: dict[bytes, int] = {bytes([b]): b for b in range(256)}
+    next_code = _FIRST_CODE
+    width = _MIN_WIDTH
+    prefix = b""
+
+    def emit(code: int) -> None:
+        codes.append(code)
+
+    for i in range(len(data)):
+        symbol = data[i : i + 1]
+        candidate = prefix + symbol
+        if candidate in table:
+            prefix = candidate
+            continue
+        emit(table[prefix])
+        table[candidate] = next_code
+        next_code += 1
+        prefix = symbol
+        if next_code > (1 << _MAX_WIDTH) - 1:
+            emit(_CLEAR)
+            table = {bytes([b]): b for b in range(256)}
+            next_code = _FIRST_CODE
+    if prefix:
+        emit(table[prefix])
+
+    # Serialise: count, then codes at the width implied by replaying growth.
+    out = BitWriter()
+    out.write_bits(len(codes), 32)
+    width = _MIN_WIDTH
+    size = _FIRST_CODE
+    for code in codes:
+        out.write_bits(code, width)
+        if code == _CLEAR:
+            width = _MIN_WIDTH
+            size = _FIRST_CODE
+        else:
+            size += 1
+            if size > (1 << width) - 1 and width < _MAX_WIDTH:
+                width += 1
+    return out.getvalue()
+
+
+def lzw_decompress(payload: bytes) -> bytes:
+    """Inverse of :func:`lzw_compress`.
+
+    Corrupt payloads raise :class:`~repro.errors.KernelError` rather than
+    looping: the embedded code count is validated against the number of
+    codes the payload could possibly hold (every code is >= 9 bits).
+    """
+    reader = BitReader(payload)
+    count = reader.read_bits(32)
+    max_codes = (len(payload) * 8 - 32) // _MIN_WIDTH
+    if count > max_codes:
+        raise KernelError(
+            f"corrupt LZW header: {count} codes claimed, payload holds <= {max_codes}"
+        )
+
+    table: dict[int, bytes] = {b: bytes([b]) for b in range(256)}
+    next_code = _FIRST_CODE
+    width = _MIN_WIDTH
+    out = bytearray()
+    previous: bytes | None = None
+
+    for _ in range(count):
+        code = reader.read_bits(width)
+        if code == _CLEAR:
+            table = {b: bytes([b]) for b in range(256)}
+            next_code = _FIRST_CODE
+            width = _MIN_WIDTH
+            previous = None
+            continue
+        if previous is None:
+            entry = table.get(code)
+            if entry is None:
+                raise KernelError(f"invalid initial LZW code {code}")
+        else:
+            if code in table:
+                entry = table[code]
+            elif code == next_code:
+                entry = previous + previous[:1]  # the KwKwK special case
+            else:
+                raise KernelError(f"invalid LZW code {code}")
+            table[next_code] = previous + entry[:1]
+            next_code += 1
+        out.extend(entry)
+        previous = entry
+        # Mirror the encoder's width schedule. The encoder widens after
+        # assigning `next_code`; the decoder's table lags by one insert, so
+        # widen when the *next* insert would not fit.
+        if next_code + 1 > (1 << width) - 1 and width < _MAX_WIDTH:
+            width += 1
+    return bytes(out)

@@ -1,0 +1,96 @@
+"""MD5 message digest (RFC 1321), implemented from scratch.
+
+The MD5 benchmark of Table II. Pure-Python, block-oriented: the
+:class:`MD5` object exposes ``update``/``hexdigest`` like :mod:`hashlib`,
+and :func:`md5_hexdigest` is the one-shot convenience. Correctness is
+asserted against :mod:`hashlib` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_S = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+_K = [int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64)]
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _rotl(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+class MD5:
+    """Incremental MD5, 64-byte block pipeline."""
+
+    block_size = 64
+    digest_size = 16
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INIT)
+        self._length = 0
+        self._buffer = b""
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "MD5":
+        self._length += len(data)
+        buffer = self._buffer + data
+        offset = 0
+        while offset + 64 <= len(buffer):
+            self._compress(buffer[offset : offset + 64])
+            offset += 64
+        self._buffer = buffer[offset:]
+        return self
+
+    def _compress(self, block: bytes) -> None:
+        m = struct.unpack("<16I", block)
+        a, b, c, d = self._state
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & 0xFFFFFFFF))
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & 0xFFFFFFFF
+            a, d, c = d, c, b
+            b = (b + _rotl(f, _S[i])) & 0xFFFFFFFF
+        self._state[0] = (self._state[0] + a) & 0xFFFFFFFF
+        self._state[1] = (self._state[1] + b) & 0xFFFFFFFF
+        self._state[2] = (self._state[2] + c) & 0xFFFFFFFF
+        self._state[3] = (self._state[3] + d) & 0xFFFFFFFF
+
+    def digest(self) -> bytes:
+        clone = MD5()
+        clone._state = list(self._state)
+        clone._length = self._length
+        clone._buffer = self._buffer
+        bit_length = clone._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - clone._length) % 64)
+        clone.update(padding + struct.pack("<Q", bit_length & 0xFFFFFFFFFFFFFFFF))
+        # update() mutated _length, but padding maths used the saved value.
+        return struct.pack("<4I", *clone._state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def md5_digest(data: bytes) -> bytes:
+    return MD5(data).digest()
+
+
+def md5_hexdigest(data: bytes) -> str:
+    return MD5(data).hexdigest()

@@ -1,0 +1,38 @@
+"""Move-to-front transform.
+
+The middle stage of BWT-based compressors: after the BWT clusters equal
+bytes, MTF converts locality into a zero-heavy symbol stream that RLE2 and
+the entropy coder exploit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+
+
+def mtf_encode(data: bytes) -> list[int]:
+    """Replace each byte by its index in a move-to-front alphabet."""
+    alphabet = list(range(256))
+    out: list[int] = []
+    for byte in data:
+        index = alphabet.index(byte)
+        out.append(index)
+        if index:
+            del alphabet[index]
+            alphabet.insert(0, byte)
+    return out
+
+
+def mtf_decode(symbols: list[int]) -> bytes:
+    """Inverse of :func:`mtf_encode`."""
+    alphabet = list(range(256))
+    out = bytearray()
+    for index in symbols:
+        if not 0 <= index < 256:
+            raise KernelError(f"MTF symbol {index} out of range")
+        byte = alphabet[index]
+        out.append(byte)
+        if index:
+            del alphabet[index]
+            alphabet.insert(0, byte)
+    return bytes(out)

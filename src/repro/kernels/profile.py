@@ -1,0 +1,131 @@
+"""Kernel work profiling and calibration.
+
+The simulator expresses a task's cost in CPU cycles. To make the seven
+benchmark workloads realistic, each benchmark's task classes are calibrated
+from the *real* kernels in this package: :func:`measure_kernel_costs` times
+every (benchmark, task-class) stage on reference inputs, and
+:data:`REFERENCE_COSTS` freezes one such measurement (relative seconds per
+task on the development machine) so workload generation stays deterministic
+across hosts.
+
+The frozen numbers matter only in *ratio* — between classes of the same
+benchmark they set the workload imbalance profile, and the workload specs
+scale them to the paper's absolute batch durations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels.bwt import bwc_compress
+from repro.kernels.bzip2 import compress_block
+from repro.kernels.dmc import dmc_compress
+from repro.kernels.huffman import huffman_compress
+from repro.kernels.jpeg import entropy_encode, forward_blocks, jpeg_encode
+from repro.kernels.lzw import lzw_compress
+from repro.kernels.md5 import md5_digest
+from repro.kernels.mtf import mtf_encode
+from repro.kernels.rle import rle2_encode_zeros, rle_encode
+from repro.kernels.sha1 import sha1_digest
+
+
+def _text(n: int, seed: int = 0) -> bytes:
+    """Deterministic compressible pseudo-text."""
+    words = [b"the", b"quick", b"brown", b"fox", b"jumps", b"over", b"lazy", b"dog"]
+    rng = np.random.default_rng(seed)
+    out = bytearray()
+    while len(out) < n:
+        out += words[int(rng.integers(len(words)))] + b" "
+    return bytes(out[:n])
+
+
+def _image(h: int, w: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x, y = np.meshgrid(np.arange(w), np.arange(h))
+    img = 128 + 60 * np.sin(x / 9.0) + 50 * np.cos(y / 7.0) + rng.normal(0, 6, (h, w))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class KernelStage:
+    """One measurable task-class stage of a benchmark."""
+
+    benchmark: str
+    task_class: str
+    run: Callable[[], object]
+
+
+def reference_stages() -> list[KernelStage]:
+    """The (benchmark, task class) stages the workloads are calibrated from."""
+    text4k = _text(4096)
+    text16k = _text(16384)
+    mtf_input = bytes(sorted(text4k))  # post-BWT-like clustered bytes
+
+    return [
+        KernelStage("BWC", "bwt_block", lambda: bwc_compress(text4k)),
+        KernelStage("BWC", "mtf_rle", lambda: rle2_encode_zeros(mtf_encode(mtf_input))),
+        KernelStage("BWC", "entropy", lambda: huffman_compress(list(text4k))),
+        KernelStage("Bzip-2", "compress_block", lambda: compress_block(text4k)),
+        KernelStage("Bzip-2", "rle1", lambda: rle_encode(text16k)),
+        KernelStage("Bzip-2", "entropy", lambda: huffman_compress(list(text4k))),
+        KernelStage("DMC", "dmc_block", lambda: dmc_compress(text4k)),
+        KernelStage("DMC", "model_flush", lambda: dmc_compress(text4k[:256])),
+        KernelStage("JE", "dct_quant", lambda: forward_blocks(_image(64, 64), 75)),
+        KernelStage(
+            "JE",
+            "entropy",
+            lambda: entropy_encode(forward_blocks(_image(32, 32), 75)[0]),
+        ),
+        KernelStage("JE", "encode_tile", lambda: jpeg_encode(_image(48, 48), 75)),
+        KernelStage("LZW", "lzw_chunk", lambda: lzw_compress(text16k)),
+        KernelStage("LZW", "dict_reset", lambda: lzw_compress(text4k)),
+        KernelStage("MD5", "md5_chunk", lambda: md5_digest(text16k)),
+        KernelStage("MD5", "md5_small", lambda: md5_digest(text4k)),
+        KernelStage("SHA-1", "sha1_chunk", lambda: sha1_digest(text16k)),
+        KernelStage("SHA-1", "sha1_small", lambda: sha1_digest(text4k)),
+    ]
+
+
+def measure_kernel_costs(repeats: int = 3) -> dict[tuple[str, str], float]:
+    """Median wall seconds per stage — recalibration helper.
+
+    Used to (re)derive :data:`REFERENCE_COSTS`; not used at simulation time.
+    """
+    costs: dict[tuple[str, str], float] = {}
+    for stage in reference_stages():
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            stage.run()
+            samples.append(time.perf_counter() - t0)
+        samples.sort()
+        costs[(stage.benchmark, stage.task_class)] = samples[len(samples) // 2]
+    return costs
+
+
+#: Frozen relative per-task costs (seconds on the development machine,
+#: via :func:`measure_kernel_costs`). Only the intra-benchmark ratios feed
+#: the workload specs; see repro.workloads.benchmarks.
+REFERENCE_COSTS: dict[tuple[str, str], float] = {
+    ("BWC", "bwt_block"): 1.5e-02,
+    ("BWC", "mtf_rle"): 3.5e-04,
+    ("BWC", "entropy"): 4.2e-03,
+    ("Bzip-2", "compress_block"): 1.8e-02,
+    ("Bzip-2", "rle1"): 5.9e-03,
+    ("Bzip-2", "entropy"): 4.5e-03,
+    ("DMC", "dmc_block"): 4.7e-02,
+    ("DMC", "model_flush"): 4.4e-03,
+    ("JE", "dct_quant"): 7.4e-04,
+    ("JE", "entropy"): 5.7e-04,
+    ("JE", "encode_tile"): 1.9e-03,
+    ("LZW", "lzw_chunk"): 8.6e-03,
+    ("LZW", "dict_reset"): 3.4e-03,
+    ("MD5", "md5_chunk"): 1.0e-02,
+    ("MD5", "md5_small"): 2.4e-03,
+    ("SHA-1", "sha1_chunk"): 2.4e-02,
+    ("SHA-1", "sha1_small"): 6.5e-03,
+}

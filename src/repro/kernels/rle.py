@@ -1,0 +1,120 @@
+"""Run-length encodings.
+
+Two variants, matching the two places bzip2-style pipelines use RLE:
+
+* :func:`rle_encode` / :func:`rle_decode` — classic escaped byte-level RLE
+  (any run of 4+ identical bytes becomes ``4 literals + count``), bzip2's
+  "RLE1" front stage that defuses pathological repetitive inputs before the
+  BWT.
+* :func:`rle2_encode_zeros` / :func:`rle2_decode_zeros` — zero-run
+  encoding of the post-MTF symbol stream (bzip2's "RLE2"): runs of zeros
+  are written in bijective base-2 using the RUNA/RUNB symbols, every other
+  symbol is shifted up by one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+
+_RUN_THRESHOLD = 4
+_MAX_RUN_EXTRA = 255
+
+#: RLE2 alphabet: 0 -> RUNA, 1 -> RUNB, symbol s>=1 -> s+1.
+RUNA = 0
+RUNB = 1
+
+
+def rle_encode(data: bytes) -> bytes:
+    """bzip2-style RLE1: runs of >= 4 bytes become 4 bytes + a count byte."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        run = 1
+        while i + run < n and data[i + run] == byte and run < _RUN_THRESHOLD + _MAX_RUN_EXTRA:
+            run += 1
+        if run >= _RUN_THRESHOLD:
+            out.extend([byte] * _RUN_THRESHOLD)
+            out.append(run - _RUN_THRESHOLD)
+        else:
+            out.extend([byte] * run)
+        i += run
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> bytes:
+    """Inverse of :func:`rle_encode`."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        run = 1
+        while i + run < n and data[i + run] == byte and run < _RUN_THRESHOLD:
+            run += 1
+        if run == _RUN_THRESHOLD:
+            if i + _RUN_THRESHOLD >= n:
+                raise KernelError("truncated RLE run: missing count byte")
+            extra = data[i + _RUN_THRESHOLD]
+            out.extend([byte] * (_RUN_THRESHOLD + extra))
+            i += _RUN_THRESHOLD + 1
+        else:
+            out.extend([byte] * run)
+            i += run
+    return bytes(out)
+
+
+def rle2_encode_zeros(symbols: list[int]) -> list[int]:
+    """Encode zero runs in bijective base-2 (RUNA/RUNB); shift others by +1.
+
+    The output alphabet is ``{RUNA, RUNB} | {s+1 : s in input, s >= 1}``.
+    """
+    out: list[int] = []
+    run = 0
+
+    def flush_run() -> None:
+        nonlocal run
+        # Bijective base-2: n = sum over digits d_i in {1,2} of d_i * 2^i.
+        n = run
+        while n > 0:
+            n -= 1
+            out.append(RUNA if n % 2 == 0 else RUNB)
+            n //= 2
+        run = 0
+
+    for s in symbols:
+        if s < 0:
+            raise KernelError("RLE2 symbols must be non-negative")
+        if s == 0:
+            run += 1
+        else:
+            flush_run()
+            out.append(s + 1)
+    flush_run()
+    return out
+
+
+def rle2_decode_zeros(symbols: list[int]) -> list[int]:
+    """Inverse of :func:`rle2_encode_zeros`."""
+    out: list[int] = []
+    run = 0
+    place = 1
+
+    def flush_run() -> None:
+        nonlocal run, place
+        out.extend([0] * run)
+        run = 0
+        place = 1
+
+    for s in symbols:
+        if s in (RUNA, RUNB):
+            run += place * (1 if s == RUNA else 2)
+            place *= 2
+        else:
+            flush_run()
+            if s < 2:
+                raise KernelError(f"invalid RLE2 symbol {s}")
+            out.append(s - 1)
+    flush_run()
+    return out

@@ -1,0 +1,85 @@
+"""SHA-1 cryptographic hash (FIPS 180-1), implemented from scratch.
+
+The SHA-1 benchmark of Table II. Same incremental interface as
+:class:`repro.kernels.md5.MD5`; verified against :mod:`hashlib` in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+class SHA1:
+    """Incremental SHA-1, 64-byte block pipeline."""
+
+    block_size = 64
+    digest_size = 20
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INIT)
+        self._length = 0
+        self._buffer = b""
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "SHA1":
+        self._length += len(data)
+        buffer = self._buffer + data
+        offset = 0
+        while offset + 64 <= len(buffer):
+            self._compress(buffer[offset : offset + 64])
+            offset += 64
+        self._buffer = buffer[offset:]
+        return self
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = self._state
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+        self._state = [
+            (s + v) & 0xFFFFFFFF for s, v in zip(self._state, (a, b, c, d, e))
+        ]
+
+    def digest(self) -> bytes:
+        clone = SHA1()
+        clone._state = list(self._state)
+        clone._length = self._length
+        clone._buffer = self._buffer
+        bit_length = clone._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - clone._length) % 64)
+        clone.update(padding + struct.pack(">Q", bit_length & 0xFFFFFFFFFFFFFFFF))
+        return struct.pack(">5I", *clone._state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sha1_digest(data: bytes) -> bytes:
+    return SHA1(data).digest()
+
+
+def sha1_hexdigest(data: bytes) -> str:
+    return SHA1(data).hexdigest()

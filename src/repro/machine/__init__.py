@@ -1,0 +1,44 @@
+"""Simulated machine substrate: frequencies, power, cores, energy.
+
+This package replaces the paper's physical testbed (four quad-core AMD
+Opteron 8380 processors with per-core DVFS, measured at the wall with a
+power meter) with an analytically-modelled machine that exposes exactly the
+knobs the EEWA scheduler manipulates: per-core discrete frequencies, power
+that rises superlinearly with frequency, and energy metering over time.
+"""
+
+from repro.machine.counters import PerfCounters, ZERO_MISS_COUNTERS
+from repro.machine.core import BUSY_STATES, CoreState, SimCore
+from repro.machine.energy import CoreEnergyAccount, EnergyMeter
+from repro.machine.frequency import (
+    GHZ,
+    FrequencyScale,
+    opteron_8380_scale,
+    uniform_scale,
+)
+from repro.machine.power import PowerModel, VoltageCurve, calibrated_power_model
+from repro.machine.topology import (
+    MachineConfig,
+    opteron_8380_machine,
+    small_test_machine,
+)
+
+__all__ = [
+    "BUSY_STATES",
+    "CoreEnergyAccount",
+    "CoreState",
+    "EnergyMeter",
+    "FrequencyScale",
+    "GHZ",
+    "MachineConfig",
+    "PerfCounters",
+    "PowerModel",
+    "SimCore",
+    "VoltageCurve",
+    "ZERO_MISS_COUNTERS",
+    "calibrated_power_model",
+    "opteron_8380_machine",
+    "opteron_8380_scale",
+    "small_test_machine",
+    "uniform_scale",
+]

@@ -1,0 +1,140 @@
+"""Simulated core model.
+
+A :class:`SimCore` is a small state machine owned by the discrete-event
+engine. It tracks the core's current DVFS level and what the core is doing,
+which is all the energy meter needs: the paper's energy story is entirely
+"which frequency is each core burning, and is it burning at all".
+
+States
+------
+``SPINNING``
+    The core has no task and is busy-waiting in the steal loop. Work-stealing
+    runtimes like MIT Cilk keep idle workers spinning, so a spinning core
+    draws the *same* power as a running one at the same frequency — this is
+    precisely the waste EEWA attacks (Section II).
+``RUNNING``
+    Executing a task.
+``TRANSITION``
+    Mid DVFS switch; the core is stalled and billed at idle power.
+``PARKED``
+    Not yet started / program finished; billed at idle power.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.machine.frequency import FrequencyScale
+
+
+class CoreState(enum.Enum):
+    """What a simulated core is doing right now."""
+
+    PARKED = "parked"
+    SPINNING = "spinning"
+    RUNNING = "running"
+    TRANSITION = "transition"
+
+
+#: States billed at full busy power for the core's current frequency.
+BUSY_STATES = frozenset({CoreState.RUNNING, CoreState.SPINNING})
+
+
+@dataclass
+class SimCore:
+    """One simulated core.
+
+    Parameters
+    ----------
+    core_id:
+        Dense index in ``[0, m)``.
+    scale:
+        The machine's frequency scale; the core's ``level`` indexes into it.
+    level:
+        Current DVFS level (0 = fastest).
+    """
+
+    core_id: int
+    scale: FrequencyScale
+    level: int = 0
+    state: CoreState = CoreState.PARKED
+    running_task_id: Optional[int] = None
+    pending_level: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.core_id < 0:
+            raise ConfigurationError("core_id must be non-negative")
+        self.scale.validate_index(self.level)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def frequency(self) -> float:
+        """Current operating frequency in hertz."""
+        return self.scale[self.level]
+
+    @property
+    def is_busy(self) -> bool:
+        return self.state in BUSY_STATES
+
+    @property
+    def in_transition(self) -> bool:
+        return self.state is CoreState.TRANSITION
+
+    # -- transitions (invoked by the engine only) ---------------------------
+
+    def start_task(self, task_id: int) -> None:
+        if self.state not in (CoreState.SPINNING, CoreState.PARKED):
+            raise SimulationError(
+                f"core {self.core_id} cannot start a task from state {self.state}"
+            )
+        self.state = CoreState.RUNNING
+        self.running_task_id = task_id
+
+    def finish_task(self) -> int:
+        if self.state is not CoreState.RUNNING or self.running_task_id is None:
+            raise SimulationError(f"core {self.core_id} is not running a task")
+        task_id = self.running_task_id
+        self.running_task_id = None
+        self.state = CoreState.SPINNING
+        return task_id
+
+    def begin_transition(self, new_level: int) -> None:
+        if self.state is CoreState.RUNNING:
+            raise SimulationError(
+                f"core {self.core_id} cannot change frequency while running a task"
+            )
+        self.scale.validate_index(new_level)
+        self.pending_level = new_level
+        self.state = CoreState.TRANSITION
+
+    def complete_transition(self) -> None:
+        if self.state is not CoreState.TRANSITION or self.pending_level is None:
+            raise SimulationError(f"core {self.core_id} is not mid-transition")
+        self.level = self.pending_level
+        self.pending_level = None
+        self.state = CoreState.SPINNING
+
+    def spin(self) -> None:
+        if self.state is CoreState.RUNNING:
+            raise SimulationError(f"core {self.core_id} is running; cannot spin")
+        self.state = CoreState.SPINNING
+
+    def park(self) -> None:
+        if self.state is CoreState.RUNNING:
+            raise SimulationError(f"core {self.core_id} is running; cannot park")
+        self.state = CoreState.PARKED
+
+    def exec_seconds(self, cpu_cycles: float, mem_stall_seconds: float = 0.0) -> float:
+        """Wall time this core needs for a task of the given cost.
+
+        CPU work scales with frequency; memory stalls do not (Section IV-D:
+        memory-bound execution time "does not have a simple model related to
+        CPU frequencies" — we model it as a frequency-independent component).
+        """
+        if cpu_cycles < 0 or mem_stall_seconds < 0:
+            raise SimulationError("task costs must be non-negative")
+        return cpu_cycles / self.frequency + mem_stall_seconds

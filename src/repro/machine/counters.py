@@ -1,0 +1,52 @@
+"""Per-task performance counters.
+
+Section IV-D of the paper: EEWA reads retired-instruction and cache-miss
+counters in the first batch to classify tasks as CPU- or memory-bound
+(miss intensity = cache misses per retired instruction). The simulator
+carries those counters on every executed task so the classifier sees the
+same signal the paper's PMU provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """Counter values observed for one executed task.
+
+    Parameters
+    ----------
+    retired_instructions:
+        Number of retired instructions, > 0.
+    cache_misses:
+        Number of last-level cache misses, >= 0.
+    """
+
+    retired_instructions: int
+    cache_misses: int
+
+    def __post_init__(self) -> None:
+        if self.retired_instructions <= 0:
+            raise ConfigurationError("retired_instructions must be positive")
+        if self.cache_misses < 0:
+            raise ConfigurationError("cache_misses must be non-negative")
+
+    @property
+    def miss_intensity(self) -> float:
+        """Cache misses per retired instruction (the paper's threshold metric)."""
+        return self.cache_misses / self.retired_instructions
+
+    def merged(self, other: "PerfCounters") -> "PerfCounters":
+        """Aggregate counters from two tasks (used for per-class summaries)."""
+        return PerfCounters(
+            retired_instructions=self.retired_instructions + other.retired_instructions,
+            cache_misses=self.cache_misses + other.cache_misses,
+        )
+
+
+ZERO_MISS_COUNTERS = PerfCounters(retired_instructions=1, cache_misses=0)
+"""A degenerate, purely CPU-bound counter reading (useful in tests)."""

@@ -1,0 +1,135 @@
+"""Exact energy accounting for the simulated machine.
+
+The paper measures whole-machine energy at the wall and averages over 100
+runs. Our simulated equivalent is exact: every core's power draw is a
+piecewise-constant function of time (it changes only when the core's state
+or frequency changes), so energy is the exact sum of ``power * dt`` over the
+pieces, plus ``machine_base_power * total_time``.
+
+The meter also keeps per-state and per-frequency-level breakdowns; those
+drive the analysis of *where* each scheduler spends energy (spin waste vs
+useful work) and the Fig. 8-style traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.machine.core import BUSY_STATES, CoreState, SimCore
+from repro.machine.power import PowerModel
+
+
+@dataclass
+class CoreEnergyAccount:
+    """Accumulated energy and time for one core, broken down by state/level."""
+
+    joules: float = 0.0
+    seconds: float = 0.0
+    joules_by_state: dict[CoreState, float] = field(default_factory=dict)
+    seconds_by_state: dict[CoreState, float] = field(default_factory=dict)
+    seconds_by_level: dict[int, float] = field(default_factory=dict)
+
+    def add(self, state: CoreState, level: int, joules: float, seconds: float) -> None:
+        self.joules += joules
+        self.seconds += seconds
+        self.joules_by_state[state] = self.joules_by_state.get(state, 0.0) + joules
+        self.seconds_by_state[state] = self.seconds_by_state.get(state, 0.0) + seconds
+        self.seconds_by_level[level] = self.seconds_by_level.get(level, 0.0) + seconds
+
+
+class EnergyMeter:
+    """Integrates machine power over simulated time.
+
+    The engine calls :meth:`observe` *before* mutating any core's state or
+    frequency; the meter bills every core for the interval since the last
+    observation at its (still-current) power draw. :meth:`finalize` closes
+    the last interval.
+    """
+
+    def __init__(
+        self,
+        cores: list[SimCore],
+        power: PowerModel,
+        *,
+        record_series: bool = False,
+    ) -> None:
+        self._cores = cores
+        self._power = power
+        self._last_time = 0.0
+        self._finalized = False
+        self.accounts: list[CoreEnergyAccount] = [CoreEnergyAccount() for _ in cores]
+        #: Optional piecewise-constant power trace per core:
+        #: lists of (t_start, t_end, watts) — fed to the thermal analysis.
+        self.power_series: list[list[tuple[float, float, float]]] | None = (
+            [[] for _ in cores] if record_series else None
+        )
+
+    # -- billing ------------------------------------------------------------
+
+    def _core_power(self, core: SimCore) -> float:
+        if core.state in BUSY_STATES:
+            return self._power.busy_power(core.frequency)
+        return self._power.idle_power()
+
+    def observe(self, now: float) -> None:
+        """Bill all cores for the interval ``[last, now]`` at current draw."""
+        if self._finalized:
+            raise SimulationError("energy meter already finalized")
+        dt = now - self._last_time
+        if dt < -1e-12:
+            raise SimulationError(f"time went backwards: {self._last_time} -> {now}")
+        if dt <= 0.0:
+            self._last_time = now
+            return
+        for i, (core, account) in enumerate(zip(self._cores, self.accounts)):
+            p = self._core_power(core)
+            account.add(core.state, core.level, p * dt, dt)
+            if self.power_series is not None:
+                series = self.power_series[i]
+                # Merge with the previous piece when power is unchanged.
+                if series and series[-1][2] == p and series[-1][1] == self._last_time:
+                    series[-1] = (series[-1][0], now, p)
+                else:
+                    series.append((self._last_time, now, p))
+        self._last_time = now
+
+    def finalize(self, now: float) -> None:
+        """Bill the final interval and freeze the meter."""
+        self.observe(now)
+        self._finalized = True
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Total metered time in seconds."""
+        return self._last_time
+
+    def core_joules(self) -> float:
+        """Energy of the cores alone (without the machine baseline)."""
+        return sum(a.joules for a in self.accounts)
+
+    def baseline_joules(self) -> float:
+        """Energy of the frequency-independent machine baseline."""
+        return self._power.machine_base_power * self.elapsed
+
+    def total_joules(self) -> float:
+        """Whole-machine energy: what the paper's wall meter reports."""
+        return self.core_joules() + self.baseline_joules()
+
+    def spin_joules(self) -> float:
+        """Energy burnt by cores spinning in the steal loop (pure waste)."""
+        return sum(a.joules_by_state.get(CoreState.SPINNING, 0.0) for a in self.accounts)
+
+    def running_joules(self) -> float:
+        """Energy spent actually executing tasks."""
+        return sum(a.joules_by_state.get(CoreState.RUNNING, 0.0) for a in self.accounts)
+
+    def seconds_by_level(self) -> dict[int, float]:
+        """Aggregate core-seconds spent at each frequency level."""
+        totals: dict[int, float] = {}
+        for account in self.accounts:
+            for level, secs in account.seconds_by_level.items():
+                totals[level] = totals.get(level, 0.0) + secs
+        return totals

@@ -1,0 +1,121 @@
+"""Machine configuration and presets.
+
+A :class:`MachineConfig` bundles everything the engine needs to know about
+the hardware being simulated: core count, frequency ladder, power model, and
+the latency constants that make scheduling decisions cost something.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.machine.frequency import FrequencyScale, opteron_8380_scale
+from repro.machine.power import PowerModel, calibrated_power_model
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated multicore machine.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores ``m``.
+    scale:
+        DVFS frequency ladder shared by all cores.
+    power:
+        Power model used by the energy meter.
+    steal_cycles:
+        Cycles charged to a core for one successful steal (victim scan +
+        deque CAS). Converted to seconds at the thief's frequency.
+    pop_cycles:
+        Cycles charged for a local pool pop (cheap, lock-free path).
+    failed_scan_cycles:
+        Cycles charged for scanning all victims and finding nothing before
+        the core settles into its spin-wait.
+    dvfs_latency_s:
+        Seconds a core is stalled while switching P-states.
+    dvfs_domains:
+        Optional partition of core ids into shared-frequency domains
+        (voltage planes). Within a domain the hardware runs every core at
+        the *fastest* requested level — the semantics of per-socket DVFS,
+        which is what the real Opteron 8380 actually had (the paper
+        assumes per-core control; the per-socket preset is the ablation).
+        ``None`` (default) means fully independent per-core DVFS.
+    """
+
+    num_cores: int
+    scale: FrequencyScale
+    power: PowerModel
+    steal_cycles: float = 6000.0
+    pop_cycles: float = 400.0
+    failed_scan_cycles: float = 12000.0
+    dvfs_latency_s: float = 100e-6
+    dvfs_domains: Optional[tuple[tuple[int, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError("a machine needs at least one core")
+        for name in ("steal_cycles", "pop_cycles", "failed_scan_cycles", "dvfs_latency_s"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.dvfs_domains is not None:
+            seen = [c for dom in self.dvfs_domains for c in dom]
+            if sorted(seen) != list(range(self.num_cores)):
+                raise ConfigurationError(
+                    "dvfs_domains must partition the core ids exactly"
+                )
+            if any(len(dom) == 0 for dom in self.dvfs_domains):
+                raise ConfigurationError("dvfs_domains must be non-empty")
+
+    @property
+    def r(self) -> int:
+        """Number of frequency levels."""
+        return self.scale.r
+
+    def with_cores(self, num_cores: int) -> "MachineConfig":
+        """Copy of this config with a different core count (Fig. 9 sweeps)."""
+        return replace(self, num_cores=num_cores)
+
+
+def opteron_8380_machine(
+    num_cores: int = 16,
+    *,
+    power: Optional[PowerModel] = None,
+    per_socket_dvfs: bool = False,
+) -> MachineConfig:
+    """The paper's testbed: four quad-core AMD Opteron 8380 processors.
+
+    Sixteen cores, four P-states (2.5/1.8/1.3/0.8 GHz), whole-machine power
+    model calibrated in :func:`repro.machine.power.calibrated_power_model`.
+
+    ``per_socket_dvfs=True`` groups cores into quad-core shared-frequency
+    domains — the physical Opteron 8380's actual DVFS granularity — for
+    the hardware-granularity ablation.
+    """
+    scale = opteron_8380_scale()
+    if power is None:
+        power = calibrated_power_model(scale)
+    domains = None
+    if per_socket_dvfs:
+        if num_cores % 4:
+            raise ConfigurationError("per-socket preset needs a multiple of 4 cores")
+        domains = tuple(
+            tuple(range(s, s + 4)) for s in range(0, num_cores, 4)
+        )
+    return MachineConfig(
+        num_cores=num_cores, scale=scale, power=power, dvfs_domains=domains
+    )
+
+
+def small_test_machine(
+    num_cores: int = 2, levels: tuple[float, ...] = (2.0e9, 1.0e9)
+) -> MachineConfig:
+    """A tiny machine for unit tests and the Fig. 1 micro-experiment."""
+    scale = FrequencyScale(levels)
+    power = calibrated_power_model(
+        scale, top_core_busy_watts=10.0, core_idle_watts=1.0, machine_base_watts=0.0
+    )
+    return MachineConfig(num_cores=num_cores, scale=scale, power=power)

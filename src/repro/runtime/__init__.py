@@ -1,0 +1,48 @@
+"""Task runtime: tasks, work-stealing pools, and scheduler policies."""
+
+from repro.runtime.barrier import BatchBarrier
+from repro.runtime.conformance import ConformanceReport, check_policy
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.deque import WorkStealingDeque
+from repro.runtime.grouped import GroupedStealingPolicy
+from repro.runtime.policy import (
+    Action,
+    BatchAdjustment,
+    PolicyStats,
+    RunTask,
+    RuntimeContext,
+    SchedulerPolicy,
+    SetFrequency,
+    Wait,
+)
+from repro.runtime.pools import PoolGrid
+from repro.runtime.task import Batch, Task, TaskFactory, TaskSpec, flat_batch
+from repro.runtime.wats import WATSScheduler, allocate_classes_by_capacity, plan_from_levels
+
+__all__ = [
+    "Action",
+    "ConformanceReport",
+    "check_policy",
+    "Batch",
+    "BatchAdjustment",
+    "BatchBarrier",
+    "CilkDScheduler",
+    "CilkScheduler",
+    "GroupedStealingPolicy",
+    "PolicyStats",
+    "PoolGrid",
+    "RunTask",
+    "RuntimeContext",
+    "SchedulerPolicy",
+    "SetFrequency",
+    "Task",
+    "TaskFactory",
+    "TaskSpec",
+    "WATSScheduler",
+    "Wait",
+    "WorkStealingDeque",
+    "allocate_classes_by_capacity",
+    "flat_batch",
+    "plan_from_levels",
+]

@@ -1,0 +1,72 @@
+"""Batch-barrier bookkeeping.
+
+Iteration-based programs synchronise at a barrier after each batch
+(Section II: "all cores need to wait for the last core to arrive at a
+barrier"). The engine uses :class:`BatchBarrier` to know when every task of
+the current batch — including tasks spawned mid-batch — has retired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class BatchBarrier:
+    """Counts outstanding tasks of the in-flight batch."""
+
+    batch_index: Optional[int] = None
+    outstanding: int = 0
+    launched: int = 0
+    completed: int = 0
+    start_time: float = 0.0
+    _history: list[tuple[int, int, float, float]] = field(default_factory=list)
+
+    def open(self, batch_index: int, now: float) -> None:
+        if self.batch_index is not None:
+            raise SimulationError(
+                f"batch {self.batch_index} still open; cannot open {batch_index}"
+            )
+        if self.outstanding != 0:
+            raise SimulationError("outstanding tasks across batch boundary")
+        self.batch_index = batch_index
+        self.start_time = now
+        self.launched = 0
+        self.completed = 0
+
+    def add_task(self) -> None:
+        if self.batch_index is None:
+            raise SimulationError("no batch open")
+        self.outstanding += 1
+        self.launched += 1
+
+    def task_done(self) -> bool:
+        """Record one retirement; True when the batch just drained."""
+        if self.batch_index is None:
+            raise SimulationError("no batch open")
+        if self.outstanding <= 0:
+            raise SimulationError("task_done with no outstanding tasks")
+        self.outstanding -= 1
+        self.completed += 1
+        return self.outstanding == 0
+
+    def close(self, now: float) -> float:
+        """Close the drained batch; returns its wall duration."""
+        if self.batch_index is None:
+            raise SimulationError("no batch open")
+        if self.outstanding != 0:
+            raise SimulationError(
+                f"closing batch {self.batch_index} with {self.outstanding} tasks in flight"
+            )
+        duration = now - self.start_time
+        self._history.append((self.batch_index, self.completed, self.start_time, duration))
+        self.batch_index = None
+        return duration
+
+    @property
+    def history(self) -> list[tuple[int, int, float, float]]:
+        """(batch_index, tasks_completed, start_time, duration) per batch."""
+        return list(self._history)

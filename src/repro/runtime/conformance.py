@@ -1,0 +1,131 @@
+"""Policy conformance harness.
+
+A downstream user writing a custom :class:`SchedulerPolicy` can validate it
+against the runtime contract in one call::
+
+    from repro.runtime.conformance import check_policy
+    report = check_policy(lambda: MyPolicy())
+    assert report.ok, report.failures
+
+The battery exercises the invariants the engine relies on:
+
+1. every task executes exactly once, across flat and imbalanced batches;
+2. the policy survives multi-batch programs and empty-steal tails;
+3. nested spawns (if the policy claims support) are scheduled;
+4. runs are deterministic for a fixed seed;
+5. frequency requests stay within the machine's ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.machine.topology import MachineConfig, small_test_machine
+from repro.runtime.policy import SchedulerPolicy
+from repro.runtime.task import Batch, TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+PolicyFactory = Callable[[], SchedulerPolicy]
+
+_REF = 2.0e9  # fastest level of the default test machine
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of :func:`check_policy`."""
+
+    policy_name: str
+    checks_run: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _flat_program(batches: int, sizes: list[float]) -> list[Batch]:
+    return [
+        flat_batch(i, [TaskSpec(f"c{j % 3}", cpu_cycles=s * _REF) for j, s in enumerate(sizes)])
+        for i in range(batches)
+    ]
+
+
+def _nested_program() -> list[Batch]:
+    child = TaskSpec("child", cpu_cycles=0.01 * _REF)
+    parent = TaskSpec("parent", cpu_cycles=0.02 * _REF, children=(child, child))
+    return [flat_batch(0, [parent, parent])]
+
+
+def check_policy(
+    factory: PolicyFactory,
+    *,
+    machine: MachineConfig | None = None,
+    check_spawns: bool = True,
+) -> ConformanceReport:
+    """Run the conformance battery against a policy factory.
+
+    ``factory`` must return a *fresh* policy instance per call (policies
+    are stateful and single-use). Set ``check_spawns=False`` for policies
+    that legitimately do not support nested spawns.
+    """
+    if machine is None:
+        machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+    report = ConformanceReport(policy_name=factory().name)
+
+    def run_check(label: str, fn: Callable[[], None]) -> None:
+        report.checks_run += 1
+        try:
+            fn()
+        except AssertionError as exc:
+            report.failures.append(f"{label}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            report.failures.append(f"{label}: raised {type(exc).__name__}: {exc}")
+
+    def balanced() -> None:
+        program = _flat_program(2, [0.01] * 12)
+        result = simulate(program, factory(), machine, seed=3)
+        assert result.tasks_executed == 24, f"executed {result.tasks_executed}/24"
+        ids = [t.task_id for t in result.tasks]
+        assert len(set(ids)) == len(ids), "duplicate task execution"
+
+    def imbalanced() -> None:
+        program = _flat_program(2, [0.001] * 10 + [0.08])
+        result = simulate(program, factory(), machine, seed=3)
+        assert result.tasks_executed == 22, f"executed {result.tasks_executed}/22"
+        # The big task bounds the batch; gross over-serialisation fails.
+        assert result.total_time < 0.5, f"took {result.total_time:.3f}s"
+
+    def single_task_tail() -> None:
+        program = _flat_program(3, [0.02])
+        result = simulate(program, factory(), machine, seed=3)
+        assert result.tasks_executed == 3
+
+    def spawns() -> None:
+        result = simulate(_nested_program(), factory(), machine, seed=3)
+        assert result.tasks_executed == 6, f"executed {result.tasks_executed}/6"
+
+    def deterministic() -> None:
+        program = _flat_program(3, [0.004] * 9 + [0.03])
+        a = simulate(program, factory(), machine, seed=7)
+        b = simulate(program, factory(), machine, seed=7)
+        assert a.total_time == b.total_time, "time differs across identical runs"
+        assert a.total_joules == b.total_joules, "energy differs across identical runs"
+
+    def frequency_sanity() -> None:
+        program = _flat_program(4, [0.003] * 8 + [0.05])
+        result = simulate(program, factory(), machine, seed=5)
+        r = machine.r
+        for task in result.tasks:
+            assert task.executed_level is not None and 0 <= task.executed_level < r
+        for level, secs in result.meter.seconds_by_level().items():
+            assert 0 <= level < r and secs >= 0
+
+    run_check("balanced-batches", balanced)
+    run_check("imbalanced-batch", imbalanced)
+    run_check("single-task-tail", single_task_tail)
+    if check_spawns:
+        run_check("nested-spawns", spawns)
+    run_check("determinism", deterministic)
+    run_check("frequency-sanity", frequency_sanity)
+    return report

@@ -1,0 +1,57 @@
+"""Work-stealing deque.
+
+The paper uses the classic distributed-task-pool design: "a task pool is a
+double-ended queue which is convenient for task stealing" (Section III-B).
+The owner pushes and pops at the *bottom* (LIFO, good locality); thieves
+steal from the *top* (FIFO, oldest/biggest-subtree first) — the Chase-Lev /
+Cilk THE discipline.
+
+In the simulator there is no real concurrency, so this is a plain deque
+with the owner/thief API split kept explicit; the engine charges steal
+latency separately (``MachineConfig.steal_cycles``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkStealingDeque(Generic[T]):
+    """Owner-bottom / thief-top double-ended queue."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: Deque[T] = deque()
+
+    def push_bottom(self, item: T) -> None:
+        """Owner-side push (newest work)."""
+        self._items.append(item)
+
+    def pop_bottom(self) -> Optional[T]:
+        """Owner-side pop; returns ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.pop()
+
+    def steal_top(self) -> Optional[T]:
+        """Thief-side steal of the oldest item; ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate bottom-to-top without consuming (inspection/tests only)."""
+        return reversed(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()

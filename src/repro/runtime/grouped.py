@@ -1,0 +1,158 @@
+"""Shared machinery for c-group-aware schedulers (EEWA and WATS).
+
+Implements the runtime architecture of the paper's Fig. 4/5: every core owns
+one task pool per c-group, tasks are pushed into the pool of the group
+their class is allocated to (unknown classes go to the fastest group), and
+idle cores escalate through groups in rob-the-weaker-first preference order,
+stealing randomly *within* a group before moving to the next.
+
+The concrete policies differ only in where the :class:`CGroupPlan` comes
+from: EEWA recomputes it every batch via the frequency adjuster; WATS keeps
+frequencies fixed and only re-derives the class allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.cgroups import CGroupPlan
+from repro.core.preference import preference_lists
+from repro.runtime.policy import Action, RunTask, SchedulerPolicy, Wait
+from repro.runtime.pools import PoolGrid
+from repro.runtime.task import Batch, Task
+
+
+class GroupedStealingPolicy(SchedulerPolicy):
+    """Base policy: multi-pool placement + preference-based stealing."""
+
+    name = "grouped"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._grid: Optional[PoolGrid] = None
+        self._plan: Optional[CGroupPlan] = None
+        self._prefs: list[tuple[int, ...]] = []
+        self._rr_cursor: dict[int, int] = {}
+        self._group_max_workload: Optional[list[float]] = None
+        self._ideal_time: Optional[float] = None
+
+    # -- plan management ------------------------------------------------------
+
+    def _install_plan(
+        self,
+        plan: CGroupPlan,
+        *,
+        class_workloads: Optional[dict[str, float]] = None,
+        ideal_time: Optional[float] = None,
+    ) -> None:
+        """Adopt a new c-group plan; renew pools and preference lists.
+
+        ``class_workloads`` (mean normalised workload per class) and
+        ``ideal_time`` arm the *criticality guard*: a slow core skips
+        stealing from a faster group whose heaviest class, run at the
+        thief's speed, would blow the iteration budget — the Fig. 1(c)
+        mis-schedule the paper's preference scheduler exists to avoid.
+        """
+        ctx = self._require_ctx()
+        if self._grid is None:
+            self._grid = PoolGrid(ctx.machine.num_cores, ctx.machine.r)
+        self._plan = plan
+        self._prefs = preference_lists(plan.num_groups)
+        self._rr_cursor = {g.index: 0 for g in plan.groups}
+        self._group_max_workload = None
+        self._ideal_time = ideal_time
+        if class_workloads and ideal_time:
+            per_group = [0.0] * plan.num_groups
+            for name, g in plan.class_to_group.items():
+                per_group[g] = max(per_group[g], class_workloads.get(name, 0.0))
+            self._group_max_workload = per_group
+
+    def _steal_would_blow_budget(self, thief_level: int, group_index: int) -> bool:
+        """True when the group's heaviest class cannot fit the iteration
+        budget at the thief's frequency (Fig. 1(c) guard)."""
+        if self._group_max_workload is None or self._ideal_time is None:
+            return False
+        ctx = self._require_ctx()
+        heaviest = self._group_max_workload[group_index]
+        return heaviest * ctx.machine.scale.slowdown(thief_level) > self._ideal_time
+
+    @property
+    def plan(self) -> CGroupPlan:
+        if self._plan is None:
+            raise RuntimeError(f"{self.name}: no c-group plan installed")
+        return self._plan
+
+    def _group_for_function(self, function: str) -> int:
+        """Group holding ``function``'s class; unknown classes go fastest.
+
+        Paper: "if there is no existing task class for γ, it will be pushed
+        in the task pool of the fastest c-group" — avoids running unknown
+        (possibly heavy) work on slow cores.
+        """
+        return self.plan.class_to_group.get(function, self.plan.fastest_group_index())
+
+    def _place_in_group(self, task: Task, group_index: int) -> None:
+        """Round-robin a task across the cores of its group."""
+        assert self._grid is not None
+        group = self.plan.groups[group_index]
+        cursor = self._rr_cursor[group_index]
+        core_id = group.core_ids[cursor % len(group.core_ids)]
+        self._rr_cursor[group_index] = cursor + 1
+        self._grid.push(core_id, group_index, task)
+
+    # -- SchedulerPolicy hooks ---------------------------------------------------
+
+    def on_batch_start(self, batch: Batch, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            self._place_in_group(task, self._group_for_function(task.function))
+
+    def on_spawn(self, core_id: int, task: Task) -> None:
+        """A task spawned mid-execution lands in the spawning core's own
+        pool for the class's group (Fig. 4 semantics)."""
+        assert self._grid is not None
+        group_index = self._group_for_function(task.function)
+        self._grid.push(core_id, group_index, task)
+
+    def next_action(self, core_id: int) -> Action:
+        ctx = self._require_ctx()
+        grid = self._grid
+        assert grid is not None
+        plan = self.plan
+        own_group = plan.group_of_core[core_id]
+
+        thief_level = plan.groups[own_group].level
+        for group_index in self._prefs[own_group]:
+            # A slower core helping out a faster group must not pick up a
+            # task too heavy to finish within the iteration budget.
+            if (
+                group_index != own_group
+                and plan.groups[group_index].level < thief_level
+                and self._steal_would_blow_budget(thief_level, group_index)
+            ):
+                self.stats.extra["guarded_steals"] = (
+                    self.stats.extra.get("guarded_steals", 0) + 1
+                )
+                continue
+            # Local pool for this group first (lock-free pop).
+            task = grid.pop_local(core_id, group_index)
+            if task is not None:
+                self.stats.local_pops += 1
+                self.stats.tasks_executed += 1
+                if group_index != own_group:
+                    self.stats.cross_group_steals += 1
+                return RunTask(task, acquire_cycles=ctx.machine.pop_cycles)
+            # Then random stealing within the group.
+            victims = grid.victims_with_work(group_index, exclude=core_id)
+            if victims:
+                victim = ctx.rng_choice(f"{self.name}.victim", victims)
+                stolen = grid.steal(victim, group_index)
+                if stolen is not None:
+                    self.stats.tasks_stolen += 1
+                    self.stats.tasks_executed += 1
+                    if group_index != own_group:
+                        self.stats.cross_group_steals += 1
+                    return RunTask(stolen, acquire_cycles=ctx.machine.steal_cycles)
+            # Group drained everywhere -> move down the preference list.
+
+        self.stats.failed_scans += 1
+        return Wait(scan_cycles=ctx.machine.failed_scan_cycles)

@@ -1,0 +1,102 @@
+"""Per-core multi-pool task storage.
+
+Fig. 4 of the paper: "each core has ``r`` task pools corresponding to the
+``r`` c-groups". A task allocated to c-group ``G_j`` lives in some core's
+pool number ``j``; cores pop locally from their own group's pool and steal
+within a pool index before escalating across groups via the preference list.
+
+:class:`PoolGrid` is that structure plus the per-pool-index queued-task
+counters that make "are all ``TP_j`` pools empty?" an O(1) question — the
+check the preference-based scheduler performs on every escalation decision.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.runtime.deque import WorkStealingDeque
+from repro.runtime.task import Task
+
+
+class PoolGrid:
+    """``num_cores x num_pools`` grid of work-stealing deques."""
+
+    def __init__(self, num_cores: int, num_pools: int) -> None:
+        if num_cores < 1 or num_pools < 1:
+            raise ConfigurationError("PoolGrid needs at least one core and one pool")
+        self.num_cores = num_cores
+        self.num_pools = num_pools
+        self._pools: list[list[WorkStealingDeque[Task]]] = [
+            [WorkStealingDeque() for _ in range(num_pools)] for _ in range(num_cores)
+        ]
+        self._queued_by_pool: list[int] = [0] * num_pools
+
+    # -- index checks -------------------------------------------------------
+
+    def _check(self, core_id: int, pool_index: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise SchedulingError(f"core {core_id} out of range [0, {self.num_cores})")
+        if not 0 <= pool_index < self.num_pools:
+            raise SchedulingError(f"pool {pool_index} out of range [0, {self.num_pools})")
+
+    # -- mutation -----------------------------------------------------------
+
+    def push(self, core_id: int, pool_index: int, task: Task) -> None:
+        """Owner-side push of ``task`` into ``core_id``'s pool ``pool_index``."""
+        self._check(core_id, pool_index)
+        self._pools[core_id][pool_index].push_bottom(task)
+        self._queued_by_pool[pool_index] += 1
+
+    def pop_local(self, core_id: int, pool_index: int) -> Optional[Task]:
+        """Owner-side LIFO pop; ``None`` when the local pool is empty."""
+        self._check(core_id, pool_index)
+        task = self._pools[core_id][pool_index].pop_bottom()
+        if task is not None:
+            self._queued_by_pool[pool_index] -= 1
+        return task
+
+    def steal(self, victim_id: int, pool_index: int) -> Optional[Task]:
+        """Thief-side FIFO steal from ``victim_id``'s pool ``pool_index``."""
+        self._check(victim_id, pool_index)
+        task = self._pools[victim_id][pool_index].steal_top()
+        if task is not None:
+            self._queued_by_pool[pool_index] -= 1
+            task.stolen = True
+        return task
+
+    def clear(self) -> None:
+        for row in self._pools:
+            for pool in row:
+                pool.clear()
+        self._queued_by_pool = [0] * self.num_pools
+
+    # -- queries --------------------------------------------------------------
+
+    def queued_in_pool_index(self, pool_index: int) -> int:
+        """Tasks queued across all cores in pool ``pool_index`` (O(1))."""
+        self._check(0, pool_index)
+        return self._queued_by_pool[pool_index]
+
+    def pool_index_empty(self, pool_index: int) -> bool:
+        """True when every core's pool ``pool_index`` is empty (O(1))."""
+        return self.queued_in_pool_index(pool_index) == 0
+
+    def local_len(self, core_id: int, pool_index: int) -> int:
+        self._check(core_id, pool_index)
+        return len(self._pools[core_id][pool_index])
+
+    def total_queued(self) -> int:
+        return sum(self._queued_by_pool)
+
+    def victims_with_work(
+        self, pool_index: int, exclude: int, candidates: Sequence[int] | None = None
+    ) -> list[int]:
+        """Core ids (other than ``exclude``) holding work in ``pool_index``."""
+        self._check(0, pool_index)
+        ids: Iterable[int] = candidates if candidates is not None else range(self.num_cores)
+        return [
+            c
+            for c in ids
+            if c != exclude and len(self._pools[c][pool_index]) > 0
+        ]

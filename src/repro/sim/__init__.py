@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation engine."""
+
+from repro.sim.engine import DEFAULT_MAX_EVENTS, SimResult, Simulator, simulate
+from repro.sim.export import (
+    batches_to_csv,
+    result_to_dict,
+    result_to_json,
+    tasks_to_csv,
+    transitions_to_csv,
+)
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.rng import RngStreams, derive_seed
+from repro.sim.trace import BatchTrace, DvfsTransition, TraceRecorder
+
+__all__ = [
+    "BatchTrace",
+    "batches_to_csv",
+    "result_to_dict",
+    "result_to_json",
+    "tasks_to_csv",
+    "transitions_to_csv",
+    "DEFAULT_MAX_EVENTS",
+    "DvfsTransition",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "RngStreams",
+    "SimResult",
+    "Simulator",
+    "TraceRecorder",
+    "derive_seed",
+    "simulate",
+]

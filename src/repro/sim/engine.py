@@ -1,0 +1,575 @@
+"""Deterministic discrete-event engine.
+
+The engine executes an iteration-based program (a sequence of
+:class:`~repro.runtime.task.Batch` objects) on a simulated
+:class:`~repro.machine.topology.MachineConfig` under a pluggable
+:class:`~repro.runtime.policy.SchedulerPolicy`, producing a
+:class:`SimResult` with exact timing, per-core energy, and traces.
+
+Simulation loop
+---------------
+Each free core asks its policy for an :class:`~repro.runtime.policy.Action`:
+
+* ``RunTask`` — the engine charges the acquire cost (pop or steal) and the
+  task's execution time at the core's current frequency, then schedules a
+  ``TASK_DONE`` event. Children of the task are spawned (pushed through the
+  policy) the moment it starts, waking any spinning cores.
+* ``SetFrequency`` — the core stalls for the DVFS latency, then asks again.
+* ``Wait`` — nothing stealable: the core spins (billed at full busy power,
+  like an MIT Cilk worker) until the engine wakes it on new work.
+
+When a batch drains, the policy's ``on_batch_end`` hook may return a
+:class:`~repro.runtime.policy.BatchAdjustment` — this is where EEWA's
+frequency adjuster runs. Its DVFS requests are applied (with latency) and
+its decision overhead delays the next batch launch, exactly the cost
+Table III accounts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import SchedulingError, SimulationError
+from repro.machine.core import CoreState, SimCore
+from repro.machine.energy import EnergyMeter
+from repro.machine.topology import MachineConfig
+from repro.runtime.barrier import BatchBarrier
+from repro.runtime.policy import (
+    Action,
+    BatchAdjustment,
+    RunTask,
+    SchedulerPolicy,
+    SetFrequency,
+    Wait,
+)
+from repro.runtime.task import Batch, Task, TaskFactory, iter_programs_batches
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.trace import BatchTrace, DvfsTransition, TraceRecorder
+
+#: Hard cap on processed events — a runaway-policy backstop, far above any
+#: legitimate run (each task costs a handful of events).
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+@dataclass
+class SimResult:
+    """Everything observable from one simulated run."""
+
+    policy_name: str
+    machine: MachineConfig
+    total_time: float
+    total_joules: float
+    core_joules: float
+    baseline_joules: float
+    spin_joules: float
+    running_joules: float
+    tasks_executed: int
+    batches_executed: int
+    trace: TraceRecorder
+    meter: EnergyMeter
+    tasks: list[Task] = field(repr=False, default_factory=list)
+    adjust_overhead_seconds: float = 0.0
+    policy_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def average_power(self) -> float:
+        """Mean whole-machine power draw in watts."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.total_joules / self.total_time
+
+    def energy_vs(self, other: "SimResult") -> float:
+        """Energy of this run relative to ``other`` (1.0 = equal)."""
+        return self.total_joules / other.total_joules
+
+    def time_vs(self, other: "SimResult") -> float:
+        """Time of this run relative to ``other`` (1.0 = equal)."""
+        return self.total_time / other.total_time
+
+
+class Simulator:
+    """Runs one program under one policy on one machine.
+
+    Also implements the :class:`~repro.runtime.policy.RuntimeContext`
+    protocol handed to policies.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        policy: SchedulerPolicy,
+        *,
+        seed: int = 0,
+        keep_tasks: bool = True,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        record_power_series: bool = False,
+    ) -> None:
+        self._machine = machine
+        self._policy = policy
+        self._rng = RngStreams(seed)
+        self._keep_tasks = keep_tasks
+        self._max_events = max_events
+
+        self._cores = [
+            SimCore(core_id=i, scale=machine.scale) for i in range(machine.num_cores)
+        ]
+        self._meter = EnergyMeter(
+            self._cores, machine.power, record_series=record_power_series
+        )
+        self._queue = EventQueue()
+        self._barrier = BatchBarrier()
+        self._trace = TraceRecorder()
+        self._factory = TaskFactory()
+
+        self._batches: list[Batch] = []
+        self._next_batch_pos = 0
+        self._pending_adjust_overhead = 0.0
+        self._waiting: set[int] = set()
+        self._inflight: dict[int, Task] = {}
+        self._finished_tasks: list[Task] = []
+        self._tasks_executed = 0
+        self._done = False
+        # Per-core *requested* DVFS levels; with dvfs_domains the effective
+        # level is the fastest request in the domain (voltage-plane rule).
+        self._requested: list[int] = [0] * machine.num_cores
+        # Remaining-work bookkeeping for mid-run retunes (domain coercion
+        # can change a RUNNING core's frequency).
+        self._run_state: dict[int, dict[str, float]] = {}
+        self._expected_done_seq: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # RuntimeContext protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def machine(self) -> MachineConfig:
+        return self._machine
+
+    def now(self) -> float:
+        return self._queue.now
+
+    def core_level(self, core_id: int) -> int:
+        return self._cores[core_id].level
+
+    def requested_level(self, core_id: int) -> int:
+        """The level this core has *asked* for (== effective level unless a
+        shared DVFS domain is pinning it faster)."""
+        return self._requested[core_id]
+
+    def rng_choice(self, stream: str, options: Sequence[int]) -> int:
+        return self._rng.choice(stream, options)
+
+    def rng_shuffled(self, stream: str, options: Sequence[int]) -> list[int]:
+        return self._rng.shuffled(stream, options)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, program: Sequence[Batch]) -> SimResult:
+        """Execute ``program`` to completion and return the result."""
+        self._batches = list(iter_programs_batches(list(program)))
+        if not self._batches:
+            raise SimulationError("program has no batches")
+
+        self._policy.bind(self)
+        initial = self._policy.on_program_start()
+        if initial is not None and initial.frequency_levels is not None:
+            # Boot-time configuration: applied instantly, before the clock runs.
+            self._apply_levels_instantly(initial.frequency_levels)
+        for core in self._cores:
+            core.spin()
+
+        self._launch_next_batch()
+
+        events = 0
+        while self._queue and not self._done:
+            events += 1
+            if events > self._max_events:
+                raise SimulationError(
+                    f"exceeded {self._max_events} events — livelocked policy?"
+                )
+            event = self._queue.pop()
+            if event.kind is EventKind.TASK_DONE:
+                self._handle_task_done(event.core_id, event.task_id, event.seq)
+            elif event.kind is EventKind.DVFS_DONE:
+                self._handle_dvfs_done(event.core_id)
+            elif event.kind is EventKind.CORE_READY:
+                self._handle_core_ready(event.core_id)
+            elif event.kind is EventKind.BATCH_LAUNCH:
+                self._launch_next_batch()
+            else:  # pragma: no cover - enum is closed
+                raise SimulationError(f"unknown event kind {event.kind}")
+
+        if not self._done:
+            raise SimulationError(
+                f"event queue drained with work outstanding "
+                f"(batch={self._barrier.batch_index}, inflight={len(self._inflight)})"
+            )
+
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _launch_next_batch(self) -> None:
+        batch = self._batches[self._next_batch_pos]
+        self._next_batch_pos += 1
+        self._barrier.open(batch.index, self.now())
+
+        tasks = [self._factory.make(spec, batch.index) for spec in batch.specs]
+        for _ in tasks:
+            self._barrier.add_task()
+        self._policy.on_batch_start(batch, tasks)
+
+        hist = self._level_histogram()
+        self._trace.record_batch(
+            BatchTrace(
+                batch_index=batch.index,
+                start_time=self.now(),
+                duration=float("nan"),  # patched when the batch drains
+                tasks_completed=0,
+                level_histogram=hist,
+                adjust_overhead_seconds=self._pending_adjust_overhead,
+            )
+        )
+        self._pending_adjust_overhead = 0.0
+        self._wake_all_idle()
+
+    def _handle_core_ready(self, core_id: int) -> None:
+        core = self._cores[core_id]
+        if core.state is not CoreState.SPINNING:
+            return  # stale wake: core got work or is mid-transition already
+        self._dispatch(core)
+
+    def _handle_task_done(self, core_id: int, task_id: int, seq: int) -> None:
+        if self._expected_done_seq.get(core_id) != seq:
+            return  # superseded by a mid-run retune reschedule
+        core = self._cores[core_id]
+        task = self._inflight.pop(task_id)
+        self._run_state.pop(core_id, None)
+        self._meter.observe(self.now())
+        finished_id = core.finish_task()
+        if finished_id != task.task_id:
+            raise SimulationError(
+                f"core {core_id} finished task {finished_id}, expected {task.task_id}"
+            )
+        task.finish_time = self.now()
+        self._tasks_executed += 1
+        if self._keep_tasks:
+            self._finished_tasks.append(task)
+        self._policy.on_task_complete(core_id, task)
+
+        if self._barrier.task_done():
+            self._end_batch()
+        else:
+            self._dispatch(core)
+
+    def _handle_dvfs_done(self, core_id: int) -> None:
+        core = self._cores[core_id]
+        self._meter.observe(self.now())
+        core.complete_transition()
+        self._dispatch(core)
+
+    def _end_batch(self) -> None:
+        batch_index = self._barrier.batch_index
+        assert batch_index is not None
+        duration = self._barrier.close(self.now())
+        self._patch_batch_trace(batch_index, duration)
+
+        adjustment = self._policy.on_batch_end(batch_index)
+        overhead = 0.0
+        if adjustment is not None:
+            overhead = max(0.0, adjustment.overhead_seconds)
+            if adjustment.frequency_levels is not None:
+                self._apply_levels_with_latency(adjustment.frequency_levels)
+        self._pending_adjust_overhead = overhead
+
+        if self._next_batch_pos >= len(self._batches):
+            self._finish_program(overhead)
+        else:
+            self._queue.schedule(overhead, EventKind.BATCH_LAUNCH)
+
+    def _finish_program(self, trailing_overhead: float) -> None:
+        self._policy.on_program_end()
+        end_time = self.now() + trailing_overhead
+        self._meter.finalize(end_time)
+        for core in self._cores:
+            if core.state is CoreState.SPINNING:
+                core.park()
+        self._done = True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, core: SimCore) -> None:
+        """Ask the policy what ``core`` does next and enact it."""
+        if core.state is not CoreState.SPINNING:
+            raise SimulationError(
+                f"dispatch of core {core.core_id} in state {core.state}"
+            )
+        self._waiting.discard(core.core_id)
+        action: Action = self._policy.next_action(core.core_id)
+
+        if isinstance(action, RunTask):
+            self._start_task(core, action)
+        elif isinstance(action, SetFrequency):
+            if action.level == self._requested[core.core_id]:
+                raise SchedulingError(
+                    f"policy requested a no-op frequency change on core {core.core_id}"
+                )
+            began = self._request_levels({core.core_id: action.level})
+            if core.core_id not in began:
+                # The request was absorbed by the DVFS domain (a faster
+                # sibling pins the plane): ask the policy again now — its
+                # view (requested_level) has changed, so it will not loop.
+                self._queue.schedule(0.0, EventKind.CORE_READY, core_id=core.core_id)
+        elif isinstance(action, Wait):
+            # The core spins at full power; the failed scan consumes time
+            # only in the sense that the core cannot react instantly.
+            self._waiting.add(core.core_id)
+            if action.retry_after is not None:
+                if action.retry_after < 0:
+                    raise SchedulingError("retry_after must be non-negative")
+                self._queue.schedule(
+                    action.retry_after, EventKind.CORE_READY, core_id=core.core_id
+                )
+        else:  # pragma: no cover - action union is closed
+            raise SchedulingError(f"unknown action {action!r}")
+
+    def _start_task(self, core: SimCore, action: RunTask) -> None:
+        task = action.task
+        self._meter.observe(self.now())
+        core.start_task(task.task_id)
+        acquire_seconds = action.acquire_cycles / core.frequency
+        exec_seconds = core.exec_seconds(
+            task.spec.cpu_cycles, task.spec.mem_stall_seconds
+        )
+        task.start_time = self.now() + acquire_seconds
+        task.executed_on = core.core_id
+        task.executed_level = core.level
+        self._inflight[task.task_id] = task
+        self._run_state[core.core_id] = {
+            "cycles": action.acquire_cycles + task.spec.cpu_cycles,
+            "stall": task.spec.mem_stall_seconds,
+            "seg_start": self.now(),
+        }
+        event = self._queue.schedule(
+            acquire_seconds + exec_seconds,
+            EventKind.TASK_DONE,
+            core_id=core.core_id,
+            task_id=task.task_id,
+        )
+        self._expected_done_seq[core.core_id] = event.seq
+        # Cilk semantics: spawned children become stealable when the parent
+        # starts running.
+        if task.spec.children:
+            for child_spec in task.spec.children:
+                child = self._factory.make(child_spec, task.batch_index)
+                self._barrier.add_task()
+                self._policy.on_spawn(core.core_id, child)
+            self._wake_all_idle()
+
+    def _wake_all_idle(self) -> None:
+        """Schedule a wake for every spinning core (waiting or fresh)."""
+        self._waiting.clear()
+        for core in self._cores:
+            if core.state is CoreState.SPINNING:
+                self._queue.schedule(0.0, EventKind.CORE_READY, core_id=core.core_id)
+
+    # ------------------------------------------------------------------
+    # frequency application helpers
+    # ------------------------------------------------------------------
+
+    def _effective_levels(self) -> list[int]:
+        """Requested levels coerced by shared DVFS domains.
+
+        Within a domain the hardware honours the *fastest* request (the
+        lowest level index) — a voltage plane cannot go slower than its
+        most demanding core requires.
+        """
+        effective = list(self._requested)
+        domains = self._machine.dvfs_domains
+        if domains is not None:
+            for domain in domains:
+                fastest = min(self._requested[c] for c in domain)
+                for c in domain:
+                    effective[c] = fastest
+        return effective
+
+    def _apply_levels_instantly(self, levels: Sequence[Optional[int]]) -> None:
+        """Boot-time configuration: no latency, no transitions."""
+        self._check_levels(levels)
+        for cid, level in enumerate(levels):
+            if level is not None:
+                self._machine.scale.validate_index(level)
+                self._requested[cid] = level
+        for core, level in zip(self._cores, self._effective_levels()):
+            core.level = level
+
+    def _apply_levels_with_latency(self, levels: Sequence[Optional[int]]) -> None:
+        self._check_levels(levels)
+        targets = {
+            cid: level for cid, level in enumerate(levels) if level is not None
+        }
+        self._request_levels(targets)
+
+    def _request_levels(self, targets: dict[int, int]) -> set[int]:
+        """Record DVFS requests and enact the resulting effective changes.
+
+        Idle (spinning) cores transition with the DVFS latency; cores
+        already mid-transition are redirected; RUNNING cores are retuned
+        in place (their remaining work is rescaled to the new frequency) —
+        this only happens under shared DVFS domains, where a sibling's
+        request drags a busy core along. Returns the ids of cores that
+        entered a timed transition.
+        """
+        for cid, level in targets.items():
+            self._machine.scale.validate_index(level)
+            self._requested[cid] = level
+        effective = self._effective_levels()
+
+        self._meter.observe(self.now())
+        began: set[int] = set()
+        for core in self._cores:
+            target = effective[core.core_id]
+            if core.state is CoreState.TRANSITION:
+                if core.pending_level != target:
+                    core.pending_level = target
+                continue
+            if core.level == target:
+                continue
+            old = core.level
+            self._trace.record_transition(
+                DvfsTransition(
+                    time=self.now(), core_id=core.core_id,
+                    from_level=old, to_level=target,
+                )
+            )
+            if core.state is CoreState.RUNNING:
+                self._retune_running(core, target)
+                continue
+            if core.state is CoreState.PARKED:
+                core.level = target
+                continue
+            self._waiting.discard(core.core_id)
+            core.begin_transition(target)
+            began.add(core.core_id)
+            self._queue.schedule(
+                self._machine.dvfs_latency_s, EventKind.DVFS_DONE,
+                core_id=core.core_id,
+            )
+        return began
+
+    def _retune_running(self, core: SimCore, level: int) -> None:
+        """Change a RUNNING core's frequency mid-task.
+
+        The remaining CPU cycles and memory stall are scaled by the
+        fraction of the in-flight segment still to run, the completion
+        event is rescheduled, and the old one is invalidated. Applied
+        instantly — the glitch of a plane transition is microseconds and
+        the running core does not stall for it in hardware.
+        """
+        state = self._run_state.get(core.core_id)
+        if state is None:
+            raise SimulationError(
+                f"core {core.core_id} RUNNING without execution state"
+            )
+        old_duration = state["cycles"] / core.frequency + state["stall"]
+        elapsed = self.now() - state["seg_start"]
+        fraction = 0.0 if old_duration <= 0 else min(1.0, elapsed / old_duration)
+        state["cycles"] *= 1.0 - fraction
+        state["stall"] *= 1.0 - fraction
+        state["seg_start"] = self.now()
+
+        core.level = level
+        remaining = state["cycles"] / core.frequency + state["stall"]
+        task_id = core.running_task_id
+        assert task_id is not None
+        event = self._queue.schedule(
+            remaining, EventKind.TASK_DONE, core_id=core.core_id, task_id=task_id
+        )
+        self._expected_done_seq[core.core_id] = event.seq
+
+    def _check_levels(self, levels: Sequence[Optional[int]]) -> None:
+        if len(levels) != self._machine.num_cores:
+            raise SchedulingError(
+                f"frequency_levels has {len(levels)} entries for "
+                f"{self._machine.num_cores} cores"
+            )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _level_histogram(self) -> tuple[int, ...]:
+        hist = [0] * self._machine.r
+        for core in self._cores:
+            # A core mid-transition counts at its destination level.
+            level = core.pending_level if core.pending_level is not None else core.level
+            hist[level] += 1
+        return tuple(hist)
+
+    def _patch_batch_trace(self, batch_index: int, duration: float) -> None:
+        for i, bt in enumerate(self._trace.batches):
+            if bt.batch_index == batch_index:
+                self._trace.batches[i] = BatchTrace(
+                    batch_index=bt.batch_index,
+                    start_time=bt.start_time,
+                    duration=duration,
+                    tasks_completed=self._barrier.history[-1][1],
+                    level_histogram=bt.level_histogram,
+                    adjust_overhead_seconds=bt.adjust_overhead_seconds,
+                )
+                return
+        raise SimulationError(f"no trace entry for batch {batch_index}")
+
+    def _build_result(self) -> SimResult:
+        stats = self._policy.stats
+        return SimResult(
+            policy_name=self._policy.name,
+            machine=self._machine,
+            total_time=self._meter.elapsed,
+            total_joules=self._meter.total_joules(),
+            core_joules=self._meter.core_joules(),
+            baseline_joules=self._meter.baseline_joules(),
+            spin_joules=self._meter.spin_joules(),
+            running_joules=self._meter.running_joules(),
+            tasks_executed=self._tasks_executed,
+            batches_executed=len(self._trace.batches),
+            trace=self._trace,
+            meter=self._meter,
+            tasks=self._finished_tasks,
+            adjust_overhead_seconds=self._trace.total_adjust_overhead(),
+            policy_stats={
+                "tasks_executed": stats.tasks_executed,
+                "tasks_stolen": stats.tasks_stolen,
+                "local_pops": stats.local_pops,
+                "failed_scans": stats.failed_scans,
+                "cross_group_steals": stats.cross_group_steals,
+                **stats.extra,
+            },
+        )
+
+
+def simulate(
+    program: Sequence[Batch],
+    policy: SchedulerPolicy,
+    machine: MachineConfig,
+    *,
+    seed: int = 0,
+    keep_tasks: bool = True,
+    record_power_series: bool = False,
+) -> SimResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        machine,
+        policy,
+        seed=seed,
+        keep_tasks=keep_tasks,
+        record_power_series=record_power_series,
+    ).run(program)

@@ -1,0 +1,95 @@
+"""Event records for the discrete-event engine.
+
+Events are ordered by ``(time, seq)``; ``seq`` is a monotonically increasing
+tie-breaker so simultaneous events process in scheduling order and the
+simulation stays fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.Enum):
+    """Discriminator for engine events."""
+
+    TASK_DONE = "task_done"
+    DVFS_DONE = "dvfs_done"
+    CORE_READY = "core_ready"
+    BATCH_LAUNCH = "batch_launch"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence.
+
+    Ordering compares ``(time, seq)`` only; payload fields are excluded from
+    comparison so the heap never inspects them.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    core_id: Optional[int] = field(default=None, compare=False)
+    task_id: Optional[int] = field(default=None, compare=False)
+    batch_index: Optional[int] = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` records."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        kind: EventKind,
+        *,
+        core_id: Optional[int] = None,
+        task_id: Optional[int] = None,
+        batch_index: Optional[int] = None,
+    ) -> Event:
+        """Enqueue an event ``delay`` seconds from now and return it."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            seq=self._seq,
+            kind=kind,
+            core_id=core_id,
+            task_id=task_id,
+            batch_index=batch_index,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        if event.time < self._now - 1e-12:
+            raise SimulationError(
+                f"event at t={event.time} precedes clock t={self._now}"
+            )
+        self._now = max(self._now, event.time)
+        return event

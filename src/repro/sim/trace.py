@@ -1,0 +1,86 @@
+"""Execution trace recording.
+
+The trace captures what the paper's figures are drawn from:
+
+* per-batch frequency configurations (Fig. 8: "number of cores with four
+  frequencies in the 10 batches of SHA-1");
+* per-batch durations and adjuster overheads (Table III);
+* DVFS transition log (for debugging and the frequency-timeline example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """Summary of one executed batch."""
+
+    batch_index: int
+    start_time: float
+    duration: float
+    tasks_completed: int
+    #: cores-per-frequency-level at the moment the batch launched
+    level_histogram: tuple[int, ...]
+    adjust_overhead_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class DvfsTransition:
+    """One core's P-state switch."""
+
+    time: float
+    core_id: int
+    from_level: int
+    to_level: int
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates batch and DVFS traces during a run."""
+
+    batches: list[BatchTrace] = field(default_factory=list)
+    transitions: list[DvfsTransition] = field(default_factory=list)
+
+    def record_batch(self, trace: BatchTrace) -> None:
+        self.batches.append(trace)
+
+    def record_transition(self, transition: DvfsTransition) -> None:
+        self.transitions.append(transition)
+
+    # -- figure-ready views ----------------------------------------------------
+
+    def level_histograms(self) -> list[tuple[int, ...]]:
+        """Per-batch cores-per-level tuples (the Fig. 8 series)."""
+        return [b.level_histogram for b in self.batches]
+
+    def batch_durations(self) -> list[float]:
+        return [b.duration for b in self.batches]
+
+    def total_adjust_overhead(self) -> float:
+        return sum(b.adjust_overhead_seconds for b in self.batches)
+
+    def transitions_for_core(self, core_id: int) -> list[DvfsTransition]:
+        return [t for t in self.transitions if t.core_id == core_id]
+
+    def modal_histogram(self, skip_first: bool = True) -> Optional[tuple[int, ...]]:
+        """Most frequent per-batch frequency configuration.
+
+        Fig. 7 fixes the asymmetric machine at "the most often used frequency
+        configurations in different batches of the benchmark" — this is that
+        selection. The first (all-fast, profiling) batch is skipped by
+        default.
+        """
+        hists = self.level_histograms()
+        if skip_first:
+            hists = hists[1:]
+        if not hists:
+            return None
+        counts: dict[tuple[int, ...], int] = {}
+        for h in hists:
+            counts[h] = counts.get(h, 0) + 1
+        # Deterministic tie-break: highest count, then first-seen order.
+        best = max(counts.items(), key=lambda kv: (kv[1], -hists.index(kv[0])))
+        return best[0]

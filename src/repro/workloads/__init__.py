@@ -1,0 +1,64 @@
+"""Workload specifications and deterministic batch generators."""
+
+from repro.workloads.benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_program,
+    benchmark_spec,
+    bwc_spec,
+    bzip2_spec,
+    dmc_spec,
+    je_spec,
+    lzw_spec,
+    md5_spec,
+    memory_bound_spec,
+    sha1_spec,
+)
+from repro.workloads.generators import (
+    DEFAULT_REF_FREQUENCY,
+    generate_program,
+    program_total_work,
+)
+from repro.workloads.spec import TaskClassSpec, WorkloadSpec, scaled
+from repro.workloads.synthetic import (
+    fig1_program,
+    imbalance_sweep_spec,
+    phased_spec,
+    uniform_spec,
+)
+from repro.workloads.io import load_spec, save_spec, spec_from_dict, spec_to_dict
+from repro.workloads.validation import (
+    ClassDiagnostics,
+    WorkloadDiagnostics,
+    diagnose,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "ClassDiagnostics",
+    "WorkloadDiagnostics",
+    "diagnose",
+    "load_spec",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "phased_spec",
+    "DEFAULT_REF_FREQUENCY",
+    "TaskClassSpec",
+    "WorkloadSpec",
+    "benchmark_program",
+    "benchmark_spec",
+    "bwc_spec",
+    "bzip2_spec",
+    "dmc_spec",
+    "fig1_program",
+    "generate_program",
+    "imbalance_sweep_spec",
+    "je_spec",
+    "lzw_spec",
+    "md5_spec",
+    "memory_bound_spec",
+    "program_total_work",
+    "scaled",
+    "sha1_spec",
+    "uniform_spec",
+]

@@ -1,0 +1,128 @@
+"""Workload spec serialisation.
+
+Lets users keep workloads in version-controlled JSON files and run them
+from the CLI (``repro run-spec my_workload.json eewa``)::
+
+    {
+      "name": "transcode",
+      "description": "per-frame-group pipeline",
+      "default_batches": 12,
+      "classes": [
+        {"name": "motion_search", "count": 6, "mean_ms": 34.0},
+        {"name": "dct_quant", "count": 24, "mean_ms": 4.5},
+        {"name": "entropy_code", "count": 40, "mean_ms": 1.2}
+      ]
+    }
+
+Times are given in *milliseconds* in files (ergonomics); the in-memory
+spec keeps seconds. Round-trip (spec → dict → spec) is exact and tested.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import TaskClassSpec, WorkloadSpec
+
+_CLASS_OPTIONAL_FIELDS = {
+    # dict key -> (spec attribute, default)
+    "jitter_sigma": ("jitter_sigma", 0.08),
+    "drift_sigma": ("drift_sigma", 0.02),
+    "miss_intensity": ("miss_intensity", 0.001),
+    "mem_stall_fraction": ("mem_stall_fraction", 0.0),
+    "phase_amplitude": ("phase_amplitude", 0.0),
+    "phase_period": ("phase_period", 5),
+}
+
+
+def spec_to_dict(spec: WorkloadSpec) -> dict[str, Any]:
+    """JSON-ready dictionary for a workload spec (times in ms)."""
+    classes = []
+    for cls in spec.classes:
+        entry: dict[str, Any] = {"name": cls.name, "count": cls.count}
+        # Milliseconds for readability — but only when the conversion
+        # round-trips exactly in binary floating point; otherwise seconds.
+        mean_ms = cls.mean_seconds * 1e3
+        if mean_ms / 1e3 == cls.mean_seconds:
+            entry["mean_ms"] = mean_ms
+        else:
+            entry["mean_s"] = cls.mean_seconds
+        for key, (attr, default) in _CLASS_OPTIONAL_FIELDS.items():
+            value = getattr(cls, attr)
+            if value != default:
+                entry[key] = value
+        classes.append(entry)
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "default_batches": spec.default_batches,
+        "classes": classes,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> WorkloadSpec:
+    """Build a workload spec from a dictionary (inverse of
+    :func:`spec_to_dict`)."""
+    if not isinstance(data, dict):
+        raise WorkloadError("workload spec must be a JSON object")
+    try:
+        raw_classes = data["classes"]
+        name = data["name"]
+    except KeyError as exc:
+        raise WorkloadError(f"workload spec missing field {exc}") from None
+    if not isinstance(raw_classes, list) or not raw_classes:
+        raise WorkloadError("workload spec needs a non-empty 'classes' list")
+
+    classes = []
+    for entry in raw_classes:
+        if not isinstance(entry, dict):
+            raise WorkloadError("each class must be a JSON object")
+        unknown = (
+            set(entry) - {"name", "count", "mean_ms", "mean_s"}
+            - set(_CLASS_OPTIONAL_FIELDS)
+        )
+        if unknown:
+            raise WorkloadError(f"unknown class fields: {sorted(unknown)}")
+        if ("mean_ms" in entry) == ("mean_s" in entry):
+            raise WorkloadError("each class needs exactly one of mean_ms / mean_s")
+        try:
+            mean_seconds = (
+                float(entry["mean_s"])
+                if "mean_s" in entry
+                else float(entry["mean_ms"]) / 1e3
+            )
+            kwargs: dict[str, Any] = {
+                "name": entry["name"],
+                "count": int(entry["count"]),
+                "mean_seconds": mean_seconds,
+            }
+        except KeyError as exc:
+            raise WorkloadError(f"class entry missing field {exc}") from None
+        for key, (attr, _) in _CLASS_OPTIONAL_FIELDS.items():
+            if key in entry:
+                kwargs[attr] = entry[key]
+        classes.append(TaskClassSpec(**kwargs))
+
+    return WorkloadSpec(
+        name=str(name),
+        classes=tuple(classes),
+        default_batches=int(data.get("default_batches", 12)),
+        description=str(data.get("description", "")),
+    )
+
+
+def save_spec(spec: WorkloadSpec, path: str | Path) -> None:
+    """Write a spec to a JSON file."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2) + "\n")
+
+
+def load_spec(path: str | Path) -> WorkloadSpec:
+    """Read a spec from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise WorkloadError(f"cannot load workload spec from {path}: {exc}") from exc
+    return spec_from_dict(data)

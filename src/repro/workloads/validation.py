@@ -1,0 +1,130 @@
+"""Workload-spec diagnostics.
+
+Answers, *before* running any simulation, the questions a user tuning a
+workload for EEWA keeps asking:
+
+* what iteration time should I expect, and what bounds it?
+* how much slack (idle capacity at full speed) does the batch have —
+  i.e. how much can EEWA possibly save?
+* which classes are granularity anchors (single task comparable to the
+  whole iteration) vs divisible filler?
+* is the workload memory-bound enough to trip the Section IV-D fallback?
+
+The estimates use the same first-order reasoning as the CC table; they are
+deliberately analytic (no simulation) and are validated against simulated
+runs in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.spec import TaskClassSpec, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ClassDiagnostics:
+    """Static analysis of one task class at a given machine size."""
+
+    name: str
+    count: int
+    mean_seconds: float
+    share_of_work: float
+    #: mean task time / expected iteration time — > ~0.8 marks an anchor
+    granularity_ratio: float
+    is_anchor: bool
+    memory_bound: bool
+
+
+@dataclass(frozen=True)
+class WorkloadDiagnostics:
+    """Static analysis of a workload on an ``m``-core machine."""
+
+    name: str
+    num_cores: int
+    expected_iteration_s: float
+    #: what bounds the iteration: "granularity" (longest task) or "capacity"
+    binding_constraint: str
+    utilization: float
+    #: cores' worth of capacity idle at full speed — EEWA's raw material
+    slack_cores: float
+    classes: tuple[ClassDiagnostics, ...]
+    likely_memory_bound_app: bool
+
+    @property
+    def eewa_can_save(self) -> bool:
+        """Heuristic: is there enough slack for any frequency scaling?"""
+        return self.slack_cores >= 1.0 and not self.likely_memory_bound_app
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.name} on {self.num_cores} cores:",
+            f"  expected iteration ~{self.expected_iteration_s*1e3:.1f} ms "
+            f"({self.binding_constraint}-bound)",
+            f"  utilisation ~{self.utilization:.0%}, "
+            f"slack ~{self.slack_cores:.1f} cores",
+        ]
+        for c in self.classes:
+            tag = " [anchor]" if c.is_anchor else ""
+            tag += " [memory-bound]" if c.memory_bound else ""
+            lines.append(
+                f"  - {c.name}: {c.count} x {c.mean_seconds*1e3:.2f} ms "
+                f"({c.share_of_work:.0%} of work){tag}"
+            )
+        if self.likely_memory_bound_app:
+            lines.append("  ! most work is memory-bound: EEWA will fall back")
+        elif not self.eewa_can_save:
+            lines.append("  ! machine saturated: EEWA will keep every core fast")
+        return "\n".join(lines)
+
+
+#: Granularity ratio above which a class is considered an iteration anchor.
+ANCHOR_RATIO = 0.8
+
+#: Miss-intensity threshold mirroring the profiler default.
+_MEM_THRESHOLD = 0.01
+
+
+def _class_memory_bound(cls: TaskClassSpec) -> bool:
+    return cls.miss_intensity > _MEM_THRESHOLD or cls.mem_stall_fraction > 0.5
+
+
+def diagnose(spec: WorkloadSpec, num_cores: int = 16) -> WorkloadDiagnostics:
+    """Analyse ``spec`` for an ``m``-core machine at the fastest frequency."""
+    work = spec.work_per_batch
+    longest = max(c.mean_seconds for c in spec.classes)
+    capacity_time = work / num_cores
+    expected = max(longest, capacity_time)
+    binding = "granularity" if longest > capacity_time else "capacity"
+    utilization = min(1.0, work / (num_cores * expected))
+    slack = num_cores - work / expected
+
+    classes = []
+    mem_work = 0.0
+    for cls in spec.classes:
+        mem = _class_memory_bound(cls)
+        if mem:
+            mem_work += cls.total_seconds
+        ratio = cls.mean_seconds / expected
+        classes.append(
+            ClassDiagnostics(
+                name=cls.name,
+                count=cls.count,
+                mean_seconds=cls.mean_seconds,
+                share_of_work=cls.total_seconds / work,
+                granularity_ratio=ratio,
+                is_anchor=ratio >= ANCHOR_RATIO,
+                memory_bound=mem,
+            )
+        )
+
+    return WorkloadDiagnostics(
+        name=spec.name,
+        num_cores=num_cores,
+        expected_iteration_s=expected,
+        binding_constraint=binding,
+        utilization=utilization,
+        slack_cores=slack,
+        classes=tuple(classes),
+        likely_memory_bound_app=mem_work > work / 2,
+    )

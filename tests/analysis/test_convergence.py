@@ -1,0 +1,74 @@
+"""Tests for convergence/stability analysis."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    batches_to_stable,
+    compare_convergence,
+    config_changes,
+    convergence_summary,
+    deadline_misses,
+    duration_stability,
+)
+from repro.core.eewa import EEWAScheduler
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import benchmark_program
+
+
+@pytest.fixture(scope="module")
+def sha1_run():
+    machine = opteron_8380_machine()
+    program = benchmark_program("SHA-1", batches=10, seed=11)
+    return simulate(program, EEWAScheduler(), machine, seed=11)
+
+
+class TestConvergenceMetrics:
+    def test_sha1_stabilises_at_batch_one(self, sha1_run):
+        """Fig. 8: a single adjustment, stable ever after."""
+        assert batches_to_stable(sha1_run) == 1
+        assert config_changes(sha1_run) == 1
+
+    def test_no_deadline_misses_on_sha1(self, sha1_run):
+        assert deadline_misses(sha1_run, tolerance=0.10) == []
+
+    def test_duration_stability_low(self, sha1_run):
+        assert duration_stability(sha1_run) < 0.10
+
+    def test_summary_composes(self, sha1_run):
+        summary = convergence_summary(sha1_run)
+        assert summary.converged
+        assert summary.met_deadlines
+        assert summary.stable_from_batch == 1
+        assert summary.config_changes == 1
+
+    def test_cilk_never_changes_config(self):
+        machine = opteron_8380_machine()
+        program = benchmark_program("SHA-1", batches=6, seed=11)
+        result = simulate(program, CilkScheduler(), machine, seed=11)
+        assert config_changes(result) == 0
+        assert batches_to_stable(result) == 1
+
+    def test_compare_convergence_keys(self, sha1_run):
+        machine = opteron_8380_machine()
+        program = benchmark_program("SHA-1", batches=4, seed=11)
+        cilk = simulate(program, CilkScheduler(), machine, seed=11)
+        summaries = compare_convergence([sha1_run, cilk])
+        assert set(summaries) == {"eewa", "cilk"}
+
+    def test_deadline_miss_detection(self):
+        """A workload that grows mid-run must register misses."""
+        from repro.runtime.task import TaskSpec, flat_batch
+
+        machine = opteron_8380_machine()
+        program = []
+        for i in range(4):
+            scale = 1.0 if i < 2 else 1.6  # workload jumps 60% at batch 2
+            specs = [
+                TaskSpec("w", cpu_cycles=scale * 0.02 * 2.5e9) for _ in range(32)
+            ]
+            program.append(flat_batch(i, specs))
+        result = simulate(program, CilkScheduler(), machine, seed=3)
+        misses = deadline_misses(result, tolerance=0.10)
+        assert 2 in misses and 3 in misses

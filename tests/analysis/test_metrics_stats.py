@@ -1,0 +1,99 @@
+"""Tests for analysis metrics and multi-seed aggregation."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    edp,
+    energy_reduction_percent,
+    geometric_mean,
+    mean,
+    normalized_energy,
+    normalized_time,
+    percent_change,
+    std,
+    time_degradation_percent,
+)
+from repro.analysis.stats import aggregate
+from repro.machine.topology import small_test_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+REF = 2.0e9
+
+
+def run(seed=0, scale=1.0):
+    machine = small_test_machine(num_cores=2)
+    program = [
+        flat_batch(0, [TaskSpec("w", cpu_cycles=scale * 0.05 * REF) for _ in range(4)])
+    ]
+    return simulate(program, CilkScheduler(), machine, seed=seed)
+
+
+class TestMetrics:
+    def test_normalisation_identity(self):
+        r = run()
+        assert normalized_time(r, r) == pytest.approx(1.0)
+        assert normalized_energy(r, r) == pytest.approx(1.0)
+
+    def test_normalisation_scaling(self):
+        small, big = run(scale=1.0), run(scale=2.0)
+        assert normalized_time(big, small) == pytest.approx(2.0, rel=0.02)
+        assert normalized_energy(big, small) == pytest.approx(2.0, rel=0.02)
+
+    def test_percent_change_signs(self):
+        assert percent_change(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_change(90.0, 100.0) == pytest.approx(-10.0)
+        with pytest.raises(ZeroDivisionError):
+            percent_change(1.0, 0.0)
+
+    def test_reduction_and_degradation(self):
+        a, b = run(scale=1.0), run(scale=2.0)
+        assert energy_reduction_percent(a, b) == pytest.approx(50.0, rel=0.03)
+        assert time_degradation_percent(b, a) == pytest.approx(100.0, rel=0.03)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_mean_std(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert std([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+        assert std([5.0]) == 0.0
+
+    def test_edp(self):
+        r = run()
+        assert edp(r) == pytest.approx(r.total_joules * r.total_time)
+
+
+class TestAggregate:
+    def test_summary_over_seeds(self):
+        results = [run(seed=s) for s in (1, 2, 3)]
+        summary = aggregate(results)
+        assert summary.runs == 3
+        assert summary.policy_name == "cilk"
+        assert summary.time_mean == pytest.approx(
+            sum(r.total_time for r in results) / 3
+        )
+        assert summary.average_power > 0
+
+    def test_mixed_policies_rejected(self):
+        from repro.core.eewa import EEWAScheduler
+        from repro.machine.topology import small_test_machine
+
+        machine = small_test_machine(num_cores=2)
+        program = [
+            flat_batch(0, [TaskSpec("w", cpu_cycles=0.01 * REF) for _ in range(4)]),
+            flat_batch(1, [TaskSpec("w", cpu_cycles=0.01 * REF) for _ in range(4)]),
+        ]
+        a = simulate(program, CilkScheduler(), machine)
+        b = simulate(program, EEWAScheduler(), machine)
+        with pytest.raises(ValueError):
+            aggregate([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])

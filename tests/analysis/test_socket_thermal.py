@@ -1,0 +1,92 @@
+"""Tests for socket-level thermal aggregation."""
+
+import pytest
+
+from repro.analysis.thermal import (
+    ThermalParams,
+    _merge_power_series,
+    socket_thermal_report,
+)
+from repro.core.eewa import EEWAScheduler
+from repro.errors import ConfigurationError
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import benchmark_program
+
+
+class TestMergePowerSeries:
+    def test_aligned_pieces_sum(self):
+        a = [(0.0, 1.0, 10.0), (1.0, 2.0, 5.0)]
+        b = [(0.0, 1.0, 2.0), (1.0, 2.0, 2.0)]
+        merged = _merge_power_series([a, b])
+        assert merged == [(0.0, 1.0, 12.0), (1.0, 2.0, 7.0)]
+
+    def test_misaligned_boundaries(self):
+        a = [(0.0, 2.0, 10.0)]
+        b = [(0.0, 1.0, 4.0), (1.0, 2.0, 6.0)]
+        merged = _merge_power_series([a, b])
+        assert merged == [(0.0, 1.0, 14.0), (1.0, 2.0, 16.0)]
+
+    def test_adjacent_equal_pieces_coalesce(self):
+        a = [(0.0, 1.0, 3.0), (1.0, 2.0, 3.0)]
+        merged = _merge_power_series([a])
+        assert merged == [(0.0, 2.0, 3.0)]
+
+    def test_energy_conserved(self):
+        """Sum of piece energies equals the sum over inputs."""
+        a = [(0.0, 0.7, 11.0), (0.7, 2.0, 4.0)]
+        b = [(0.0, 1.3, 6.0), (1.3, 2.0, 9.0)]
+        merged = _merge_power_series([a, b])
+        e_in = sum((t1 - t0) * w for t0, t1, w in a + b)
+        e_out = sum((t1 - t0) * w for t0, t1, w in merged)
+        assert e_out == pytest.approx(e_in)
+
+
+class TestSocketReport:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        machine = opteron_8380_machine()
+        program = benchmark_program("SHA-1", batches=10, seed=11)
+        cilk = simulate(
+            program, CilkScheduler(), machine, seed=11, record_power_series=True
+        )
+        eewa = simulate(
+            program, EEWAScheduler(), machine, seed=11, record_power_series=True
+        )
+        return cilk, eewa
+
+    def test_default_quad_grouping(self, runs):
+        cilk, _ = runs
+        report = socket_thermal_report(cilk)
+        assert len(report.cores) == 4
+
+    def test_cilk_sockets_uniform_eewa_skewed(self, runs):
+        cilk, eewa = runs
+        c = [s.peak_c for s in socket_thermal_report(cilk).cores]
+        e = [s.peak_c for s in socket_thermal_report(eewa).cores]
+        assert max(c) - min(c) < 1.0  # all-fast: uniform heat
+        assert max(e) - min(e) > 3.0  # EEWA: hot fast socket, cool rest
+        # EEWA's coolest socket is well below any Cilk socket.
+        assert min(e) < min(c) - 3.0
+
+    def test_explicit_groups(self, runs):
+        cilk, _ = runs
+        report = socket_thermal_report(cilk, groups=((0,), tuple(range(1, 16))))
+        assert len(report.cores) == 2
+
+    def test_requires_power_series(self):
+        machine = opteron_8380_machine()
+        program = benchmark_program("MD5", batches=2, seed=1)
+        result = simulate(program, CilkScheduler(), machine, seed=1)
+        with pytest.raises(ConfigurationError):
+            socket_thermal_report(result)
+
+    def test_uses_dvfs_domains_when_present(self):
+        machine = opteron_8380_machine(per_socket_dvfs=True)
+        program = benchmark_program("MD5", batches=3, seed=1)
+        result = simulate(
+            program, EEWAScheduler(), machine, seed=1, record_power_series=True
+        )
+        report = socket_thermal_report(result)
+        assert len(report.cores) == 4

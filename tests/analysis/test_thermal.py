@@ -1,0 +1,110 @@
+"""Tests for the thermal-headroom analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.thermal import (
+    ThermalParams,
+    _piece_update,
+    thermal_report,
+)
+from repro.core.eewa import EEWAScheduler
+from repro.errors import ConfigurationError
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import benchmark_program
+
+
+class TestPieceUpdate:
+    def test_converges_to_steady_state(self):
+        params = ThermalParams()
+        target = params.steady_state_c(20.0)
+        t, peak, _ = _piece_update(params.ambient_c, 1000.0, 20.0, params)
+        assert t == pytest.approx(target, abs=1e-6)
+        assert peak == pytest.approx(target, abs=1e-6)
+
+    def test_exponential_trajectory_exact(self):
+        params = ThermalParams(tau_s=2.0)
+        watts = 10.0
+        target = params.steady_state_c(watts)
+        t0 = params.ambient_c
+        dt = 2.0  # one time constant
+        t1, _, _ = _piece_update(t0, dt, watts, params)
+        expected = target + (t0 - target) * math.exp(-1.0)
+        assert t1 == pytest.approx(expected)
+
+    def test_cooling_piece(self):
+        params = ThermalParams()
+        t1, peak, above = _piece_update(90.0, 10.0, 0.0, params)
+        assert t1 < 90.0
+        assert peak == 90.0
+        assert above == 0.0
+
+    def test_throttle_time_full_piece(self):
+        params = ThermalParams(throttle_c=50.0)
+        # Hot start, high power: entire piece above threshold.
+        _, _, above = _piece_update(80.0, 5.0, 40.0, params)
+        assert above == pytest.approx(5.0)
+
+    def test_throttle_crossing_partial(self):
+        params = ThermalParams(r_th_k_per_w=2.0, tau_s=1.0, throttle_c=65.0)
+        # Heating from ambient toward 45 + 20*2 = 85: crosses 65 partway.
+        _, _, above = _piece_update(45.0, 10.0, 20.0, params)
+        # Crossing time: 65 = 85 + (45-85)e^{-t} -> e^{-t} = 0.5 -> t = ln 2.
+        assert above == pytest.approx(10.0 - math.log(2.0), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalParams(r_th_k_per_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalParams(throttle_c=30.0, ambient_c=45.0)
+
+
+class TestThermalReport:
+    def test_requires_power_series(self):
+        machine = opteron_8380_machine()
+        program = benchmark_program("MD5", batches=2, seed=1)
+        result = simulate(program, CilkScheduler(), machine, seed=1)
+        with pytest.raises(ConfigurationError):
+            thermal_report(result)
+
+    def test_eewa_runs_cooler_than_cilk(self):
+        """The headline extension result: lower frequencies = thermal
+        headroom. Compared on mean of per-core peaks."""
+        machine = opteron_8380_machine()
+        program = benchmark_program("SHA-1", batches=10, seed=11)
+        cilk = simulate(
+            program, CilkScheduler(), machine, seed=11, record_power_series=True
+        )
+        eewa = simulate(
+            program, EEWAScheduler(), machine, seed=11, record_power_series=True
+        )
+        cilk_peaks = [c.peak_c for c in thermal_report(cilk).cores]
+        eewa_peaks = [c.peak_c for c in thermal_report(eewa).cores]
+        assert sum(eewa_peaks) / 16 < sum(cilk_peaks) / 16
+
+    def test_peaks_bounded_by_steady_state(self):
+        machine = opteron_8380_machine()
+        program = benchmark_program("DMC", batches=3, seed=2)
+        result = simulate(
+            program, CilkScheduler(), machine, seed=2, record_power_series=True
+        )
+        params = ThermalParams()
+        report = thermal_report(result, params)
+        p_max = machine.power.busy_power(machine.scale.fastest)
+        assert report.peak_c <= params.steady_state_c(p_max) + 1e-9
+        assert all(c.final_c >= params.ambient_c for c in report.cores)
+
+    def test_throttle_detection_with_tight_limit(self):
+        machine = opteron_8380_machine()
+        program = benchmark_program("MD5", batches=3, seed=2)
+        result = simulate(
+            program, CilkScheduler(), machine, seed=2, record_power_series=True
+        )
+        # Absurdly low trip point: everything throttles.
+        params = ThermalParams(throttle_c=46.0, tau_s=0.01)
+        report = thermal_report(result, params)
+        assert report.would_throttle
+        assert report.total_throttle_seconds > 0

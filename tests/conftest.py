@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.topology import MachineConfig, opteron_8380_machine, small_test_machine
+from repro.runtime.task import Batch, TaskSpec, flat_batch
+
+
+@pytest.fixture
+def opteron() -> MachineConfig:
+    """The paper's 16-core testbed."""
+    return opteron_8380_machine()
+
+
+@pytest.fixture
+def two_core() -> MachineConfig:
+    """A 2-core, 2-level machine for micro tests."""
+    return small_test_machine()
+
+
+@pytest.fixture
+def four_core() -> MachineConfig:
+    """A 4-core, 3-level machine."""
+    return small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+
+
+def make_two_class_batch(
+    index: int,
+    *,
+    heavy: int = 4,
+    light: int = 24,
+    heavy_seconds: float = 40e-3,
+    light_seconds: float = 2e-3,
+    ref_frequency: float = 2.5e9,
+) -> Batch:
+    """Deterministic two-class batch used across integration tests."""
+    specs = [
+        TaskSpec("heavy", cpu_cycles=heavy_seconds * ref_frequency)
+        for _ in range(heavy)
+    ] + [
+        TaskSpec("light", cpu_cycles=light_seconds * ref_frequency)
+        for _ in range(light)
+    ]
+    return flat_batch(index, specs)
+
+
+@pytest.fixture
+def two_class_program() -> list[Batch]:
+    """Six identical two-class batches."""
+    return [make_two_class_batch(i) for i in range(6)]

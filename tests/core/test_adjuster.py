@@ -1,0 +1,111 @@
+"""Tests for the workload-aware frequency adjuster."""
+
+import pytest
+
+from repro.core.adjuster import OverheadModel, WorkloadAwareFrequencyAdjuster
+from repro.core.profiler import OnlineProfiler
+from repro.errors import SearchError
+from repro.machine.frequency import opteron_8380_scale
+
+
+def profiler_with(classes: dict[str, tuple[int, float]], ideal: float) -> OnlineProfiler:
+    p = OnlineProfiler(scale=opteron_8380_scale())
+    for name, (count, mean) in classes.items():
+        for _ in range(count):
+            p.observe(name, mean, 0)
+    p.set_ideal_time(ideal)
+    return p
+
+
+class TestDecisions:
+    def test_slack_produces_scaled_plan(self):
+        """A granularity-bound workload gets some cores off F_0."""
+        profiler = profiler_with(
+            {"heavy": (6, 0.045), "light": (40, 0.0015)}, ideal=0.05
+        )
+        adjuster = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16
+        )
+        decision = adjuster.decide(profiler)
+        assert not decision.fell_back
+        hist = decision.plan.level_histogram(4)
+        assert hist[0] < 16  # someone was scaled down
+        assert sum(hist) == 16
+
+    def test_saturated_workload_stays_fast(self):
+        """Abundant fine-grained work: everything stays at F_0."""
+        profiler = profiler_with({"work": (800, 0.001)}, ideal=0.05)
+        adjuster = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16
+        )
+        decision = adjuster.decide(profiler)
+        hist = decision.plan.level_histogram(4)
+        assert hist[0] == 16
+
+    def test_no_classes_falls_back(self):
+        profiler = OnlineProfiler(scale=opteron_8380_scale())
+        profiler.set_ideal_time(0.05)
+        adjuster = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16
+        )
+        decision = adjuster.decide(profiler)
+        assert decision.fell_back
+        assert decision.plan.level_histogram(4) == (16, 0, 0, 0)
+
+    def test_decisions_recorded(self):
+        profiler = profiler_with({"a": (10, 0.01)}, ideal=0.05)
+        adjuster = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16
+        )
+        adjuster.decide(profiler)
+        adjuster.decide(profiler)
+        assert len(adjuster.decisions) == 2
+        assert adjuster.total_wallclock() > 0.0
+        assert adjuster.total_simulated() > 0.0
+
+    def test_exhaustive_search_never_costlier_config(self):
+        profiler = profiler_with(
+            {"heavy": (6, 0.045), "light": (40, 0.0015)}, ideal=0.05
+        )
+        bt = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16, search="backtracking"
+        ).decide(profiler)
+        ex = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16, search="exhaustive"
+        ).decide(profiler)
+        # Exhaustive picks at least as slow a configuration (lower power).
+        assert sum(ex.plan.core_levels) >= sum(bt.plan.core_levels)
+
+
+class TestValidation:
+    def test_unknown_search_rejected(self):
+        with pytest.raises(SearchError):
+            WorkloadAwareFrequencyAdjuster(
+                scale=opteron_8380_scale(), num_cores=4, search="bogo"
+            )
+
+    def test_unknown_cc_mode_rejected(self):
+        with pytest.raises(SearchError):
+            WorkloadAwareFrequencyAdjuster(
+                scale=opteron_8380_scale(), num_cores=4, cc_mode="bogo"
+            )
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SearchError):
+            WorkloadAwareFrequencyAdjuster(scale=opteron_8380_scale(), num_cores=0)
+
+
+class TestOverheadModel:
+    def test_linear_in_cells(self):
+        model = OverheadModel(base_seconds=1e-3, per_cell_seconds=1e-5)
+        assert model.cost(4, 4) == pytest.approx(1e-3 + 16e-5)
+        assert model.cost(1, 1) < model.cost(8, 4)
+
+    def test_simulated_overhead_uses_model(self):
+        profiler = profiler_with({"a": (10, 0.01)}, ideal=0.05)
+        model = OverheadModel(base_seconds=0.5, per_cell_seconds=0.0)
+        adjuster = WorkloadAwareFrequencyAdjuster(
+            scale=opteron_8380_scale(), num_cores=16, overhead_model=model
+        )
+        decision = adjuster.decide(profiler)
+        assert decision.simulated_seconds == pytest.approx(0.5)

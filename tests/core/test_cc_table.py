@@ -1,0 +1,145 @@
+"""Tests for CC table construction (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cc_table import CCTable, build_cc_table, cc_table_from_values
+from repro.core.profiler import TaskClassStats
+from repro.errors import SearchError
+from repro.machine.frequency import FrequencyScale, opteron_8380_scale
+
+
+def stats(name: str, count: int, mean: float) -> TaskClassStats:
+    return TaskClassStats(function=name, count=count, mean_workload=mean)
+
+
+class TestFluidTable:
+    def test_fastest_row_formula(self):
+        """CC[0][i] = n_i * w_i / T."""
+        scale = opteron_8380_scale()
+        table = build_cc_table(
+            [stats("a", 10, 0.02), stats("b", 20, 0.005)], scale, ideal_time=0.05
+        )
+        assert table[0, 0] == pytest.approx(10 * 0.02 / 0.05)
+        assert table[0, 1] == pytest.approx(20 * 0.005 / 0.05)
+
+    def test_row_scaling_formula(self):
+        """CC[j][i] = (F_0 / F_j) * CC[0][i] — Table I exactly."""
+        scale = opteron_8380_scale()
+        table = build_cc_table([stats("a", 8, 0.01)], scale, ideal_time=0.04)
+        for j in range(scale.r):
+            assert table[j, 0] == pytest.approx(scale.slowdown(j) * table[0, 0])
+
+    def test_rows_increase_down_the_table(self):
+        scale = opteron_8380_scale()
+        table = build_cc_table([stats("a", 8, 0.01)], scale, ideal_time=0.04)
+        col = table.column(0)
+        assert all(col[j] < col[j + 1] for j in range(scale.r - 1))
+
+    def test_unsorted_classes_rejected(self):
+        scale = opteron_8380_scale()
+        with pytest.raises(SearchError):
+            build_cc_table(
+                [stats("light", 10, 0.001), stats("heavy", 10, 0.1)],
+                scale,
+                ideal_time=0.05,
+            )
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(SearchError):
+            build_cc_table([], opteron_8380_scale(), ideal_time=1.0)
+
+    def test_nonpositive_ideal_time_rejected(self):
+        with pytest.raises(SearchError):
+            build_cc_table([stats("a", 1, 0.1)], opteron_8380_scale(), ideal_time=0.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SearchError):
+            build_cc_table(
+                [stats("a", 1, 0.1)], opteron_8380_scale(), 1.0, mode="quantum"
+            )
+
+
+class TestDiscreteTable:
+    def test_matches_fluid_for_fine_tasks(self):
+        """Many tiny tasks: discrete demand is within one core of fluid."""
+        scale = opteron_8380_scale()
+        classes = [stats("a", 1000, 0.0001)]
+        fluid = build_cc_table(classes, scale, ideal_time=0.05, mode="fluid")
+        disc = build_cc_table(
+            classes, scale, ideal_time=0.05, mode="discrete", headroom=0.0
+        )
+        for j in range(scale.r):
+            assert disc[j, 0] >= fluid[j, 0] - 1e-9
+            assert disc[j, 0] <= np.ceil(fluid[j, 0]) + 1.0
+
+    def test_granularity_binds_coarse_tasks(self):
+        """A class of 8 near-T tasks needs 8 cores, not the fluid count."""
+        scale = opteron_8380_scale()
+        table = build_cc_table(
+            [stats("a", 8, 0.04)], scale, ideal_time=0.05, mode="discrete", headroom=0.0
+        )
+        assert table[0, 0] == pytest.approx(8.0)  # one task per core
+
+    def test_infeasible_levels_are_inf(self):
+        """A level where one task exceeds T is unusable."""
+        scale = opteron_8380_scale()
+        table = build_cc_table(
+            [stats("a", 4, 0.04)], scale, ideal_time=0.05, mode="discrete", headroom=0.0
+        )
+        # At 0.8 GHz the task takes 0.04 * 2.5/0.8 = 0.125 > 0.05.
+        assert np.isinf(table[3, 0])
+
+    def test_headroom_tightens_feasibility(self):
+        scale = opteron_8380_scale()
+        # Task of 0.039 at F_1 takes 0.0542 < 0.06 — feasible without
+        # headroom, rejected with 15% headroom (0.0623 > 0.06).
+        loose = build_cc_table(
+            [stats("a", 4, 0.039)], scale, 0.06, mode="discrete", headroom=0.0
+        )
+        tight = build_cc_table(
+            [stats("a", 4, 0.039)], scale, 0.06, mode="discrete", headroom=0.15
+        )
+        assert np.isfinite(loose[1, 0])
+        assert np.isinf(tight[1, 0])
+
+    def test_f0_row_clamped_when_class_outgrows_t(self):
+        """A class that no longer fits T even at F_0 stays schedulable."""
+        scale = opteron_8380_scale()
+        table = build_cc_table(
+            [stats("a", 4, 0.08)], scale, ideal_time=0.05, mode="discrete"
+        )
+        assert np.isfinite(table[0, 0])
+        assert table[0, 0] <= 4  # never more cores than tasks
+        assert np.isinf(table[1, 0])
+
+    def test_negative_headroom_rejected(self):
+        with pytest.raises(SearchError):
+            build_cc_table(
+                [stats("a", 1, 0.01)],
+                opteron_8380_scale(),
+                1.0,
+                mode="discrete",
+                headroom=-0.1,
+            )
+
+
+class TestDirectConstruction:
+    def test_from_values(self):
+        scale = FrequencyScale((2.0e9, 1.0e9))
+        table = cc_table_from_values([[1.0, 2.0], [2.0, 4.0]], scale)
+        assert table.k == 2 and table.r == 2
+        assert table.class_names == ("TC0", "TC1")
+        assert table.fastest_row_total() == pytest.approx(3.0)
+
+    def test_shape_validation(self):
+        scale = FrequencyScale((2.0e9, 1.0e9))
+        with pytest.raises(SearchError):
+            cc_table_from_values([[1.0, 2.0]], scale)  # 1 row for 2 levels
+        with pytest.raises(SearchError):
+            CCTable(
+                scale=scale,
+                class_names=("a",),
+                values=np.array([[-1.0], [1.0]]),
+                ideal_time=1.0,
+            )

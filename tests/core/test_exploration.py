@@ -1,0 +1,96 @@
+"""Tests for the regression-mode frequency exploration batch."""
+
+import pytest
+
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.core.membound import MemoryBoundMode
+from repro.machine.counters import PerfCounters
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+REF = 2.5e9
+HOT = PerfCounters(retired_instructions=1000, cache_misses=100)
+
+
+def membound_program(batches=8):
+    out = []
+    for i in range(batches):
+        specs = [
+            TaskSpec("scan", cpu_cycles=0.005 * REF, mem_stall_seconds=0.011,
+                     counters=HOT)
+            for _ in range(6)
+        ]
+        specs += [
+            TaskSpec("copy", cpu_cycles=0.001 * REF, mem_stall_seconds=0.002,
+                     counters=HOT)
+            for _ in range(20)
+        ]
+        out.append(flat_batch(i, specs))
+    return out
+
+
+@pytest.fixture
+def regression_run():
+    machine = opteron_8380_machine()
+    policy = EEWAScheduler(EEWAConfig(memory_bound_mode=MemoryBoundMode.REGRESSION))
+    result = simulate(membound_program(), policy, machine, seed=2)
+    return machine, policy, result
+
+
+class TestExploration:
+    def test_exploration_batch_is_second(self, regression_run):
+        _, policy, result = regression_run
+        hists = result.trace.level_histograms()
+        assert hists[0] == (16, 0, 0, 0)  # profiling
+        # Exploration: a third of the cores at F1.
+        assert hists[1][1] >= 4
+        assert policy.decisions[0].fallback_reason == "regression exploration batch"
+
+    def test_exploration_collects_multi_frequency_samples(self, regression_run):
+        _, policy, _ = regression_run
+        reg = policy.regression
+        for fn in ("scan", "copy"):
+            model = reg.fit(fn)
+            assert model.distinct_frequencies >= 2, fn
+            assert not model.is_degenerate
+
+    def test_fitted_models_recover_stall_component(self, regression_run):
+        """scan is ~85% stall: the fitted b must dominate a/F_0."""
+        _, policy, _ = regression_run
+        model = policy.regression.fit("scan")
+        assert model.stall_seconds == pytest.approx(0.011, rel=0.15)
+        assert model.cpu_cycles == pytest.approx(0.005 * REF, rel=0.3)
+
+    def test_post_exploration_batches_scale_down(self, regression_run):
+        _, _, result = regression_run
+        hists = result.trace.level_histograms()
+        # After profiling + exploration, the model finds the slack.
+        assert any(h[0] < 16 for h in hists[2:])
+
+    def test_exploration_happens_once(self, regression_run):
+        _, policy, _ = regression_run
+        exploration = [
+            d for d in policy.decisions
+            if d.fallback_reason == "regression exploration batch"
+        ]
+        assert len(exploration) == 1
+
+    def test_regression_saves_energy_where_fallback_cannot(self):
+        machine = opteron_8380_machine()
+        program = membound_program()
+        fallback = simulate(
+            program,
+            EEWAScheduler(EEWAConfig(memory_bound_mode=MemoryBoundMode.FALLBACK)),
+            machine,
+            seed=2,
+        )
+        regression = simulate(
+            program,
+            EEWAScheduler(EEWAConfig(memory_bound_mode=MemoryBoundMode.REGRESSION)),
+            machine,
+            seed=2,
+        )
+        assert regression.total_joules < 0.95 * fallback.total_joules
+        # Memory-bound code barely slows at lower frequency: time held.
+        assert regression.total_time < 1.12 * fallback.total_time

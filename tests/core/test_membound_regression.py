@@ -1,0 +1,141 @@
+"""Tests for memory-boundness detection and the regression extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.membound import (
+    BoundKind,
+    classify_application,
+    classify_task,
+)
+from repro.core.profiler import OnlineProfiler
+from repro.core.regression import (
+    RegressionProfiler,
+    build_regression_cc_table,
+    fit_frequency_time_model,
+)
+from repro.errors import ProfilingError
+from repro.machine.counters import PerfCounters
+from repro.machine.frequency import opteron_8380_scale
+
+
+class TestTaskClassification:
+    def test_low_miss_is_cpu_bound(self):
+        c = PerfCounters(retired_instructions=10000, cache_misses=10)
+        assert classify_task(c) is BoundKind.CPU_BOUND
+
+    def test_high_miss_is_memory_bound(self):
+        c = PerfCounters(retired_instructions=10000, cache_misses=500)
+        assert classify_task(c) is BoundKind.MEMORY_BOUND
+
+    def test_threshold_is_exclusive(self):
+        c = PerfCounters(retired_instructions=1000, cache_misses=10)
+        assert classify_task(c, threshold=0.01) is BoundKind.CPU_BOUND
+        assert classify_task(c, threshold=0.009) is BoundKind.MEMORY_BOUND
+
+
+class TestApplicationClassification:
+    def test_majority_rule(self):
+        profiler = OnlineProfiler(scale=opteron_8380_scale())
+        hot = PerfCounters(retired_instructions=1000, cache_misses=100)
+        cold = PerfCounters(retired_instructions=1000, cache_misses=1)
+        for _ in range(6):
+            profiler.observe("a", 0.01, 0, hot)
+        for _ in range(4):
+            profiler.observe("b", 0.01, 0, cold)
+        verdict = classify_application(profiler)
+        assert verdict.kind is BoundKind.MEMORY_BOUND
+        assert verdict.memory_bound_fraction == pytest.approx(0.6)
+        assert verdict.tasks_observed == 10
+
+
+class TestFrequencyTimeModel:
+    def test_pure_cpu_model_recovered(self):
+        """t = a/f data fits with b ~ 0."""
+        f = np.array([2.5e9, 1.8e9, 1.3e9, 0.8e9])
+        t = 1e9 / f
+        model = fit_frequency_time_model(f, t)
+        assert model.cpu_cycles == pytest.approx(1e9, rel=1e-6)
+        assert model.stall_seconds == pytest.approx(0.0, abs=1e-9)
+        assert not model.is_degenerate
+
+    def test_mixed_model_recovered(self):
+        f = np.array([2.5e9, 1.8e9, 1.3e9, 0.8e9] * 3)
+        t = 5e8 / f + 0.02
+        model = fit_frequency_time_model(f, t)
+        assert model.cpu_cycles == pytest.approx(5e8, rel=1e-6)
+        assert model.stall_seconds == pytest.approx(0.02, rel=1e-6)
+
+    def test_prediction_interpolates(self):
+        f = np.array([2.5e9, 0.8e9])
+        t = 1e9 / f + 0.01
+        model = fit_frequency_time_model(f, t)
+        assert model.predict(1.3e9) == pytest.approx(1e9 / 1.3e9 + 0.01, rel=1e-6)
+
+    def test_single_frequency_degenerates_to_cpu_bound(self):
+        model = fit_frequency_time_model([2.5e9, 2.5e9], [0.4, 0.4])
+        assert model.is_degenerate
+        assert model.stall_seconds == 0.0
+        assert model.cpu_cycles == pytest.approx(1e9)
+
+    def test_noise_clamped_nonnegative(self):
+        """Pathological data never yields negative cycles or stalls."""
+        f = np.array([2.5e9, 0.8e9])
+        t = np.array([0.5, 0.1])  # faster at LOWER frequency: nonsense
+        model = fit_frequency_time_model(f, t)
+        assert model.cpu_cycles >= 0.0
+        assert model.stall_seconds >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            fit_frequency_time_model([], [])
+
+
+class TestRegressionCCTable:
+    def test_memory_bound_class_keeps_flat_rows(self):
+        """A pure-stall class needs the SAME cores at every frequency — the
+        correction the paper's future work is after."""
+        scale = opteron_8380_scale()
+        profiler = RegressionProfiler(scale=scale)
+        for level in range(4):
+            for _ in range(3):
+                profiler.observe("stall", 0.02, level)  # time independent of f
+        table = build_regression_cc_table(
+            profiler, {"stall": 10}, scale, ideal_time=0.1
+        )
+        col = table.column(0)
+        assert col[0] == pytest.approx(col[3], rel=1e-6)
+
+    def test_cpu_bound_class_matches_eq1_scaling(self):
+        """With fine-grained tasks (discrete packing ~ fluid), a CPU-bound
+        class's regression rows recover the Eq. 1 slowdown ratios."""
+        scale = opteron_8380_scale()
+        profiler = RegressionProfiler(scale=scale)
+        cycles = 5e5  # ~0.2 ms at F_0: hundreds of tasks per core per batch
+        for level in range(4):
+            profiler.observe("cpu", cycles / scale[level], level)
+        table = build_regression_cc_table(
+            profiler, {"cpu": 30000}, scale, ideal_time=0.1
+        )
+        col = table.column(0)
+        assert col[3] / col[0] == pytest.approx(scale.slowdown(3), rel=0.05)
+
+    def test_granularity_marks_infeasible_levels(self):
+        """A class whose predicted slow-level task time exceeds T gets inf
+        there, but stays schedulable at F_0 (clamp)."""
+        import numpy as np
+
+        scale = opteron_8380_scale()
+        profiler = RegressionProfiler(scale=scale)
+        for level in range(4):
+            profiler.observe("big", 0.04 * scale.slowdown(level), level)
+        table = build_regression_cc_table(profiler, {"big": 4}, scale, ideal_time=0.05)
+        assert np.isfinite(table[0, 0])
+        assert np.isinf(table[3, 0])
+
+    def test_no_overlap_rejected(self):
+        profiler = RegressionProfiler(scale=opteron_8380_scale())
+        with pytest.raises(ProfilingError):
+            build_regression_cc_table(
+                profiler, {"x": 3}, opteron_8380_scale(), ideal_time=0.1
+            )

@@ -1,0 +1,111 @@
+"""Tests for the online profiler (Eq. 1 and task-class statistics)."""
+
+import pytest
+
+from repro.core.profiler import OnlineProfiler, TaskClassStats
+from repro.errors import ProfilingError
+from repro.machine.counters import PerfCounters
+from repro.machine.frequency import opteron_8380_scale
+
+
+@pytest.fixture
+def profiler() -> OnlineProfiler:
+    return OnlineProfiler(scale=opteron_8380_scale())
+
+
+class TestEquationOne:
+    def test_fastest_level_identity(self, profiler):
+        """At F_0 the normalised workload equals the raw time."""
+        assert profiler.normalized_workload(0.5, 0) == pytest.approx(0.5)
+
+    def test_slow_level_discounts_time(self, profiler):
+        """w = t * F_i / F_0: a slow core's long runtime maps back to the
+        work it represents at full speed."""
+        # A task of 1.0s at 0.8 GHz did 0.32s worth of F_0 work.
+        assert profiler.normalized_workload(1.0, 3) == pytest.approx(0.8 / 2.5)
+
+    def test_roundtrip_with_execution_model(self, profiler):
+        """A CPU-bound task measured on any level normalises identically."""
+        cycles = 1.0e9
+        scale = opteron_8380_scale()
+        workloads = [
+            profiler.normalized_workload(cycles / scale[j], j) for j in range(scale.r)
+        ]
+        for w in workloads[1:]:
+            assert w == pytest.approx(workloads[0])
+
+    def test_negative_time_rejected(self, profiler):
+        with pytest.raises(ProfilingError):
+            profiler.normalized_workload(-1.0, 0)
+
+
+class TestTaskClasses:
+    def test_running_mean_update(self, profiler):
+        """The paper's incremental update TC(f, n+1, (n*w + w)/(n+1))."""
+        profiler.observe("f", 0.1, 0)
+        profiler.observe("f", 0.3, 0)
+        stats = profiler.get_class("f")
+        assert stats.count == 2
+        assert stats.mean_workload == pytest.approx(0.2)
+        assert stats.total_workload == pytest.approx(0.4)
+
+    def test_new_class_created_on_first_observation(self, profiler):
+        assert profiler.get_class("f") is None
+        profiler.observe("f", 0.1, 0)
+        assert isinstance(profiler.get_class("f"), TaskClassStats)
+
+    def test_classes_sorted_heaviest_first(self, profiler):
+        profiler.observe("small", 0.1, 0)
+        profiler.observe("big", 0.5, 0)
+        profiler.observe("mid", 0.3, 0)
+        names = [c.function for c in profiler.classes_by_workload()]
+        assert names == ["big", "mid", "small"]
+
+    def test_sort_tie_broken_by_name(self, profiler):
+        profiler.observe("b", 0.2, 0)
+        profiler.observe("a", 0.2, 0)
+        names = [c.function for c in profiler.classes_by_workload()]
+        assert names == ["a", "b"]
+
+    def test_reset_batch_clears_classes_keeps_ideal_time(self, profiler):
+        profiler.observe("f", 0.1, 0)
+        profiler.set_ideal_time(1.0)
+        profiler.reset_batch()
+        assert not profiler.has_classes()
+        assert profiler.tasks_seen == 0
+        assert profiler.require_ideal_time() == 1.0
+
+
+class TestIdealTime:
+    def test_unset_raises(self, profiler):
+        with pytest.raises(ProfilingError):
+            profiler.require_ideal_time()
+
+    def test_nonpositive_rejected(self, profiler):
+        with pytest.raises(ProfilingError):
+            profiler.set_ideal_time(0.0)
+
+
+class TestMemoryBoundness:
+    def test_high_miss_tasks_counted(self, profiler):
+        hot = PerfCounters(retired_instructions=1000, cache_misses=100)
+        cold = PerfCounters(retired_instructions=1000, cache_misses=1)
+        profiler.observe("a", 0.1, 0, hot)
+        profiler.observe("b", 0.1, 0, cold)
+        assert profiler.memory_bound_fraction() == pytest.approx(0.5)
+        assert not profiler.application_is_memory_bound()
+        profiler.observe("c", 0.1, 0, hot)
+        assert profiler.application_is_memory_bound()
+
+    def test_no_counters_means_cpu_bound(self, profiler):
+        profiler.observe("a", 0.1, 0)
+        assert profiler.memory_bound_fraction() == 0.0
+
+    def test_class_accumulates_counters(self, profiler):
+        c = PerfCounters(retired_instructions=100, cache_misses=5)
+        profiler.observe("a", 0.1, 0, c)
+        profiler.observe("a", 0.1, 0, c)
+        stats = profiler.get_class("a")
+        assert stats.instructions == 200
+        assert stats.cache_misses == 10
+        assert stats.miss_intensity == pytest.approx(0.05)

@@ -1,0 +1,63 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.report import bar_chart, frequency_timeline, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 0.5], width=4)
+        lines = out.splitlines()
+        assert lines[0] == "a   #### 1.000"
+        assert lines[1] == "bb  ##   0.500"
+
+    def test_title(self):
+        out = bar_chart(["x"], [2.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_max_value_scaling(self):
+        out = bar_chart(["x"], [1.0], width=10, max_value=2.0)
+        assert out.count("#") == 5
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0], width=10)
+        assert "#" not in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestGroupedBarChart:
+    def test_series_render(self):
+        out = grouped_bar_chart(
+            ["b1"], {"cilk": [1.0], "eewa": [0.7]}, width=10
+        )
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "cilk" in lines[0] and "eewa" in lines[1]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 7
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {})
+
+
+class TestFrequencyTimeline:
+    def test_fig8_shape(self):
+        hists = [(4, 0), (1, 3), (1, 3)]
+        out = frequency_timeline(hists, [2.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0] == "core  0 | 0 0 0"
+        assert lines[3] == "core  3 | 0 1 1"
+        assert "levels: 0=2.0GHz, 1=1.0GHz" in out
+
+    def test_empty(self):
+        assert frequency_timeline([], [2.0], title="t") == "t"

@@ -1,0 +1,54 @@
+"""Tests for the extension experiment modules."""
+
+import pytest
+
+from repro.experiments.ext_imbalance import run_imbalance_sweep
+from repro.experiments.ext_thermal import run_thermal_study
+
+
+class TestThermalStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_thermal_study(batches=8, policies=("cilk", "eewa"))
+
+    def test_rows_and_table(self, study):
+        assert [r.policy for r in study.rows] == ["cilk", "eewa"]
+        text = study.table()
+        assert "thermal headroom" in text
+        assert "SHA-1" in text
+
+    def test_eewa_cooler_on_average(self, study):
+        assert study.row("eewa").mean_peak_c < study.row("cilk").mean_peak_c
+
+    def test_socket_peaks_present(self, study):
+        for row in study.rows:
+            assert len(row.socket_peaks_c) == 4
+
+    def test_unknown_policy_lookup(self, study):
+        with pytest.raises(KeyError):
+            study.row("tbb")
+
+
+class TestImbalanceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_imbalance_sweep(anchors=(2, 8, 14), batches=6)
+
+    def test_points_ordered(self, sweep):
+        assert [p.anchors for p in sweep.points] == [2, 8, 14]
+
+    def test_slack_decreases_with_anchors(self, sweep):
+        slacks = [p.slack_cores for p in sweep.points]
+        assert slacks[0] > slacks[1] > slacks[2]
+
+    def test_savings_monotone_in_slack(self, sweep):
+        assert sweep.savings_monotone_in_slack()
+
+    def test_saturated_point_saves_nothing(self, sweep):
+        saturated = sweep.points[-1]
+        assert saturated.energy_saving_pct < 5.0
+
+    def test_table_renders(self, sweep):
+        text = sweep.table()
+        assert "imbalance" in text
+        assert "modal config" in text

@@ -1,0 +1,95 @@
+"""Conservation laws the simulator must obey regardless of policy."""
+
+import pytest
+
+from repro.core.eewa import EEWAScheduler
+from repro.machine.core import CoreState
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import benchmark_program
+
+POLICIES = [CilkScheduler, CilkDScheduler, EEWAScheduler]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    machine = opteron_8380_machine()
+    program = benchmark_program("Bzip-2", batches=5, seed=13)
+    return machine, program, [
+        simulate(program, cls(), machine, seed=13) for cls in POLICIES
+    ]
+
+
+def test_every_task_retires_exactly_once(runs):
+    _, program, results = runs
+    expected = sum(len(b) for b in program)
+    for result in results:
+        assert result.tasks_executed == expected
+        ids = [t.task_id for t in result.tasks]
+        assert len(set(ids)) == len(ids)
+
+
+def test_metered_time_covers_all_cores(runs):
+    machine, _, results = runs
+    for result in results:
+        for account in result.meter.accounts:
+            assert account.seconds == pytest.approx(result.total_time, rel=1e-9)
+
+
+def test_running_time_matches_task_time(runs):
+    """Core-seconds in RUNNING equal task execution time plus acquire costs
+    (pop/steal), which are bounded by a small fraction."""
+    _, _, results = runs
+    for result in results:
+        running = sum(
+            a.seconds_by_state.get(CoreState.RUNNING, 0.0)
+            for a in result.meter.accounts
+        )
+        task_time = sum(t.finish_time - t.start_time for t in result.tasks)
+        assert running >= task_time - 1e-9
+        assert (running - task_time) < 0.02 * running + 1e-6
+
+
+def test_task_exec_time_consistent_with_frequency(runs):
+    """Each task's observed elapsed equals cycles / F(level) + stalls."""
+    machine, _, results = runs
+    for result in results:
+        for task in result.tasks:
+            f = machine.scale[task.executed_level]
+            expected = task.spec.cpu_cycles / f + task.spec.mem_stall_seconds
+            assert task.elapsed == pytest.approx(expected, rel=1e-9)
+
+
+def test_energy_is_power_times_time_bounded(runs):
+    """Total energy lies between all-idle and all-max-power envelopes."""
+    machine, _, results = runs
+    for result in results:
+        p_min = machine.power.machine_power([], machine.num_cores)
+        p_max = machine.power.machine_power(
+            [machine.scale.fastest] * machine.num_cores, 0
+        )
+        assert p_min * result.total_time <= result.total_joules + 1e-6
+        assert result.total_joules <= p_max * result.total_time + 1e-6
+
+
+def test_batches_do_not_overlap(runs):
+    _, _, results = runs
+    for result in results:
+        batches = sorted(result.trace.batches, key=lambda b: b.batch_index)
+        for earlier, later in zip(batches, batches[1:]):
+            assert later.start_time >= earlier.start_time + earlier.duration - 1e-9
+
+
+def test_tasks_execute_within_their_batch_window(runs):
+    _, _, results = runs
+    for result in results:
+        windows = {
+            b.batch_index: (b.start_time, b.start_time + b.duration)
+            for b in result.trace.batches
+        }
+        for task in result.tasks:
+            lo, hi = windows[task.batch_index]
+            assert task.start_time >= lo - 1e-9
+            assert task.finish_time <= hi + 1e-9

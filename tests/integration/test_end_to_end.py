@@ -1,0 +1,86 @@
+"""End-to-end integration tests: full benchmarks under every policy."""
+
+import pytest
+
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.wats import WATSScheduler
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import BENCHMARK_NAMES, benchmark_program
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return opteron_8380_machine()
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_every_benchmark_under_every_policy(name, machine):
+    """Smoke + conservation on all 7 x 4 combinations."""
+    program = benchmark_program(name, batches=4, seed=3)
+    total = sum(len(b) for b in program)
+    policies = [
+        CilkScheduler(),
+        CilkDScheduler(),
+        EEWAScheduler(),
+        WATSScheduler([0] * 8 + [3] * 8),
+    ]
+    for policy in policies:
+        result = simulate(program, policy, machine, seed=3)
+        assert result.tasks_executed == total, policy.name
+        assert result.total_time > 0
+        assert result.total_joules > 0
+        assert result.batches_executed == 4
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_paper_headline_ordering(name, machine):
+    """EEWA's energy never exceeds Cilk's; time stays within a few percent."""
+    program = benchmark_program(name, batches=8, seed=11)
+    cilk = simulate(program, CilkScheduler(), machine, seed=11)
+    eewa = simulate(program, EEWAScheduler(), machine, seed=11)
+    assert eewa.total_joules < cilk.total_joules
+    assert eewa.total_time < 1.08 * cilk.total_time
+
+
+def test_fig6_band_across_benchmarks(machine):
+    """Energy reductions span roughly the paper's 8.7%-29.8% band."""
+    reductions = {}
+    for name in BENCHMARK_NAMES:
+        program = benchmark_program(name, batches=8, seed=11)
+        cilk = simulate(program, CilkScheduler(), machine, seed=11)
+        eewa = simulate(program, EEWAScheduler(), machine, seed=11)
+        reductions[name] = 100.0 * (1 - eewa.total_joules / cilk.total_joules)
+    assert min(reductions.values()) > 4.0
+    assert max(reductions.values()) > 20.0
+    assert max(reductions.values()) < 40.0
+
+
+def test_energy_decomposition_consistent(machine):
+    program = benchmark_program("DMC", batches=4, seed=5)
+    result = simulate(program, EEWAScheduler(), machine, seed=5)
+    assert result.total_joules == pytest.approx(
+        result.core_joules + result.baseline_joules
+    )
+    assert result.spin_joules + result.running_joules <= result.core_joules + 1e-9
+
+
+def test_memory_bound_app_falls_back(machine):
+    from repro.workloads.benchmarks import memory_bound_spec
+    from repro.workloads.generators import generate_program
+
+    program = generate_program(memory_bound_spec(), batches=4, seed=2)
+    policy = EEWAScheduler()
+    result = simulate(program, policy, machine, seed=2)
+    assert result.policy_stats.get("fallback_memory_bound") == 1.0
+    for hist in result.trace.level_histograms():
+        assert hist == (16, 0, 0, 0)
+
+
+def test_exhaustive_search_config_runs(machine):
+    program = benchmark_program("SHA-1", batches=4, seed=7)
+    config = EEWAConfig(search="exhaustive")
+    result = simulate(program, EEWAScheduler(config), machine, seed=7)
+    assert result.tasks_executed == sum(len(b) for b in program)

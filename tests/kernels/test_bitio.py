@@ -1,0 +1,72 @@
+"""Tests for bit-level I/O."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 0, 1, 0, 1, 0):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10101010])
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0x1234, 16)
+        assert w.getvalue() == b"\x12\x34"
+
+    def test_bit_length(self):
+        w = BitWriter()
+        w.write_bits(0, 13)
+        assert w.bit_length == 13
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(KernelError):
+            w.write_bits(8, 3)
+        with pytest.raises(KernelError):
+            w.write_bits(-1, 4)
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(3)
+        assert w.getvalue() == bytes([0b11100000])
+
+
+class TestBitReader:
+    def test_roundtrip_bits(self):
+        w = BitWriter()
+        values = [(0b1, 1), (0b1011, 4), (0xFFFF, 16), (0, 7)]
+        for v, n in values:
+            w.write_bits(v, n)
+        r = BitReader(w.getvalue())
+        for v, n in values:
+            assert r.read_bits(n) == v
+
+    def test_roundtrip_unary(self):
+        w = BitWriter()
+        for v in (0, 1, 5, 12):
+            w.write_unary(v)
+        r = BitReader(w.getvalue())
+        for v in (0, 1, 5, 12):
+            assert r.read_unary() == v
+
+    def test_exhaustion_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(KernelError):
+            r.read_bit()
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining == 16
+        r.read_bits(5)
+        assert r.bits_remaining == 11

@@ -1,0 +1,109 @@
+"""Tests for the BWT, the BWC pipeline and the bzip2 pipeline."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.bwt import (
+    BWTResult,
+    bwc_compress,
+    bwc_decompress,
+    bwt_forward,
+    bwt_inverse,
+    suffix_array,
+)
+from repro.kernels.bzip2 import (
+    bzip2_compress,
+    bzip2_decompress,
+    compress_block,
+    decompress_block,
+)
+
+
+class TestSuffixArray:
+    def test_banana(self):
+        # suffixes of "banana": a(5) ana(3) anana(1) banana(0) na(4) nana(2)
+        assert suffix_array(b"banana") == [5, 3, 1, 0, 4, 2]
+
+    def test_empty(self):
+        assert suffix_array(b"") == []
+
+    def test_matches_naive_sort(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            data = bytes(rng.randrange(0, 4) for _ in range(rng.randrange(1, 60)))
+            naive = sorted(range(len(data)), key=lambda i: data[i:])
+            assert suffix_array(data) == naive
+
+
+class TestBWT:
+    def test_banana_classic(self):
+        result = bwt_forward(b"banana")
+        assert result.transformed == b"annbaa"
+        assert result.primary_index == 4
+
+    def test_roundtrip(self):
+        for data in (b"", b"a", b"abracadabra", b"aaaa", bytes(range(256))):
+            assert bwt_inverse(bwt_forward(data)) == data
+
+    def test_transform_is_permutation(self):
+        data = b"the quick brown fox"
+        result = bwt_forward(data)
+        assert sorted(result.transformed) == sorted(data)
+
+    def test_clusters_repeated_context(self):
+        """BWT's raison d'etre: equal-context bytes cluster."""
+        data = b"she sells sea shells on the sea shore " * 5
+        transformed = bwt_forward(data).transformed
+        runs = sum(1 for a, b in zip(transformed, transformed[1:]) if a == b)
+        runs_raw = sum(1 for a, b in zip(data, data[1:]) if a == b)
+        assert runs > runs_raw
+
+    def test_bad_primary_index_rejected(self):
+        with pytest.raises(KernelError):
+            bwt_inverse(BWTResult(transformed=b"ab", primary_index=9))
+
+
+class TestBWC:
+    def test_roundtrip(self):
+        for data in (b"", b"x", b"the quick brown fox " * 30, bytes(range(64)) * 4):
+            assert bwc_decompress(bwc_compress(data)) == data
+
+    def test_compresses_text(self):
+        data = b"compression pipelines compress compressible content " * 40
+        block = bwc_compress(data)
+        assert len(block.payload) < len(data) / 4
+
+
+class TestBzip2:
+    def test_block_roundtrip(self):
+        data = b"some block content with repeats repeats repeats" * 10
+        assert decompress_block(compress_block(data)) == data
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(KernelError):
+            compress_block(b"")
+
+    def test_stream_roundtrip_multi_block(self):
+        data = (b"0123456789abcdef" * 400)[:5500]
+        stream = bzip2_compress(data, block_size=1024)
+        assert len(stream.blocks) == 6
+        assert bzip2_decompress(stream) == data
+
+    def test_stream_roundtrip_empty(self):
+        stream = bzip2_compress(b"")
+        assert stream.blocks == ()
+        assert bzip2_decompress(stream) == b""
+
+    def test_rle1_defuses_pathological_runs(self):
+        """A megarun must not blow up the BWT stage."""
+        data = b"a" * 5000
+        stream = bzip2_compress(data, block_size=8192)
+        assert bzip2_decompress(stream) == data
+        # And it compresses extremely well.
+        assert len(stream.blocks[0].payload) < 200
+
+    def test_invalid_block_size(self):
+        with pytest.raises(KernelError):
+            bzip2_compress(b"abc", block_size=0)

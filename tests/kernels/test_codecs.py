@@ -1,0 +1,126 @@
+"""Unit tests for RLE, MTF and Huffman codecs."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.bitio import BitReader, BitWriter
+from repro.kernels.huffman import (
+    HuffmanTable,
+    canonical_codes,
+    code_lengths,
+    huffman_compress,
+    huffman_decompress,
+)
+from repro.kernels.mtf import mtf_decode, mtf_encode
+from repro.kernels.rle import (
+    rle2_decode_zeros,
+    rle2_encode_zeros,
+    rle_decode,
+    rle_encode,
+)
+
+
+class TestRle1:
+    def test_short_runs_verbatim(self):
+        assert rle_encode(b"abcabc") == b"abcabc"
+
+    def test_long_run_compressed(self):
+        assert rle_encode(b"a" * 10) == b"aaaa" + bytes([6])
+
+    def test_exact_threshold_run(self):
+        assert rle_encode(b"a" * 4) == b"aaaa" + bytes([0])
+
+    def test_roundtrip_cases(self):
+        for data in (b"", b"x", b"aaab", b"a" * 300, b"ab" * 50, b"aaaabbbbcccc"):
+            assert rle_decode(rle_encode(data)) == data
+
+    def test_truncated_run_raises(self):
+        with pytest.raises(KernelError):
+            rle_decode(b"aaaa")  # count byte missing
+
+
+class TestRle2:
+    def test_zero_runs_use_runa_runb(self):
+        out = rle2_encode_zeros([0, 0, 0])
+        assert all(s in (0, 1) for s in out)
+
+    def test_nonzero_shifted_up(self):
+        assert rle2_encode_zeros([5]) == [6]
+
+    def test_roundtrip(self):
+        cases = [
+            [],
+            [0],
+            [0] * 17,
+            [1, 2, 3],
+            [0, 0, 5, 0, 0, 0, 1, 0],
+            list(range(0, 20)) + [0] * 9,
+        ]
+        for symbols in cases:
+            assert rle2_decode_zeros(rle2_encode_zeros(symbols)) == symbols
+
+    def test_negative_rejected(self):
+        with pytest.raises(KernelError):
+            rle2_encode_zeros([-1])
+
+
+class TestMtf:
+    def test_repeated_bytes_become_zeros(self):
+        out = mtf_encode(b"aaaa")
+        assert out[1:] == [0, 0, 0]
+
+    def test_roundtrip(self):
+        for data in (b"", b"banana", bytes(range(256)), b"mississippi" * 3):
+            assert mtf_decode(mtf_encode(data)) == data
+
+    def test_decode_invalid_symbol(self):
+        with pytest.raises(KernelError):
+            mtf_decode([256])
+
+
+class TestHuffman:
+    def test_code_lengths_favour_frequent_symbols(self):
+        lengths = code_lengths({0: 100, 1: 10, 2: 1})
+        assert lengths[0] <= lengths[1] <= lengths[2]
+
+    def test_kraft_equality(self):
+        """Huffman lengths satisfy the Kraft sum == 1 (full binary tree)."""
+        lengths = code_lengths({i: (i + 1) ** 2 for i in range(20)})
+        assert sum(2 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = code_lengths({i: i + 1 for i in range(10)})
+        codes = canonical_codes(lengths)
+        items = [(format(c, f"0{l}b")) for c, l in codes.values()]
+        for i, a in enumerate(items):
+            for j, b in enumerate(items):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_single_symbol_alphabet(self):
+        payload, table, count = huffman_compress([7, 7, 7])
+        assert huffman_decompress(payload, table, count) == [7, 7, 7]
+
+    def test_roundtrip(self):
+        symbols = [0, 1, 1, 2, 2, 2, 3, 3, 3, 3] * 20
+        payload, table, count = huffman_compress(symbols)
+        assert huffman_decompress(payload, table, count) == symbols
+
+    def test_compresses_skewed_data(self):
+        symbols = [0] * 1000 + [1] * 10
+        payload, _, _ = huffman_compress(symbols)
+        assert len(payload) < len(symbols) / 4
+
+    def test_unknown_symbol_rejected(self):
+        table = HuffmanTable.from_symbols([1, 2, 3])
+        with pytest.raises(KernelError):
+            table.encode([9], BitWriter())
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(KernelError):
+            code_lengths({})
+
+    def test_corrupt_stream_detected(self):
+        payload, table, count = huffman_compress([1, 2, 3, 1, 2, 3])
+        with pytest.raises(KernelError):
+            table.decode(BitReader(b"\xff" * 2), 100)

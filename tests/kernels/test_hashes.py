@@ -1,0 +1,78 @@
+"""MD5 and SHA-1 versus hashlib (the authoritative oracle)."""
+
+import hashlib
+
+import pytest
+
+from repro.kernels.md5 import MD5, md5_digest, md5_hexdigest
+from repro.kernels.sha1 import SHA1, sha1_digest, sha1_hexdigest
+
+RFC1321_VECTORS = [
+    (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+    (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+    (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+    (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+    (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+]
+
+SHA1_VECTORS = [
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    ),
+]
+
+
+class TestMD5:
+    @pytest.mark.parametrize("data,expected", RFC1321_VECTORS)
+    def test_rfc1321_vectors(self, data, expected):
+        assert md5_hexdigest(data) == expected
+
+    @pytest.mark.parametrize("n", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000])
+    def test_padding_boundaries_vs_hashlib(self, n):
+        data = (bytes(range(256)) * 4)[:n]
+        assert md5_hexdigest(data) == hashlib.md5(data).hexdigest()
+
+    def test_incremental_equals_oneshot(self):
+        data = b"incremental hashing across odd chunk sizes" * 7
+        h = MD5()
+        for i in range(0, len(data), 13):
+            h.update(data[i : i + 13])
+        assert h.hexdigest() == md5_hexdigest(data)
+
+    def test_digest_idempotent(self):
+        h = MD5(b"abc")
+        assert h.digest() == h.digest()
+        h.update(b"def")
+        assert h.hexdigest() == hashlib.md5(b"abcdef").hexdigest()
+
+    def test_digest_size(self):
+        assert len(md5_digest(b"x")) == 16
+
+
+class TestSHA1:
+    @pytest.mark.parametrize("data,expected", SHA1_VECTORS)
+    def test_fips_vectors(self, data, expected):
+        assert sha1_hexdigest(data) == expected
+
+    @pytest.mark.parametrize("n", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000])
+    def test_padding_boundaries_vs_hashlib(self, n):
+        data = (bytes(range(256)) * 4)[:n]
+        assert sha1_hexdigest(data) == hashlib.sha1(data).hexdigest()
+
+    def test_incremental_equals_oneshot(self):
+        data = b"incremental hashing across odd chunk sizes" * 7
+        h = SHA1()
+        for i in range(0, len(data), 17):
+            h.update(data[i : i + 17])
+        assert h.hexdigest() == sha1_hexdigest(data)
+
+    def test_million_a_reduced(self):
+        """The classic 'a' * 10^6 vector, shrunk to keep CI fast but still
+        crossing many block boundaries."""
+        data = b"a" * 10_000
+        assert sha1_hexdigest(data) == hashlib.sha1(data).hexdigest()
+
+    def test_digest_size(self):
+        assert len(sha1_digest(b"x")) == 20

@@ -1,0 +1,128 @@
+"""Tests for the JPEG-style encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.jpeg import (
+    block_join,
+    block_split,
+    dct_matrix,
+    entropy_decode,
+    entropy_encode,
+    forward_blocks,
+    inverse_blocks,
+    jpeg_decode,
+    jpeg_encode,
+    quant_table,
+    zigzag_order,
+)
+
+
+def smooth_image(h=48, w=64, seed=0):
+    rng = np.random.default_rng(seed)
+    x, y = np.meshgrid(np.arange(w), np.arange(h))
+    img = 128 + 50 * np.sin(x / 8.0) + 40 * np.cos(y / 6.0) + rng.normal(0, 4, (h, w))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+class TestTransformPieces:
+    def test_dct_matrix_orthonormal(self):
+        c = dct_matrix()
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_zigzag_is_permutation(self):
+        order = zigzag_order()
+        assert len(order) == 64
+        assert sorted(order) == [(r, c) for r in range(8) for c in range(8)]
+        assert order[0] == (0, 0)
+        assert order[1] == (0, 1)
+        assert order[2] == (1, 0)
+
+    def test_quant_table_quality_ordering(self):
+        low = quant_table(10)
+        high = quant_table(90)
+        assert np.all(low >= high)
+        for q in (1, 50, 100):
+            table = quant_table(q)
+            assert np.all(table >= 1) and np.all(table <= 255)
+            assert np.array_equal(table, np.floor(table))
+
+    def test_quality_bounds(self):
+        with pytest.raises(KernelError):
+            quant_table(0)
+        with pytest.raises(KernelError):
+            quant_table(101)
+
+    def test_block_split_join_roundtrip(self):
+        img = smooth_image(37, 53)
+        blocks, h, w = block_split(img)
+        assert blocks.shape == (5 * 7, 8, 8)
+        back = block_join(blocks, h, w)
+        assert np.array_equal(back, img.astype(np.float64))
+
+    def test_dct_inverse_identity_without_quantisation(self):
+        img = smooth_image(16, 16)
+        blocks, _, _ = block_split(img)
+        quantised, q = forward_blocks(img, quality=100)
+        # quality=100 still quantises (table of ones after scaling), so we
+        # check the pure transform pair directly instead.
+        from repro.kernels.jpeg import _DCT
+
+        shifted = blocks - 128.0
+        coeffs = np.einsum("ij,bjk,lk->bil", _DCT, shifted, _DCT)
+        back = np.einsum("ji,bjk,kl->bil", _DCT, coeffs, _DCT) + 128.0
+        assert np.allclose(back, blocks, atol=1e-9)
+
+
+class TestEntropyStage:
+    def test_exact_roundtrip(self):
+        img = smooth_image()
+        quantised, _ = forward_blocks(img, 70)
+        symbols, amps = entropy_encode(quantised)
+        back = entropy_decode(symbols, amps, quantised.shape[0])
+        assert np.array_equal(back, quantised)
+
+    def test_all_zero_blocks(self):
+        quantised = np.zeros((3, 8, 8), dtype=np.int32)
+        symbols, amps = entropy_encode(quantised)
+        back = entropy_decode(symbols, amps, 3)
+        assert np.array_equal(back, quantised)
+
+    def test_negative_coefficients_roundtrip(self):
+        quantised = np.zeros((1, 8, 8), dtype=np.int32)
+        quantised[0, 0, 0] = -37
+        quantised[0, 7, 7] = -1
+        symbols, amps = entropy_encode(quantised)
+        back = entropy_decode(symbols, amps, 1)
+        assert np.array_equal(back, quantised)
+
+    def test_long_zero_run_uses_zrl(self):
+        quantised = np.zeros((1, 8, 8), dtype=np.int32)
+        quantised[0, 7, 6] = 3  # forces > 16-zero runs before it
+        symbols, _ = entropy_encode(quantised)
+        assert 0xF0 in symbols
+
+
+class TestFullPipeline:
+    def test_shape_preserved(self):
+        img = smooth_image(37, 53)
+        assert jpeg_decode(jpeg_encode(img, 75)).shape == img.shape
+
+    def test_reconstruction_error_bounded(self):
+        img = smooth_image()
+        for quality, max_err in ((95, 3.0), (75, 6.0), (30, 14.0)):
+            decoded = jpeg_decode(jpeg_encode(img, quality))
+            err = np.abs(decoded.astype(int) - img.astype(int)).mean()
+            assert err < max_err, (quality, err)
+
+    def test_higher_quality_bigger_payload(self):
+        img = smooth_image()
+        sizes = [len(jpeg_encode(img, q).payload) for q in (20, 60, 95)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_flat_image_tiny_payload(self):
+        img = np.full((32, 32), 128, dtype=np.uint8)
+        enc = jpeg_encode(img, 75)
+        assert len(enc.payload) < 40
+        assert np.abs(jpeg_decode(enc).astype(int) - 128).max() <= 1

@@ -1,0 +1,138 @@
+"""Tests for LZW and DMC."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.dmc import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    DMCModel,
+    dmc_compress,
+    dmc_decompress,
+)
+from repro.kernels.lzw import lzw_compress, lzw_decompress
+
+
+class TestLZW:
+    def test_roundtrip_classics(self):
+        cases = [
+            b"",
+            b"a",
+            b"aaaa",
+            b"TOBEORNOTTOBEORTOBEORNOT",  # the textbook KwKwK case input
+            b"abababababababab",
+            bytes(range(256)),
+        ]
+        for data in cases:
+            assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_roundtrip_large_forces_width_growth(self):
+        import random
+
+        rng = random.Random(1)
+        data = bytes(rng.randrange(0, 256) for _ in range(120_000))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_compresses_repetitive_text(self):
+        data = b"the quick brown fox " * 200
+        assert len(lzw_compress(data)) < len(data) / 4
+
+    def test_random_bytes_roundtrip_fuzz(self):
+        import random
+
+        rng = random.Random(2)
+        for _ in range(25):
+            n = rng.randrange(0, 2000)
+            data = bytes(rng.randrange(0, 16) for _ in range(n))
+            assert lzw_decompress(lzw_compress(data)) == data
+
+
+class TestArithmeticCoder:
+    def test_biased_stream_roundtrip(self):
+        import random
+
+        rng = random.Random(3)
+        bits = [1 if rng.random() < 0.9 else 0 for _ in range(2000)]
+        enc = ArithmeticEncoder()
+        for b in bits:
+            enc.encode(b, p0=0.1)
+        payload = enc.finish()
+        dec = ArithmeticDecoder(payload)
+        assert [dec.decode(p0=0.1) for _ in bits] == bits
+
+    def test_biased_stream_compresses(self):
+        enc = ArithmeticEncoder()
+        for _ in range(8000):
+            enc.encode(0, p0=0.99)
+        payload = enc.finish()
+        assert len(payload) < 8000 / 8 / 4  # far below 1 bit per symbol
+
+    def test_alternating_fair_bits(self):
+        enc = ArithmeticEncoder()
+        bits = [0, 1] * 500
+        for b in bits:
+            enc.encode(b, p0=0.5)
+        dec = ArithmeticDecoder(enc.finish())
+        assert [dec.decode(p0=0.5) for _ in bits] == bits
+
+
+class TestDMCModel:
+    def test_states_grow_by_cloning(self):
+        model = DMCModel()
+        for _ in range(200):
+            model.update(1)
+            model.update(0)
+        assert model.num_states > 1
+
+    def test_state_cap_respected(self):
+        model = DMCModel(max_states=8)
+        import random
+
+        rng = random.Random(4)
+        for _ in range(5000):
+            model.update(rng.randrange(2))
+        assert model.num_states <= 8
+
+    def test_prediction_tracks_bias(self):
+        model = DMCModel()
+        for _ in range(500):
+            model.update(0)
+        assert model.p0() > 0.9
+
+    def test_p0_is_probability(self):
+        model = DMCModel()
+        import random
+
+        rng = random.Random(5)
+        for _ in range(1000):
+            assert 0.0 < model.p0() < 1.0
+            model.update(rng.randrange(2))
+
+
+class TestDMC:
+    def test_roundtrip_cases(self):
+        cases = [b"", b"a", b"abcabc" * 40, bytes(range(256))]
+        for data in cases:
+            assert dmc_decompress(dmc_compress(data)) == data
+
+    def test_roundtrip_fuzz(self):
+        import random
+
+        rng = random.Random(6)
+        for _ in range(10):
+            n = rng.randrange(0, 1500)
+            data = bytes(rng.randrange(0, 256) for _ in range(n))
+            assert dmc_decompress(dmc_compress(data)) == data
+
+    def test_compresses_text(self):
+        data = b"dynamic markov coding predicts bits " * 100
+        assert len(dmc_compress(data)) < len(data) / 3
+
+    def test_max_states_must_match(self):
+        data = b"the model must be identical on both sides " * 20
+        payload = dmc_compress(data, max_states=1 << 6)
+        assert dmc_decompress(payload, max_states=1 << 6) == data
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(KernelError):
+            dmc_decompress(b"\x00")

@@ -1,0 +1,44 @@
+"""Tests for kernel cost profiling/calibration."""
+
+from repro.kernels.profile import (
+    REFERENCE_COSTS,
+    measure_kernel_costs,
+    reference_stages,
+)
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+class TestReferenceStages:
+    def test_every_benchmark_has_stages(self):
+        benches = {s.benchmark for s in reference_stages()}
+        assert benches == set(BENCHMARK_NAMES)
+
+    def test_stage_keys_match_frozen_costs(self):
+        keys = {(s.benchmark, s.task_class) for s in reference_stages()}
+        assert keys == set(REFERENCE_COSTS)
+
+    def test_all_stages_runnable(self):
+        for stage in reference_stages():
+            stage.run()  # must not raise
+
+    def test_frozen_costs_positive(self):
+        assert all(v > 0 for v in REFERENCE_COSTS.values())
+
+
+class TestMeasurement:
+    def test_measure_returns_all_stages(self):
+        costs = measure_kernel_costs(repeats=1)
+        assert set(costs) == set(REFERENCE_COSTS)
+        assert all(v > 0 for v in costs.values())
+
+    def test_frozen_ratios_roughly_current(self):
+        """The frozen intra-benchmark ratios should be within an order of
+        magnitude of a fresh measurement (host speed cancels in ratios)."""
+        costs = measure_kernel_costs(repeats=1)
+        for bench in ("BWC", "DMC", "MD5"):
+            keys = [k for k in REFERENCE_COSTS if k[0] == bench]
+            base = keys[0]
+            for key in keys[1:]:
+                frozen_ratio = REFERENCE_COSTS[key] / REFERENCE_COSTS[base]
+                live_ratio = costs[key] / costs[base]
+                assert 0.1 < live_ratio / frozen_ratio < 10.0

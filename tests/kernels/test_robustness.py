@@ -1,0 +1,107 @@
+"""Decoder robustness: corrupted payloads fail loudly, never hang or crash
+with anything but :class:`~repro.errors.KernelError` (or produce garbage
+output of bounded size — codecs without integrity checks cannot always
+detect flips, but they must stay safe)."""
+
+import random
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.bwt import BWTResult, bwt_inverse
+from repro.kernels.dmc import MAX_OUTPUT_BYTES, dmc_compress, dmc_decompress
+from repro.kernels.lzw import lzw_compress, lzw_decompress
+from repro.kernels.rle import rle_decode
+
+PAYLOAD = b"reference payload for corruption testing " * 10
+
+
+def flipped(data: bytes, seed: int, flips: int = 3) -> bytes:
+    rng = random.Random(seed)
+    out = bytearray(data)
+    for _ in range(flips):
+        i = rng.randrange(len(out))
+        out[i] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+class TestLzwRobustness:
+    def test_corrupt_payloads_never_crash_or_hang(self):
+        clean = lzw_compress(PAYLOAD)
+        for seed in range(60):
+            try:
+                out = lzw_decompress(flipped(clean, seed))
+            except KernelError:
+                continue
+            # Undetected corruption: output must stay bounded.
+            assert len(out) <= len(PAYLOAD) * 4
+
+    def test_huge_count_header_rejected(self):
+        clean = bytearray(lzw_compress(PAYLOAD))
+        clean[0:4] = (0xFFFFFFF0).to_bytes(4, "big")
+        with pytest.raises(KernelError):
+            lzw_decompress(bytes(clean))
+
+    def test_truncated_payload_rejected(self):
+        clean = lzw_compress(PAYLOAD)
+        with pytest.raises(KernelError):
+            lzw_decompress(clean[: len(clean) // 2])
+
+
+class TestDmcRobustness:
+    def test_corrupt_payloads_never_crash_or_hang(self):
+        clean = dmc_compress(PAYLOAD[:256])
+        for seed in range(25):
+            try:
+                out = dmc_decompress(flipped(clean, seed))
+            except KernelError:
+                continue
+            # The length header bounds the decode; the arithmetic decoder
+            # zero-fills past the stream, so output length is exact.
+            assert len(out) <= MAX_OUTPUT_BYTES
+
+    def test_huge_length_header_rejected(self):
+        clean = bytearray(dmc_compress(PAYLOAD[:64]))
+        clean[0:4] = (MAX_OUTPUT_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(KernelError):
+            dmc_decompress(bytes(clean))
+
+    def test_oversized_input_rejected_symmetrically(self):
+        # Guard exists on the compress side too (documented codec limit).
+        class FakeBytes(bytes):
+            def __len__(self):
+                return MAX_OUTPUT_BYTES + 1
+
+        with pytest.raises(KernelError):
+            dmc_compress(FakeBytes())
+
+
+class TestBwtRobustness:
+    def test_bad_primary_index_rejected(self):
+        with pytest.raises(KernelError):
+            bwt_inverse(BWTResult(transformed=b"abc", primary_index=99))
+
+    def test_non_permutation_detected_or_bounded(self):
+        """A last column that is not a permutation either raises or produces
+        output of the declared length — never an unbounded walk."""
+        try:
+            out = bwt_inverse(BWTResult(transformed=b"\x00" * 8, primary_index=3))
+        except KernelError:
+            return
+        assert len(out) == 8
+
+
+class TestRleRobustness:
+    def test_truncated_run_detected(self):
+        with pytest.raises(KernelError):
+            rle_decode(b"aaaa")  # missing count byte
+
+    def test_random_bytes_safe(self):
+        rng = random.Random(1)
+        for _ in range(40):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+            try:
+                out = rle_decode(blob)
+            except KernelError:
+                continue
+            assert len(out) <= len(blob) * 260  # max expansion: 4+255 per run

@@ -1,0 +1,103 @@
+"""Tests for the simulated core state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.machine.core import BUSY_STATES, CoreState, SimCore
+from repro.machine.frequency import opteron_8380_scale
+
+
+@pytest.fixture
+def core() -> SimCore:
+    return SimCore(core_id=0, scale=opteron_8380_scale())
+
+
+class TestLifecycle:
+    def test_initial_state_parked_at_fastest(self, core):
+        assert core.state is CoreState.PARKED
+        assert core.level == 0
+        assert core.frequency == opteron_8380_scale().fastest
+
+    def test_run_finish_cycle(self, core):
+        core.spin()
+        core.start_task(7)
+        assert core.state is CoreState.RUNNING
+        assert core.running_task_id == 7
+        assert core.finish_task() == 7
+        assert core.state is CoreState.SPINNING
+
+    def test_cannot_start_while_running(self, core):
+        core.spin()
+        core.start_task(1)
+        with pytest.raises(SimulationError):
+            core.start_task(2)
+
+    def test_cannot_finish_when_not_running(self, core):
+        with pytest.raises(SimulationError):
+            core.finish_task()
+
+    def test_cannot_park_or_spin_while_running(self, core):
+        core.spin()
+        core.start_task(1)
+        with pytest.raises(SimulationError):
+            core.park()
+        with pytest.raises(SimulationError):
+            core.spin()
+
+
+class TestDvfs:
+    def test_transition_changes_level(self, core):
+        core.spin()
+        core.begin_transition(3)
+        assert core.in_transition
+        assert core.level == 0  # not yet applied
+        core.complete_transition()
+        assert core.level == 3
+        assert core.state is CoreState.SPINNING
+
+    def test_cannot_transition_while_running(self, core):
+        core.spin()
+        core.start_task(1)
+        with pytest.raises(SimulationError):
+            core.begin_transition(1)
+
+    def test_complete_without_begin_raises(self, core):
+        with pytest.raises(SimulationError):
+            core.complete_transition()
+
+    def test_invalid_level_rejected(self, core):
+        core.spin()
+        with pytest.raises(ConfigurationError):
+            core.begin_transition(9)
+
+
+class TestExecTime:
+    def test_cpu_time_scales_with_frequency(self, core):
+        core.spin()
+        cycles = 2.5e9  # one second at F0
+        assert core.exec_seconds(cycles) == pytest.approx(1.0)
+        core.begin_transition(3)
+        core.complete_transition()
+        assert core.exec_seconds(cycles) == pytest.approx(2.5 / 0.8)
+
+    def test_mem_stall_does_not_scale(self, core):
+        core.spin()
+        t_fast = core.exec_seconds(0.0, mem_stall_seconds=0.5)
+        core.begin_transition(3)
+        core.complete_transition()
+        t_slow = core.exec_seconds(0.0, mem_stall_seconds=0.5)
+        assert t_fast == pytest.approx(t_slow) == pytest.approx(0.5)
+
+    def test_negative_cost_rejected(self, core):
+        with pytest.raises(SimulationError):
+            core.exec_seconds(-1.0)
+
+    def test_busy_states(self):
+        assert CoreState.RUNNING in BUSY_STATES
+        assert CoreState.SPINNING in BUSY_STATES
+        assert CoreState.PARKED not in BUSY_STATES
+        assert CoreState.TRANSITION not in BUSY_STATES
+
+    def test_negative_core_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimCore(core_id=-1, scale=opteron_8380_scale())

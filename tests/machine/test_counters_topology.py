@@ -1,0 +1,64 @@
+"""Tests for performance counters and machine configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.counters import PerfCounters, ZERO_MISS_COUNTERS
+from repro.machine.topology import (
+    MachineConfig,
+    opteron_8380_machine,
+    small_test_machine,
+)
+
+
+class TestPerfCounters:
+    def test_miss_intensity(self):
+        c = PerfCounters(retired_instructions=1000, cache_misses=20)
+        assert c.miss_intensity == pytest.approx(0.02)
+
+    def test_zero_misses(self):
+        assert ZERO_MISS_COUNTERS.miss_intensity == 0.0
+
+    def test_merge_adds(self):
+        a = PerfCounters(retired_instructions=100, cache_misses=5)
+        b = PerfCounters(retired_instructions=300, cache_misses=15)
+        merged = a.merged(b)
+        assert merged.retired_instructions == 400
+        assert merged.cache_misses == 20
+        assert merged.miss_intensity == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerfCounters(retired_instructions=0, cache_misses=0)
+        with pytest.raises(ConfigurationError):
+            PerfCounters(retired_instructions=10, cache_misses=-1)
+
+
+class TestMachineConfig:
+    def test_opteron_preset_matches_paper(self):
+        machine = opteron_8380_machine()
+        assert machine.num_cores == 16
+        assert machine.r == 4
+        assert machine.scale.fastest == pytest.approx(2.5e9)
+        assert machine.scale.slowest == pytest.approx(0.8e9)
+
+    def test_with_cores_scales(self):
+        machine = opteron_8380_machine()
+        smaller = machine.with_cores(4)
+        assert smaller.num_cores == 4
+        assert smaller.scale is machine.scale
+
+    def test_zero_cores_rejected(self):
+        machine = small_test_machine()
+        with pytest.raises(ConfigurationError):
+            machine.with_cores(0)
+
+    def test_negative_latency_rejected(self):
+        machine = small_test_machine()
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                num_cores=2,
+                scale=machine.scale,
+                power=machine.power,
+                steal_cycles=-1.0,
+            )

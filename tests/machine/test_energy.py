@@ -1,0 +1,117 @@
+"""Tests for the energy meter."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.core import CoreState, SimCore
+from repro.machine.energy import EnergyMeter
+from repro.machine.frequency import opteron_8380_scale
+from repro.machine.power import calibrated_power_model
+
+
+@pytest.fixture
+def setup():
+    scale = opteron_8380_scale()
+    power = calibrated_power_model(scale)
+    cores = [SimCore(core_id=i, scale=scale) for i in range(2)]
+    return cores, power, EnergyMeter(cores, power)
+
+
+class TestBilling:
+    def test_parked_cores_draw_idle_power(self, setup):
+        cores, power, meter = setup
+        meter.finalize(1.0)
+        assert meter.core_joules() == pytest.approx(2 * power.idle_power())
+
+    def test_spinning_core_draws_busy_power(self, setup):
+        cores, power, meter = setup
+        cores[0].spin()
+        meter.finalize(2.0)
+        expected = 2.0 * (power.busy_power(cores[0].frequency) + power.idle_power())
+        assert meter.core_joules() == pytest.approx(expected)
+
+    def test_running_equals_spinning_power(self, setup):
+        """An idle Cilk worker burns as much as a working one (Section II)."""
+        cores, power, meter = setup
+        cores[0].spin()
+        cores[1].spin()
+        cores[1].start_task(1)
+        meter.finalize(1.0)
+        a, b = meter.accounts
+        assert a.joules == pytest.approx(b.joules)
+
+    def test_frequency_change_mid_run_is_piecewise(self, setup):
+        cores, power, meter = setup
+        cores[0].spin()
+        meter.observe(1.0)
+        cores[0].begin_transition(3)
+        cores[0].complete_transition()
+        meter.finalize(2.0)
+        expected = (
+            1.0 * power.busy_power(opteron_8380_scale().fastest)
+            + 1.0 * power.busy_power(opteron_8380_scale().slowest)
+            + 2.0 * power.idle_power()  # the second core, parked throughout
+        )
+        assert meter.core_joules() == pytest.approx(expected)
+
+    def test_baseline_energy_proportional_to_time(self, setup):
+        cores, power, meter = setup
+        meter.finalize(3.0)
+        assert meter.baseline_joules() == pytest.approx(3.0 * power.machine_base_power)
+        assert meter.total_joules() == pytest.approx(
+            meter.core_joules() + meter.baseline_joules()
+        )
+
+
+class TestAccounting:
+    def test_time_conservation_per_core(self, setup):
+        cores, _, meter = setup
+        cores[0].spin()
+        meter.observe(0.5)
+        cores[0].start_task(1)
+        meter.observe(1.25)
+        cores[0].finish_task()
+        meter.finalize(2.0)
+        for account in meter.accounts:
+            assert account.seconds == pytest.approx(2.0)
+            assert sum(account.seconds_by_state.values()) == pytest.approx(2.0)
+            assert sum(account.seconds_by_level.values()) == pytest.approx(2.0)
+
+    def test_state_breakdown(self, setup):
+        cores, power, meter = setup
+        cores[0].spin()
+        meter.observe(1.0)
+        cores[0].start_task(1)
+        meter.finalize(3.0)
+        account = meter.accounts[0]
+        assert account.seconds_by_state[CoreState.SPINNING] == pytest.approx(1.0)
+        assert account.seconds_by_state[CoreState.RUNNING] == pytest.approx(2.0)
+        assert meter.spin_joules() == pytest.approx(
+            1.0 * power.busy_power(cores[0].frequency)
+        )
+
+    def test_seconds_by_level_aggregation(self, setup):
+        cores, _, meter = setup
+        meter.finalize(1.5)
+        assert meter.seconds_by_level() == {0: pytest.approx(3.0)}
+
+
+class TestGuards:
+    def test_time_cannot_go_backwards(self, setup):
+        _, _, meter = setup
+        meter.observe(1.0)
+        with pytest.raises(SimulationError):
+            meter.observe(0.5)
+
+    def test_finalized_meter_rejects_updates(self, setup):
+        _, _, meter = setup
+        meter.finalize(1.0)
+        with pytest.raises(SimulationError):
+            meter.observe(2.0)
+
+    def test_zero_interval_is_noop(self, setup):
+        _, _, meter = setup
+        meter.observe(1.0)
+        meter.observe(1.0)
+        meter.finalize(1.0)
+        assert meter.elapsed == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Tests for the power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.frequency import opteron_8380_scale
+from repro.machine.power import PowerModel, VoltageCurve, calibrated_power_model
+
+
+@pytest.fixture
+def model() -> PowerModel:
+    return calibrated_power_model(opteron_8380_scale())
+
+
+class TestVoltageCurve:
+    def test_endpoints(self):
+        curve = VoltageCurve(f_min=1e9, f_max=2e9, v_min=1.0, v_max=1.3)
+        assert curve.voltage(1e9) == pytest.approx(1.0)
+        assert curve.voltage(2e9) == pytest.approx(1.3)
+
+    def test_midpoint_interpolates(self):
+        curve = VoltageCurve(f_min=1e9, f_max=2e9, v_min=1.0, v_max=1.3)
+        assert curve.voltage(1.5e9) == pytest.approx(1.15)
+
+    def test_clamps_outside_range(self):
+        curve = VoltageCurve(f_min=1e9, f_max=2e9, v_min=1.0, v_max=1.3)
+        assert curve.voltage(0.5e9) == pytest.approx(1.0)
+        assert curve.voltage(3e9) == pytest.approx(1.3)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(f_min=2e9, f_max=1e9, v_min=1.0, v_max=1.3)
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(f_min=1e9, f_max=2e9, v_min=1.3, v_max=1.0)
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(f_min=1e9, f_max=2e9, v_min=-1.0, v_max=1.3)
+
+
+class TestPowerModel:
+    def test_busy_power_monotone_in_frequency(self, model):
+        scale = opteron_8380_scale()
+        powers = [model.busy_power(f) for f in scale]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+    def test_busy_exceeds_idle(self, model):
+        scale = opteron_8380_scale()
+        for f in scale:
+            assert model.busy_power(f) > model.idle_power()
+
+    def test_halving_frequency_saves_more_than_half_dynamic(self, model):
+        """V^2 scaling: energy per cycle drops at lower frequency —
+        the premise of Section II's example (p_0 + p_1 < 2 p_0)."""
+        scale = opteron_8380_scale()
+        top, bottom = scale.fastest, scale.slowest
+        # dynamic power per hertz (== energy per cycle) strictly decreases
+        per_cycle_top = model.dynamic_power(top) / top
+        per_cycle_bottom = model.dynamic_power(bottom) / bottom
+        assert per_cycle_bottom < per_cycle_top
+
+    def test_calibration_hits_target_busy_watts(self):
+        scale = opteron_8380_scale()
+        model = calibrated_power_model(scale, top_core_busy_watts=20.0)
+        assert model.busy_power(scale.fastest) == pytest.approx(20.0)
+
+    def test_machine_power_composition(self, model):
+        scale = opteron_8380_scale()
+        p = model.machine_power([scale.fastest, scale.slowest], idle_cores=2)
+        expected = (
+            model.machine_base_power
+            + model.busy_power(scale.fastest)
+            + model.busy_power(scale.slowest)
+            + 2 * model.idle_power()
+        )
+        assert p == pytest.approx(expected)
+
+    def test_invalid_calibration_rejected(self):
+        scale = opteron_8380_scale()
+        with pytest.raises(ConfigurationError):
+            calibrated_power_model(scale, top_core_busy_watts=1.0, core_idle_watts=2.0)
+
+    def test_negative_kappa_rejected(self):
+        curve = VoltageCurve(f_min=1e9, f_max=2e9, v_min=1.0, v_max=1.3)
+        with pytest.raises(ConfigurationError):
+            PowerModel(voltage_curve=curve, kappa=-1.0, core_idle_power=1.0,
+                       machine_base_power=0.0)

@@ -1,0 +1,109 @@
+"""Hypothesis property tests on the engine: conservation laws hold for
+random workloads under every shipped policy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eewa import EEWAScheduler
+from repro.machine.core import CoreState
+from repro.machine.topology import small_test_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+# -- strategies ----------------------------------------------------------------
+
+REF = 2.0e9
+
+task_sizes = st.floats(min_value=1e-4, max_value=0.05)
+
+programs = st.lists(
+    st.lists(task_sizes, min_size=1, max_size=20),
+    min_size=1,
+    max_size=4,
+).map(
+    lambda batches: [
+        flat_batch(
+            i,
+            [TaskSpec(f"c{j % 3}", cpu_cycles=s * REF) for j, s in enumerate(sizes)],
+        )
+        for i, sizes in enumerate(batches)
+    ]
+)
+
+policy_factories = st.sampled_from(
+    [CilkScheduler, CilkDScheduler, EEWAScheduler]
+)
+
+machines = st.sampled_from(
+    [
+        small_test_machine(num_cores=1),
+        small_test_machine(num_cores=3),
+        small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9)),
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, policy_factories, machines, st.integers(min_value=0, max_value=99))
+def test_every_task_executes_exactly_once(program, factory, machine, seed):
+    result = simulate(program, factory(), machine, seed=seed)
+    expected = sum(len(b) for b in program)
+    assert result.tasks_executed == expected
+    ids = [t.task_id for t in result.tasks]
+    assert len(set(ids)) == len(ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs, policy_factories, machines, st.integers(min_value=0, max_value=99))
+def test_energy_and_time_envelopes(program, factory, machine, seed):
+    result = simulate(program, factory(), machine, seed=seed)
+    # Time: at least the critical path (longest single task), at most the
+    # serial sum at the slowest frequency plus generous scheduling slop.
+    longest = max(s.cpu_cycles for b in program for s in b.specs) / machine.scale.fastest
+    serial_slowest = (
+        sum(s.cpu_cycles for b in program for s in b.specs) / machine.scale.slowest
+    )
+    assert result.total_time >= longest - 1e-12
+    assert result.total_time <= serial_slowest * 1.5 + 0.1
+    # Energy: between all-idle and all-busy-at-top-frequency envelopes.
+    p_lo = machine.power.machine_power([], machine.num_cores)
+    p_hi = machine.power.machine_power(
+        [machine.scale.fastest] * machine.num_cores, 0
+    )
+    assert p_lo * result.total_time <= result.total_joules + 1e-9
+    assert result.total_joules <= p_hi * result.total_time + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs, policy_factories, st.integers(min_value=0, max_value=99))
+def test_meter_time_accounting_closes(program, factory, seed):
+    machine = small_test_machine(num_cores=3)
+    result = simulate(program, factory(), machine, seed=seed)
+    for account in result.meter.accounts:
+        assert abs(account.seconds - result.total_time) < 1e-9
+        assert abs(sum(account.seconds_by_state.values()) - result.total_time) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs, policy_factories, st.integers(min_value=0, max_value=99))
+def test_task_times_consistent_with_levels(program, factory, seed):
+    machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+    result = simulate(program, factory(), machine, seed=seed)
+    for task in result.tasks:
+        f = machine.scale[task.executed_level]
+        expected = task.spec.cpu_cycles / f
+        # Mid-run retunes cannot happen without DVFS domains, so the
+        # elapsed time must match the level exactly.
+        assert abs(task.elapsed - expected) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs, st.integers(min_value=0, max_value=99))
+def test_determinism_property(program, seed):
+    machine = small_test_machine(num_cores=3)
+    a = simulate(program, EEWAScheduler(), machine, seed=seed)
+    b = simulate(program, EEWAScheduler(), machine, seed=seed)
+    assert a.total_time == b.total_time
+    assert a.total_joules == b.total_joules

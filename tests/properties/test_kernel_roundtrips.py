@@ -1,0 +1,115 @@
+"""Hypothesis property tests: every lossless kernel round-trips on
+arbitrary inputs, and the hashes agree with hashlib everywhere."""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.bwt import bwc_compress, bwc_decompress, bwt_forward, bwt_inverse
+from repro.kernels.bzip2 import bzip2_compress, bzip2_decompress
+from repro.kernels.dmc import dmc_compress, dmc_decompress
+from repro.kernels.huffman import huffman_compress, huffman_decompress
+from repro.kernels.lzw import lzw_compress, lzw_decompress
+from repro.kernels.md5 import md5_hexdigest
+from repro.kernels.mtf import mtf_decode, mtf_encode
+from repro.kernels.rle import (
+    rle2_decode_zeros,
+    rle2_encode_zeros,
+    rle_decode,
+    rle_encode,
+)
+from repro.kernels.sha1 import sha1_hexdigest
+
+small_bytes = st.binary(max_size=400)
+#: Low-entropy inputs stress run/dictionary handling harder.
+runny_bytes = st.lists(
+    st.sampled_from(list(b"abc\x00")), max_size=400
+).map(bytes)
+
+
+@given(small_bytes)
+def test_rle1_roundtrip(data):
+    assert rle_decode(rle_encode(data)) == data
+
+
+@given(runny_bytes)
+def test_rle1_roundtrip_runny(data):
+    assert rle_decode(rle_encode(data)) == data
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+def test_rle2_roundtrip(symbols):
+    assert rle2_decode_zeros(rle2_encode_zeros(symbols)) == symbols
+
+
+@given(small_bytes)
+def test_mtf_roundtrip(data):
+    assert mtf_decode(mtf_encode(data)) == data
+
+
+@given(small_bytes)
+def test_bwt_roundtrip(data):
+    assert bwt_inverse(bwt_forward(data)) == data
+
+
+@given(small_bytes)
+def test_bwt_is_permutation(data):
+    assert sorted(bwt_forward(data).transformed) == sorted(data)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=300))
+def test_huffman_roundtrip(symbols):
+    payload, table, count = huffman_compress(symbols)
+    assert huffman_decompress(payload, table, count) == symbols
+
+
+@given(small_bytes)
+def test_bwc_roundtrip(data):
+    assert bwc_decompress(bwc_compress(data)) == data
+
+
+@settings(max_examples=50)
+@given(runny_bytes)
+def test_bwc_roundtrip_runny(data):
+    assert bwc_decompress(bwc_compress(data)) == data
+
+
+@settings(max_examples=40)
+@given(st.binary(max_size=1500))
+def test_lzw_roundtrip(data):
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+@settings(max_examples=40)
+@given(runny_bytes)
+def test_lzw_roundtrip_runny(data):
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+@settings(max_examples=25)
+@given(st.binary(max_size=400))
+def test_dmc_roundtrip(data):
+    assert dmc_decompress(dmc_compress(data)) == data
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from(list(b"ab")), max_size=800).map(bytes))
+def test_dmc_roundtrip_binaryish(data):
+    assert dmc_decompress(dmc_compress(data)) == data
+
+
+@settings(max_examples=30)
+@given(st.binary(max_size=2000))
+def test_bzip2_roundtrip(data):
+    assert bzip2_decompress(bzip2_compress(data, block_size=512)) == data
+
+
+@given(small_bytes)
+def test_md5_matches_hashlib(data):
+    assert md5_hexdigest(data) == hashlib.md5(data).hexdigest()
+
+
+@given(small_bytes)
+def test_sha1_matches_hashlib(data):
+    assert sha1_hexdigest(data) == hashlib.sha1(data).hexdigest()

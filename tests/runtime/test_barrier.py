@@ -1,0 +1,60 @@
+"""Tests for batch-barrier bookkeeping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.barrier import BatchBarrier
+
+
+class TestBarrier:
+    def test_open_add_done_close(self):
+        b = BatchBarrier()
+        b.open(0, now=1.0)
+        b.add_task()
+        b.add_task()
+        assert b.task_done() is False
+        assert b.task_done() is True
+        assert b.close(now=1.5) == pytest.approx(0.5)
+        assert b.history == [(0, 2, 1.0, pytest.approx(0.5))]
+
+    def test_tasks_added_mid_batch_counted(self):
+        b = BatchBarrier()
+        b.open(0, now=0.0)
+        b.add_task()
+        assert b.task_done() is True  # would drain...
+        b.add_task()  # ...but a spawn arrives
+        assert b.outstanding == 1
+
+    def test_double_open_rejected(self):
+        b = BatchBarrier()
+        b.open(0, now=0.0)
+        with pytest.raises(SimulationError):
+            b.open(1, now=0.0)
+
+    def test_done_without_open_rejected(self):
+        with pytest.raises(SimulationError):
+            BatchBarrier().task_done()
+
+    def test_close_with_outstanding_rejected(self):
+        b = BatchBarrier()
+        b.open(0, now=0.0)
+        b.add_task()
+        with pytest.raises(SimulationError):
+            b.close(now=1.0)
+
+    def test_excess_done_rejected(self):
+        b = BatchBarrier()
+        b.open(0, now=0.0)
+        b.add_task()
+        b.task_done()
+        with pytest.raises(SimulationError):
+            b.task_done()
+
+    def test_sequential_batches_accumulate_history(self):
+        b = BatchBarrier()
+        for i in range(3):
+            b.open(i, now=float(i))
+            b.add_task()
+            b.task_done()
+            b.close(now=float(i) + 0.25)
+        assert [h[0] for h in b.history] == [0, 1, 2]

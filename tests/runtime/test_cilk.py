@@ -1,0 +1,68 @@
+"""Tests for the Cilk baseline policy."""
+
+import pytest
+
+from repro.machine.core import CoreState
+from repro.machine.topology import small_test_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+REF = 2.0e9
+
+
+def program_one_batch(*seconds):
+    return [flat_batch(0, [TaskSpec("w", cpu_cycles=s * REF) for s in seconds])]
+
+
+class TestCilk:
+    def test_all_cores_stay_at_f0(self):
+        machine = small_test_machine(num_cores=2)
+        result = simulate(program_one_batch(0.2, 0.01), CilkScheduler(), machine)
+        # Only level 0 ever accumulates time.
+        assert set(result.meter.seconds_by_level()) == {0}
+        assert result.trace.transitions == []
+
+    def test_idle_core_spins_at_full_power(self):
+        machine = small_test_machine(num_cores=2)
+        result = simulate(program_one_batch(0.2, 0.01), CilkScheduler(), machine)
+        # Core finishing the small task spins until the big one ends.
+        spin = result.spin_joules
+        busy_power = machine.power.busy_power(machine.scale.fastest)
+        assert spin == pytest.approx(busy_power * (0.2 - 0.01), rel=0.1)
+
+    def test_single_core_placement(self):
+        machine = small_test_machine(num_cores=2)
+        program = program_one_batch(*([0.01] * 8))
+        rr = simulate(program, CilkScheduler("round_robin"), machine, seed=1)
+        sc = simulate(program, CilkScheduler("single_core"), machine, seed=1)
+        # With single-core placement, every task core 1 runs was stolen.
+        assert sc.policy_stats["tasks_stolen"] >= rr.policy_stats["tasks_stolen"]
+        assert sc.tasks_executed == rr.tasks_executed == 8
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            CilkScheduler("hashed")
+
+    def test_fixed_core_levels_respected(self):
+        machine = small_test_machine(num_cores=2)
+        result = simulate(
+            program_one_batch(0.1, 0.1),
+            CilkScheduler(core_levels=[0, 1]),
+            machine,
+        )
+        by_level = result.meter.seconds_by_level()
+        assert by_level[0] > 0 and by_level[1] > 0
+
+    def test_wrong_levels_length_rejected(self):
+        machine = small_test_machine(num_cores=2)
+        with pytest.raises(ValueError):
+            simulate(program_one_batch(0.1), CilkScheduler(core_levels=[0]), machine)
+
+    def test_stats_accounting(self):
+        machine = small_test_machine(num_cores=2)
+        policy = CilkScheduler()
+        result = simulate(program_one_batch(*([0.02] * 10)), policy, machine, seed=3)
+        stats = result.policy_stats
+        assert stats["tasks_executed"] == 10
+        assert stats["local_pops"] + stats["tasks_stolen"] == 10

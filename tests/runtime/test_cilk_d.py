@@ -1,0 +1,83 @@
+"""Tests for the Cilk-D baseline."""
+
+import pytest
+
+from repro.machine.topology import small_test_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+REF = 2.0e9
+
+
+def imbalanced_program(batches=2, tail=0.3):
+    """One long task + several short ones per batch: a big idle tail."""
+    out = []
+    for i in range(batches):
+        specs = [TaskSpec("small", cpu_cycles=0.01 * REF) for _ in range(3)]
+        specs.append(TaskSpec("big", cpu_cycles=tail * REF))
+        out.append(flat_batch(i, specs))
+    return out
+
+
+class TestCilkD:
+    def test_saves_energy_vs_cilk_on_idle_tails(self):
+        machine = small_test_machine(num_cores=4)
+        program = imbalanced_program()
+        cilk = simulate(program, CilkScheduler(), machine, seed=1)
+        cilk_d = simulate(program, CilkDScheduler(idle_grace_s=0.005), machine, seed=1)
+        assert cilk_d.total_joules < cilk.total_joules
+        # And barely slower.
+        assert cilk_d.total_time <= cilk.total_time * 1.05
+
+    def test_idle_cores_reach_slowest_level(self):
+        machine = small_test_machine(num_cores=4)
+        result = simulate(
+            imbalanced_program(), CilkDScheduler(idle_grace_s=0.005), machine, seed=1
+        )
+        by_level = result.meter.seconds_by_level()
+        slowest = machine.scale.slowest_index
+        assert by_level.get(slowest, 0.0) > 0.0
+        assert result.policy_stats["dvfs_drops"] > 0
+
+    def test_cores_raise_before_running_new_work(self):
+        machine = small_test_machine(num_cores=4)
+        result = simulate(
+            imbalanced_program(batches=3),
+            CilkDScheduler(idle_grace_s=0.005),
+            machine,
+            seed=1,
+        )
+        # Every executed task ran at the fastest level.
+        assert all(t.executed_level == 0 for t in result.tasks)
+        assert result.policy_stats.get("dvfs_raises", 0) > 0
+
+    def test_grace_zero_drops_immediately(self):
+        machine = small_test_machine(num_cores=4)
+        eager = simulate(
+            imbalanced_program(), CilkDScheduler(idle_grace_s=0.0), machine, seed=1
+        )
+        lazy = simulate(
+            imbalanced_program(), CilkDScheduler(idle_grace_s=0.05), machine, seed=1
+        )
+        assert eager.total_joules < lazy.total_joules
+
+    def test_huge_grace_behaves_like_cilk(self):
+        machine = small_test_machine(num_cores=4)
+        program = imbalanced_program()
+        cilk = simulate(program, CilkScheduler(), machine, seed=1)
+        never = simulate(
+            program, CilkDScheduler(idle_grace_s=10.0), machine, seed=1
+        )
+        assert never.total_joules == pytest.approx(cilk.total_joules, rel=1e-6)
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            CilkDScheduler(idle_grace_s=-1.0)
+
+    def test_all_tasks_complete(self):
+        machine = small_test_machine(num_cores=4)
+        program = imbalanced_program(batches=4)
+        result = simulate(program, CilkDScheduler(idle_grace_s=0.002), machine, seed=2)
+        assert result.tasks_executed == sum(len(b) for b in program)

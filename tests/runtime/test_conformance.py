@@ -1,0 +1,91 @@
+"""The conformance harness applied to every shipped policy, and to a
+deliberately broken one."""
+
+import pytest
+
+from repro.core.eewa import EEWAScheduler
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.conformance import check_policy
+from repro.runtime.policy import RunTask, SchedulerPolicy, Wait
+from repro.runtime.wats import WATSScheduler
+
+
+class TestShippedPolicies:
+    def test_cilk_conforms(self):
+        report = check_policy(CilkScheduler)
+        assert report.ok, report.failures
+        assert report.checks_run == 6
+
+    def test_cilk_d_conforms(self):
+        report = check_policy(CilkDScheduler)
+        assert report.ok, report.failures
+
+    def test_eewa_conforms(self):
+        report = check_policy(EEWAScheduler)
+        assert report.ok, report.failures
+
+    def test_wats_conforms(self):
+        report = check_policy(lambda: WATSScheduler([0, 0, 1, 2]))
+        assert report.ok, report.failures
+
+
+class TestBrokenPolicies:
+    def test_task_dropping_policy_detected(self):
+        class DropsTasks(SchedulerPolicy):
+            """Loses every third task."""
+
+            name = "drops-tasks"
+
+            def on_batch_start(self, batch, tasks):
+                self._tasks = [t for i, t in enumerate(tasks) if i % 3]
+
+            def on_spawn(self, core_id, task):
+                self._tasks.append(task)
+
+            def next_action(self, core_id):
+                if self._tasks:
+                    return RunTask(self._tasks.pop())
+                return Wait()
+
+        report = check_policy(DropsTasks)
+        assert not report.ok
+        # Every execution-count check fails.
+        assert any("balanced-batches" in f for f in report.failures)
+
+    def test_serialising_policy_detected(self):
+        class OnlyCoreZero(SchedulerPolicy):
+            """Runs everything on core 0 — legal but grossly serial."""
+
+            name = "core-zero-only"
+
+            def on_batch_start(self, batch, tasks):
+                self._tasks = list(tasks)
+
+            def on_spawn(self, core_id, task):
+                self._tasks.append(task)
+
+            def next_action(self, core_id):
+                if core_id == 0 and self._tasks:
+                    return RunTask(self._tasks.pop())
+                return Wait()
+
+        report = check_policy(OnlyCoreZero)
+        # Completes all work (not a correctness failure) but may trip the
+        # serialisation bound; either way it must not crash the harness.
+        assert report.checks_run == 6
+
+    def test_spawnless_policy_with_flag(self):
+        class NoSpawns(SchedulerPolicy):
+            name = "no-spawns"
+
+            def on_batch_start(self, batch, tasks):
+                self._tasks = list(tasks)
+
+            def next_action(self, core_id):
+                if self._tasks:
+                    return RunTask(self._tasks.pop())
+                return Wait()
+
+        assert not check_policy(NoSpawns).ok  # spawns check fails
+        assert check_policy(NoSpawns, check_spawns=False).ok

@@ -1,0 +1,109 @@
+"""Tests for the work-stealing deque and the pool grid."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.deque import WorkStealingDeque
+from repro.runtime.pools import PoolGrid
+from repro.runtime.task import TaskFactory, TaskSpec
+
+
+def make_tasks(n: int):
+    factory = TaskFactory()
+    return [factory.make(TaskSpec(f"f{i}", 1.0), 0) for i in range(n)]
+
+
+class TestWorkStealingDeque:
+    def test_owner_pops_lifo(self):
+        d = WorkStealingDeque()
+        d.push_bottom(1)
+        d.push_bottom(2)
+        d.push_bottom(3)
+        assert d.pop_bottom() == 3
+        assert d.pop_bottom() == 2
+
+    def test_thief_steals_fifo(self):
+        d = WorkStealingDeque()
+        for i in range(3):
+            d.push_bottom(i)
+        assert d.steal_top() == 0
+        assert d.steal_top() == 1
+
+    def test_owner_and_thief_disjoint(self):
+        d = WorkStealingDeque()
+        for i in range(4):
+            d.push_bottom(i)
+        assert d.steal_top() == 0
+        assert d.pop_bottom() == 3
+        assert d.steal_top() == 1
+        assert d.pop_bottom() == 2
+        assert d.pop_bottom() is None
+        assert d.steal_top() is None
+
+    def test_len_and_clear(self):
+        d = WorkStealingDeque()
+        d.push_bottom(1)
+        assert len(d) == 1 and bool(d)
+        d.clear()
+        assert len(d) == 0 and not d
+
+
+class TestPoolGrid:
+    def test_push_pop_local(self):
+        grid = PoolGrid(num_cores=2, num_pools=2)
+        (task,) = make_tasks(1)
+        grid.push(0, 1, task)
+        assert grid.local_len(0, 1) == 1
+        assert grid.pop_local(0, 1) is task
+        assert grid.pop_local(0, 1) is None
+
+    def test_steal_marks_task(self):
+        grid = PoolGrid(2, 1)
+        (task,) = make_tasks(1)
+        grid.push(0, 0, task)
+        stolen = grid.steal(0, 0)
+        assert stolen is task
+        assert stolen.stolen is True
+
+    def test_pool_index_counter_tracks_pushes_pops(self):
+        grid = PoolGrid(2, 2)
+        tasks = make_tasks(4)
+        for i, t in enumerate(tasks):
+            grid.push(i % 2, 0, t)
+        assert grid.queued_in_pool_index(0) == 4
+        assert grid.pool_index_empty(1)
+        grid.pop_local(0, 0)
+        grid.steal(1, 0)
+        assert grid.queued_in_pool_index(0) == 2
+        assert grid.total_queued() == 2
+
+    def test_victims_with_work(self):
+        grid = PoolGrid(3, 1)
+        (task,) = make_tasks(1)
+        grid.push(1, 0, task)
+        assert grid.victims_with_work(0, exclude=0) == [1]
+        assert grid.victims_with_work(0, exclude=1) == []
+        assert grid.victims_with_work(0, exclude=2) == [1]
+
+    def test_victims_with_candidates_subset(self):
+        grid = PoolGrid(4, 1)
+        tasks = make_tasks(2)
+        grid.push(1, 0, tasks[0])
+        grid.push(3, 0, tasks[1])
+        assert grid.victims_with_work(0, exclude=0, candidates=[1, 2]) == [1]
+
+    def test_bounds_checked(self):
+        grid = PoolGrid(2, 2)
+        (task,) = make_tasks(1)
+        with pytest.raises(SchedulingError):
+            grid.push(2, 0, task)
+        with pytest.raises(SchedulingError):
+            grid.pop_local(0, 2)
+
+    def test_clear_resets_counters(self):
+        grid = PoolGrid(2, 2)
+        for t in make_tasks(3):
+            grid.push(0, 0, t)
+        grid.clear()
+        assert grid.total_queued() == 0
+        assert grid.pool_index_empty(0)

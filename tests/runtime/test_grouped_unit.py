@@ -1,0 +1,153 @@
+"""Direct unit tests for GroupedStealingPolicy internals (placement,
+preference traversal, guard arming) using a scripted context."""
+
+import pytest
+
+from repro.core.cgroups import CGroup, CGroupPlan
+from repro.machine.topology import small_test_machine
+from repro.runtime.grouped import GroupedStealingPolicy
+from repro.runtime.policy import RunTask, Wait
+from repro.runtime.task import Batch, TaskFactory, TaskSpec, flat_batch
+
+
+class ScriptedContext:
+    """Minimal RuntimeContext with deterministic 'random' choices."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._now = 0.0
+
+    def now(self):
+        return self._now
+
+    def core_level(self, core_id):
+        return 0
+
+    def requested_level(self, core_id):
+        return 0
+
+    def rng_choice(self, stream, options):
+        return options[0]
+
+    def rng_shuffled(self, stream, options):
+        return list(options)
+
+
+class ConcreteGrouped(GroupedStealingPolicy):
+    name = "grouped-test"
+
+
+def two_group_plan():
+    """Cores 0-1 fast (G0), cores 2-3 slow (G1); class a->G0, b->G1."""
+    return CGroupPlan(
+        core_levels=(0, 0, 1, 1),
+        groups=(
+            CGroup(index=0, level=0, core_ids=(0, 1)),
+            CGroup(index=1, level=1, core_ids=(2, 3)),
+        ),
+        class_to_group={"a": 0, "b": 1},
+        group_of_core=(0, 0, 1, 1),
+    )
+
+
+@pytest.fixture
+def policy():
+    machine = small_test_machine(num_cores=4)
+    pol = ConcreteGrouped()
+    pol.bind(ScriptedContext(machine))
+    pol._install_plan(two_group_plan())
+    return pol
+
+
+def make_tasks(*functions):
+    factory = TaskFactory()
+    return [factory.make(TaskSpec(fn, cpu_cycles=1e6), 0) for fn in functions]
+
+
+class TestPlacement:
+    def test_classes_land_in_their_groups(self, policy):
+        tasks = make_tasks("a", "a", "b", "b")
+        policy.on_batch_start(flat_batch(0, [t.spec for t in tasks]), tasks)
+        grid = policy._grid
+        assert grid.queued_in_pool_index(0) == 2
+        assert grid.queued_in_pool_index(1) == 2
+        # Group placement round-robins across the group's cores.
+        assert grid.local_len(0, 0) == 1 and grid.local_len(1, 0) == 1
+        assert grid.local_len(2, 1) == 1 and grid.local_len(3, 1) == 1
+
+    def test_unknown_class_to_fastest_group(self, policy):
+        tasks = make_tasks("mystery")
+        policy.on_batch_start(flat_batch(0, [tasks[0].spec]), tasks)
+        assert policy._grid.queued_in_pool_index(0) == 1
+
+    def test_spawn_lands_on_spawning_core(self, policy):
+        (task,) = make_tasks("b")
+        policy.on_spawn(3, task)
+        assert policy._grid.local_len(3, 1) == 1
+
+
+class TestAcquisition:
+    def test_local_pop_preferred(self, policy):
+        tasks = make_tasks("a", "a")
+        policy.on_batch_start(flat_batch(0, [t.spec for t in tasks]), tasks)
+        action = policy.next_action(0)
+        assert isinstance(action, RunTask)
+        assert policy.stats.local_pops == 1
+        assert policy.stats.tasks_stolen == 0
+
+    def test_in_group_steal_before_cross_group(self, policy):
+        (task,) = make_tasks("a")
+        policy._grid.push(1, 0, task)  # only core 1 (same group) has work
+        action = policy.next_action(0)
+        assert isinstance(action, RunTask)
+        assert policy.stats.tasks_stolen == 1
+        assert policy.stats.cross_group_steals == 0
+
+    def test_cross_group_escalation_when_group_drained(self, policy):
+        (task,) = make_tasks("b")
+        policy._grid.push(2, 1, task)  # only the slow group has work
+        action = policy.next_action(0)  # fast core escalates to G1
+        assert isinstance(action, RunTask)
+        assert policy.stats.cross_group_steals == 1
+
+    def test_wait_when_everything_empty(self, policy):
+        action = policy.next_action(0)
+        assert isinstance(action, Wait)
+        assert policy.stats.failed_scans == 1
+
+
+class TestGuardArming:
+    def test_unarmed_without_workloads(self, policy):
+        # Fast-class work queued; a SLOW core may take it when unguarded.
+        (task,) = make_tasks("a")
+        policy._grid.push(0, 0, task)
+        action = policy.next_action(2)
+        assert isinstance(action, RunTask)
+
+    def test_armed_guard_blocks_oversized_uphill_steal(self, policy):
+        policy._install_plan(
+            two_group_plan(),
+            class_workloads={"a": 0.09, "b": 0.001},
+            ideal_time=0.1,
+        )
+        # class a at the slow level (2 GHz -> 1 GHz: slowdown 2) would take
+        # 0.18 > T=0.1: slow cores must skip group 0.
+        (task,) = make_tasks("a")
+        policy._grid.push(0, 0, task)
+        action = policy.next_action(2)
+        assert isinstance(action, Wait)
+        assert policy.stats.extra["guarded_steals"] >= 1
+        # A fast core still takes it.
+        action = policy.next_action(1)
+        assert isinstance(action, RunTask)
+
+    def test_armed_guard_allows_small_classes(self, policy):
+        policy._install_plan(
+            two_group_plan(),
+            class_workloads={"a": 0.01, "b": 0.001},
+            ideal_time=0.1,
+        )
+        (task,) = make_tasks("a")
+        policy._grid.push(0, 0, task)
+        action = policy.next_action(2)  # 0.02 <= 0.1: fine
+        assert isinstance(action, RunTask)

@@ -1,0 +1,110 @@
+"""Tests for the grouped-stealing base and the WATS policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import small_test_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.runtime.wats import (
+    WATSScheduler,
+    allocate_classes_by_capacity,
+    plan_from_levels,
+)
+from repro.sim.engine import simulate
+
+REF = 2.0e9
+
+
+def mixed_program(batches=4, shuffle=False):
+    import random
+
+    rng = random.Random(17)
+    out = []
+    for i in range(batches):
+        specs = [TaskSpec("heavy", cpu_cycles=0.08 * REF) for _ in range(2)]
+        specs += [TaskSpec("light", cpu_cycles=0.01 * REF) for _ in range(8)]
+        if shuffle:
+            rng.shuffle(specs)
+        out.append(flat_batch(i, specs))
+    return out
+
+
+class TestPlanFromLevels:
+    def test_groups_fastest_first(self):
+        plan = plan_from_levels([1, 0, 1, 0])
+        assert plan.num_groups == 2
+        assert plan.groups[0].level == 0
+        assert plan.groups[0].core_ids == (1, 3)
+        assert plan.groups[1].core_ids == (0, 2)
+        assert plan.group_of_core == (1, 0, 1, 0)
+
+    def test_single_level_single_group(self):
+        plan = plan_from_levels([2, 2, 2])
+        assert plan.num_groups == 1
+        assert plan.groups[0].core_ids == (0, 1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_from_levels([])
+
+
+class TestCapacityAllocation:
+    def test_heavy_classes_go_to_fast_groups(self):
+        plan = plan_from_levels([0, 0, 1, 1])
+        classes = [("heavy", 10.0), ("medium", 4.0), ("light", 1.0)]
+        alloc = allocate_classes_by_capacity(plan, classes, [2.0, 1.0])
+        assert alloc["heavy"] == 0
+        assert alloc["light"] == 1
+
+    def test_zero_work_defaults_to_fastest(self):
+        plan = plan_from_levels([0, 1])
+        alloc = allocate_classes_by_capacity(plan, [("a", 0.0)], [1.0, 0.5])
+        assert alloc["a"] == 0
+
+    def test_allocation_respects_order(self):
+        """Heavier class never lands in a slower group than a lighter one."""
+        plan = plan_from_levels([0, 0, 1, 2])
+        classes = [(f"c{i}", float(10 - i)) for i in range(6)]
+        alloc = allocate_classes_by_capacity(plan, classes, [2.0, 0.7, 0.4])
+        groups = [alloc[f"c{i}"] for i in range(6)]
+        assert groups == sorted(groups)
+
+
+class TestWATS:
+    def test_requires_levels(self):
+        machine = small_test_machine(num_cores=2)
+        with pytest.raises(ConfigurationError):
+            simulate(mixed_program(1), WATSScheduler([0]), machine)
+
+    def test_runs_to_completion_on_asymmetric_machine(self):
+        machine = small_test_machine(num_cores=4)
+        program = mixed_program()
+        result = simulate(program, WATSScheduler([0, 0, 1, 1]), machine, seed=1)
+        assert result.tasks_executed == sum(len(b) for b in program)
+        # Frequencies never change under WATS.
+        assert result.trace.transitions == []
+
+    def test_beats_cilk_on_asymmetric_machine(self):
+        """The WATS claim: workload-aware placement beats random stealing
+        when cores are asymmetric (heavy tasks must avoid slow cores).
+        Task order is shuffled so placement cannot accidentally presort the
+        heavy tasks onto fast cores; steady state (batches >= 1) dominates.
+        """
+        machine = small_test_machine(num_cores=4, levels=(2.0e9, 0.8e9))
+        program = mixed_program(batches=12, shuffle=True)
+        levels = [0, 0, 1, 1]
+        cilk = simulate(program, CilkScheduler(core_levels=levels), machine, seed=1)
+        wats = simulate(program, WATSScheduler(levels), machine, seed=1)
+        assert wats.total_time < cilk.total_time
+
+    def test_heavy_tasks_mostly_on_fast_cores_after_first_batch(self):
+        machine = small_test_machine(num_cores=4, levels=(2.0e9, 0.8e9))
+        result = simulate(
+            mixed_program(batches=6), WATSScheduler([0, 0, 1, 1]), machine, seed=1
+        )
+        late_heavy = [
+            t for t in result.tasks if t.function == "heavy" and t.batch_index >= 1
+        ]
+        on_fast = sum(1 for t in late_heavy if t.executed_level == 0)
+        assert on_fast / len(late_heavy) > 0.8

@@ -1,0 +1,82 @@
+"""Tests for the criticality guard on cross-group stealing.
+
+The guard is this reproduction's task-level Fig. 1(c) protection: a slow
+core must not steal a task that cannot finish within the iteration budget
+at its speed.
+"""
+
+import pytest
+
+from repro.core.eewa import EEWAScheduler
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+REF = 2.5e9
+
+
+def spilling_program(batches=6):
+    """Anchor class sized so EEWA dedicates exactly 5 fast cores, with an
+    occasional 6th anchor task that must NOT land on a 0.8 GHz core."""
+    out = []
+    for i in range(batches):
+        anchors = 6 if i in (2, 4) else 5
+        specs = [TaskSpec("anchor", cpu_cycles=0.05 * REF) for _ in range(anchors)]
+        specs += [TaskSpec("small", cpu_cycles=0.0015 * REF) for _ in range(40)]
+        out.append(flat_batch(i, specs))
+    return out
+
+
+class TestCriticalityGuard:
+    def test_anchor_tasks_never_run_on_slowest_cores(self):
+        machine = opteron_8380_machine()
+        result = simulate(spilling_program(), EEWAScheduler(), machine, seed=1)
+        slowest = machine.scale.slowest_index
+        for task in result.tasks:
+            if task.function == "anchor" and task.batch_index >= 1:
+                assert task.executed_level != slowest, task
+
+    def test_guard_counts_skipped_steals(self):
+        machine = opteron_8380_machine()
+        policy = EEWAScheduler()
+        simulate(spilling_program(), policy, machine, seed=1)
+        assert policy.stats.extra.get("guarded_steals", 0) > 0
+
+    def test_small_tasks_still_stealable_by_slow_cores(self):
+        """The guard is per-group, keyed by the heaviest class — the small
+        class's group remains fair game for everyone."""
+        machine = opteron_8380_machine()
+        result = simulate(spilling_program(), EEWAScheduler(), machine, seed=1)
+        slowest = machine.scale.slowest_index
+        small_on_slow = [
+            t
+            for t in result.tasks
+            if t.function == "small"
+            and t.batch_index >= 1
+            and t.executed_level == slowest
+        ]
+        assert small_on_slow  # slow cores did useful small work
+
+    def test_spill_batches_bounded(self):
+        """A +1-anchor batch costs at most one extra anchor serialisation,
+        not a slow-core execution (which would be 3.1x the anchor time)."""
+        machine = opteron_8380_machine()
+        result = simulate(spilling_program(), EEWAScheduler(), machine, seed=1)
+        durations = {b.batch_index: b.duration for b in result.trace.batches}
+        normal = durations[3]
+        spill = durations[2]
+        # Worst acceptable: two anchors back-to-back on one fast core plus
+        # slack — far below an anchor at 0.8 GHz (0.157s).
+        assert spill < 2.4 * normal
+        anchor_at_slowest = 0.05 * machine.scale.slowdown(3)
+        assert spill < normal + anchor_at_slowest
+
+
+class TestGuardDisarmed:
+    def test_batch_zero_has_no_guard(self):
+        """Profiling batch: single group, nothing to guard."""
+        machine = opteron_8380_machine()
+        policy = EEWAScheduler()
+        program = spilling_program(batches=1)
+        simulate(program, policy, machine, seed=1)
+        assert policy.stats.extra.get("guarded_steals", 0) == 0

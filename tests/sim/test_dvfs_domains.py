@@ -1,0 +1,141 @@
+"""Tests for shared DVFS domains (per-socket frequency planes)."""
+
+import pytest
+
+from repro.core.eewa import EEWAScheduler
+from repro.errors import ConfigurationError
+from repro.machine.topology import MachineConfig, opteron_8380_machine, small_test_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.runtime.policy import BatchAdjustment, RunTask, SchedulerPolicy, Wait
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import Simulator, simulate
+from repro.workloads.benchmarks import benchmark_program
+
+REF = 2.5e9
+
+
+class TestConfigValidation:
+    def test_domains_must_partition(self):
+        base = small_test_machine(num_cores=4)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                num_cores=4, scale=base.scale, power=base.power,
+                dvfs_domains=((0, 1), (1, 2, 3)),  # core 1 twice, overlap
+            )
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                num_cores=4, scale=base.scale, power=base.power,
+                dvfs_domains=((0, 1),),  # cores 2,3 missing
+            )
+
+    def test_per_socket_preset(self):
+        machine = opteron_8380_machine(per_socket_dvfs=True)
+        assert machine.dvfs_domains == (
+            (0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15),
+        )
+
+    def test_per_socket_needs_multiple_of_four(self):
+        with pytest.raises(ConfigurationError):
+            opteron_8380_machine(num_cores=6, per_socket_dvfs=True)
+
+
+class TestDomainCoercion:
+    def test_fastest_request_wins_the_plane(self):
+        """A plan wanting mixed levels inside one socket runs the whole
+        socket at the fastest of them."""
+        machine = opteron_8380_machine(per_socket_dvfs=True)
+        program = benchmark_program("SHA-1", batches=6, seed=11)
+        result = simulate(program, EEWAScheduler(), machine, seed=11)
+        for hist in result.trace.level_histograms()[1:]:
+            # With quad-core planes, every level count is a multiple of 4.
+            assert all(c % 4 == 0 for c in hist), hist
+
+    def test_domain_reduces_but_preserves_savings(self):
+        program = benchmark_program("SHA-1", batches=8, seed=11)
+        fine = opteron_8380_machine()
+        coarse = opteron_8380_machine(per_socket_dvfs=True)
+        cilk_f = simulate(program, CilkScheduler(), fine, seed=11)
+        eewa_f = simulate(program, EEWAScheduler(), fine, seed=11)
+        cilk_c = simulate(program, CilkScheduler(), coarse, seed=11)
+        eewa_c = simulate(program, EEWAScheduler(), coarse, seed=11)
+        saving_fine = 1 - eewa_f.total_joules / cilk_f.total_joules
+        saving_coarse = 1 - eewa_c.total_joules / cilk_c.total_joules
+        assert 0.0 < saving_coarse < saving_fine
+
+    def test_requested_vs_effective_levels(self):
+        """Cilk-D's drop requests get pinned by a busy sibling."""
+        machine = small_test_machine(num_cores=2)
+        machine = MachineConfig(
+            num_cores=2, scale=machine.scale, power=machine.power,
+            dvfs_domains=((0, 1),),
+        )
+        # One long task (keeps core 0 busy and the plane fast) and nothing
+        # else: core 1 goes idle and requests the drop.
+        program = [flat_batch(0, [TaskSpec("w", cpu_cycles=0.3 * 2.0e9)])]
+        policy = CilkDScheduler(idle_grace_s=0.01)
+        sim = Simulator(machine, policy, seed=1)
+        result = sim.run(program)
+        # The drop was requested but the plane stayed fast while running;
+        # the run completes without livelock and the task ran at F0.
+        assert result.tasks_executed == 1
+        assert result.tasks[0].executed_level == 0
+
+    def test_mid_run_retune_preserves_work(self):
+        """When a sibling's request drags a RUNNING core to a new level,
+        the task still completes with the right amount of work."""
+        machine = small_test_machine(num_cores=2)
+        machine = MachineConfig(
+            num_cores=2, scale=machine.scale, power=machine.power,
+            dvfs_domains=((0, 1),), dvfs_latency_s=0.0,
+        )
+
+        class PinThenRelease(SchedulerPolicy):
+            """Core 0 *requests* the slow level but is pinned fast by core 1;
+            core 1 releases the plane at t=0.05 s, dragging the running
+            core 0 down mid-task."""
+
+            name = "pin-then-release"
+
+            def on_program_start(self):
+                self._core0_requested = False
+                self._core1_released = False
+                return BatchAdjustment(frequency_levels=[0, 0])
+
+            def on_batch_start(self, batch, tasks):
+                self._tasks = list(tasks)
+
+            def next_action(self, core_id):
+                from repro.runtime.policy import SetFrequency
+
+                if core_id == 0:
+                    if not self._core0_requested:
+                        self._core0_requested = True
+                        return SetFrequency(1)  # absorbed: core 1 pins F0
+                    if self._tasks:
+                        return RunTask(self._tasks.pop())
+                    return Wait()
+                if not self._core1_released:
+                    if self._require_ctx().now() < 0.05:
+                        return Wait(retry_after=0.05 - self._require_ctx().now())
+                    self._core1_released = True
+                    return SetFrequency(1)  # plane drops; core 0 retunes
+                return Wait()
+
+        # 0.2 s of F0 work on core 0 starting at t=0 at the (pinned) fast
+        # level; at t=0.05 the plane drops to 1.0 GHz: 0.15 s of F0-work
+        # remains, now taking 0.30 s -> finish at ~0.35 s.
+        program = [flat_batch(0, [TaskSpec("w", cpu_cycles=0.2 * 2.0e9)])]
+        result = simulate(program, PinThenRelease(), machine, seed=0)
+        assert result.tasks_executed == 1
+        assert result.total_time == pytest.approx(0.35, rel=0.03)
+        task = result.tasks[0]
+        assert task.elapsed == pytest.approx(0.35, rel=0.03)
+
+    def test_determinism_with_domains(self):
+        machine = opteron_8380_machine(per_socket_dvfs=True)
+        program = benchmark_program("DMC", batches=4, seed=5)
+        a = simulate(program, EEWAScheduler(), machine, seed=5)
+        b = simulate(program, EEWAScheduler(), machine, seed=5)
+        assert a.total_joules == b.total_joules
+        assert a.total_time == b.total_time

@@ -1,0 +1,55 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, EventKind.TASK_DONE, core_id=0)
+        q.schedule(1.0, EventKind.TASK_DONE, core_id=1)
+        q.schedule(2.0, EventKind.TASK_DONE, core_id=2)
+        assert [q.pop().core_id for _ in range(3)] == [1, 2, 0]
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(1.0, EventKind.CORE_READY, core_id=i)
+        assert [q.pop().core_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_monotonically(self):
+        q = EventQueue()
+        q.schedule(2.0, EventKind.TASK_DONE)
+        q.schedule(1.0, EventKind.TASK_DONE)
+        q.pop()
+        assert q.now == pytest.approx(1.0)
+        q.pop()
+        assert q.now == pytest.approx(2.0)
+
+    def test_relative_delays_compound(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.TASK_DONE)
+        q.pop()
+        q.schedule(1.0, EventKind.TASK_DONE)
+        q.pop()
+        assert q.now == pytest.approx(2.0)
+
+
+class TestGuards:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-0.1, EventKind.TASK_DONE)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0, EventKind.TASK_DONE)
+        assert q and len(q) == 1

@@ -1,0 +1,83 @@
+"""Tests for result/trace export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.eewa import EEWAScheduler
+from repro.machine.topology import opteron_8380_machine
+from repro.sim.engine import simulate
+from repro.sim.export import (
+    batches_to_csv,
+    result_to_dict,
+    result_to_json,
+    tasks_to_csv,
+    transitions_to_csv,
+)
+from repro.workloads.benchmarks import benchmark_program
+
+
+@pytest.fixture(scope="module")
+def result():
+    machine = opteron_8380_machine()
+    program = benchmark_program("MD5", batches=3, seed=4)
+    return simulate(program, EEWAScheduler(), machine, seed=4)
+
+
+class TestDictExport:
+    def test_summary_fields(self, result):
+        d = result_to_dict(result)
+        assert d["policy"] == "eewa"
+        assert d["machine"]["num_cores"] == 16
+        assert len(d["machine"]["frequencies_hz"]) == 4
+        assert d["total_time_s"] == pytest.approx(result.total_time)
+        assert d["total_joules"] == pytest.approx(result.total_joules)
+        assert d["tasks_executed"] == result.tasks_executed
+        assert len(d["batches"]) == 3
+        assert "tasks" not in d
+
+    def test_tasks_included_on_request(self, result):
+        d = result_to_dict(result, include_tasks=True)
+        assert len(d["tasks"]) == result.tasks_executed
+        task = d["tasks"][0]
+        assert {"id", "function", "batch", "core", "level", "stolen"} <= set(task)
+
+    def test_json_round_trips(self, result):
+        d = json.loads(result_to_json(result, include_tasks=True))
+        assert d["batches"][0]["level_histogram"] == [16, 0, 0, 0]
+
+    def test_domains_exported(self):
+        machine = opteron_8380_machine(per_socket_dvfs=True)
+        program = benchmark_program("MD5", batches=2, seed=4)
+        r = simulate(program, EEWAScheduler(), machine, seed=4)
+        d = result_to_dict(r)
+        assert d["machine"]["dvfs_domains"] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15],
+        ]
+
+
+class TestCsvExport:
+    def _parse(self, text):
+        return list(csv.reader(io.StringIO(text)))
+
+    def test_batches_csv(self, result):
+        rows = self._parse(batches_to_csv(result))
+        assert rows[0][:4] == ["batch", "start_s", "duration_s", "tasks"]
+        assert len(rows) == 1 + 3
+        # Histogram columns sum to core count.
+        assert sum(int(v) for v in rows[1][5:]) == 16
+
+    def test_tasks_csv(self, result):
+        rows = self._parse(tasks_to_csv(result))
+        assert len(rows) == 1 + result.tasks_executed
+        header = rows[0]
+        assert "elapsed_s" in header
+        for row in rows[1:]:
+            assert float(row[header.index("elapsed_s")]) > 0
+
+    def test_transitions_csv(self, result):
+        rows = self._parse(transitions_to_csv(result))
+        assert rows[0] == ["time_s", "core", "from_level", "to_level"]
+        assert len(rows) > 1  # EEWA definitely retuned something

@@ -1,0 +1,68 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.sim.trace import BatchTrace, DvfsTransition, TraceRecorder
+
+
+def _batch(index: int, hist: tuple[int, ...], duration: float = 0.05) -> BatchTrace:
+    return BatchTrace(
+        batch_index=index,
+        start_time=index * duration,
+        duration=duration,
+        tasks_completed=10,
+        level_histogram=hist,
+    )
+
+
+class TestTraceRecorder:
+    def test_level_histograms_order(self):
+        tr = TraceRecorder()
+        tr.record_batch(_batch(0, (2, 0)))
+        tr.record_batch(_batch(1, (1, 1)))
+        assert tr.level_histograms() == [(2, 0), (1, 1)]
+
+    def test_modal_histogram_skips_first(self):
+        tr = TraceRecorder()
+        tr.record_batch(_batch(0, (4, 0)))  # profiling batch, skipped
+        tr.record_batch(_batch(1, (1, 3)))
+        tr.record_batch(_batch(2, (1, 3)))
+        tr.record_batch(_batch(3, (2, 2)))
+        assert tr.modal_histogram() == (1, 3)
+
+    def test_modal_histogram_including_first(self):
+        tr = TraceRecorder()
+        tr.record_batch(_batch(0, (4, 0)))
+        tr.record_batch(_batch(1, (1, 3)))
+        assert tr.modal_histogram(skip_first=False) in ((4, 0), (1, 3))
+
+    def test_modal_histogram_empty(self):
+        tr = TraceRecorder()
+        assert tr.modal_histogram() is None
+        tr.record_batch(_batch(0, (4, 0)))
+        assert tr.modal_histogram() is None  # only the skipped first batch
+
+    def test_total_adjust_overhead(self):
+        tr = TraceRecorder()
+        tr.record_batch(
+            BatchTrace(0, 0.0, 0.1, 5, (2, 0), adjust_overhead_seconds=0.001)
+        )
+        tr.record_batch(
+            BatchTrace(1, 0.1, 0.1, 5, (2, 0), adjust_overhead_seconds=0.002)
+        )
+        assert tr.total_adjust_overhead() == pytest.approx(0.003)
+
+    def test_transitions_for_core(self):
+        tr = TraceRecorder()
+        tr.record_transition(DvfsTransition(0.1, core_id=0, from_level=0, to_level=3))
+        tr.record_transition(DvfsTransition(0.2, core_id=1, from_level=0, to_level=1))
+        tr.record_transition(DvfsTransition(0.3, core_id=0, from_level=3, to_level=0))
+        assert len(tr.transitions_for_core(0)) == 2
+        assert len(tr.transitions_for_core(1)) == 1
+        assert tr.transitions_for_core(2) == []
+
+    def test_batch_durations(self):
+        tr = TraceRecorder()
+        tr.record_batch(_batch(0, (2, 0), duration=0.04))
+        tr.record_batch(_batch(1, (2, 0), duration=0.06))
+        assert tr.batch_durations() == pytest.approx([0.04, 0.06])

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BWC" in out and "SHA-1" in out
+        assert "eewa" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "MD5", "eewa", "--batches", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "MD5 / eewa" in out
+        assert "energy breakdown" in out
+
+    def test_run_with_trace(self, capsys):
+        assert main(
+            ["run", "DMC", "cilk", "--batches", "2", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch   0" in out
+        assert "batch   1" in out
+
+    def test_run_small_machine(self, capsys):
+        assert main(["run", "LZW", "cilk-d", "--batches", "2", "--cores", "4"]) == 0
+        assert "4 cores" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "SHA-1", "--batches", "3"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("cilk", "cilk-d", "eewa"):
+            assert policy in out
+        assert "E/cilk" in out
+
+    def test_figure_fig1(self, capsys):
+        assert main(["figure", "fig1"]) == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+    def test_figure_fig8(self, capsys):
+        assert main(["figure", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out and "2.5GHz" in out
+
+    def test_figure_table3(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel stage costs" in out
+        assert "bwt_block" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "SPECfp", "eewa"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,78 @@
+"""Tests for the seven named benchmarks and synthetic workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.frequency import GHZ
+from repro.workloads.benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_program,
+    benchmark_spec,
+    memory_bound_spec,
+)
+from repro.workloads.synthetic import fig1_program, imbalance_sweep_spec, uniform_spec
+
+
+class TestBenchmarkSpecs:
+    def test_all_table2_benchmarks_present(self):
+        assert BENCHMARK_NAMES == ("BWC", "Bzip-2", "DMC", "JE", "LZW", "MD5", "SHA-1")
+        for name in BENCHMARK_NAMES:
+            spec = benchmark_spec(name)
+            assert spec.name == name
+            assert spec.classes
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            benchmark_spec("SPECint")
+
+    def test_utilization_spread(self):
+        """Calibration premise: benchmarks span a range of slack, from the
+        near-saturated (small savings) to the granularity-bound (Fig. 8)."""
+        utils = {n: benchmark_spec(n).utilization(16) for n in BENCHMARK_NAMES}
+        assert min(utils.values()) < 0.55
+        assert max(utils.values()) > 0.80
+
+    def test_sha1_has_ten_batches_default(self):
+        assert benchmark_spec("SHA-1").default_batches == 10
+
+    def test_cpu_bound_by_construction(self):
+        for name in BENCHMARK_NAMES:
+            for cls in benchmark_spec(name).classes:
+                assert cls.mem_stall_fraction == 0.0
+                assert cls.miss_intensity < 0.01
+
+    def test_memory_bound_spec_is_memory_bound(self):
+        spec = memory_bound_spec()
+        for cls in spec.classes:
+            assert cls.mem_stall_fraction > 0.5
+            assert cls.miss_intensity > 0.01
+
+    def test_programs_generate(self):
+        for name in BENCHMARK_NAMES:
+            program = benchmark_program(name, batches=2, seed=0)
+            assert len(program) == 2
+            spec = benchmark_spec(name)
+            assert len(program[0]) == spec.tasks_per_batch
+
+
+class TestSynthetic:
+    def test_fig1_program_shape(self):
+        program = fig1_program(0.1, ref_frequency=2.0 * GHZ, batches=2)
+        assert len(program) == 2
+        g0, g1 = program[0].specs
+        assert g0.cpu_cycles == pytest.approx(2 * g1.cpu_cycles)
+
+    def test_fig1_validation(self):
+        with pytest.raises(WorkloadError):
+            fig1_program(0.0)
+
+    def test_imbalance_sweep_monotone_utilization(self):
+        utils = [
+            imbalance_sweep_spec(h).utilization(16) for h in (2, 6, 12)
+        ]
+        assert utils[0] < utils[1] < utils[2]
+
+    def test_uniform_spec_single_class(self):
+        spec = uniform_spec(tasks=64)
+        assert spec.tasks_per_batch == 64
+        assert len(spec.classes) == 1

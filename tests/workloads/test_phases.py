@@ -1,0 +1,65 @@
+"""Tests for workload phase modulation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import generate_program
+from repro.workloads.spec import TaskClassSpec, WorkloadSpec
+from repro.workloads.synthetic import phased_spec
+
+
+class TestPhaseModulation:
+    def test_zero_amplitude_constant_count(self):
+        cls = TaskClassSpec("x", count=10, mean_seconds=0.01)
+        assert all(cls.count_in_batch(b) == 10 for b in range(20))
+
+    def test_counts_oscillate_within_amplitude(self):
+        cls = TaskClassSpec(
+            "x", count=10, mean_seconds=0.01, phase_amplitude=0.3, phase_period=8
+        )
+        counts = [cls.count_in_batch(b) for b in range(16)]
+        assert min(counts) >= 7
+        assert max(counts) <= 13
+        assert len(set(counts)) > 1
+
+    def test_periodicity(self):
+        cls = TaskClassSpec(
+            "x", count=12, mean_seconds=0.01, phase_amplitude=0.25, phase_period=6
+        )
+        for b in range(12):
+            assert cls.count_in_batch(b) == cls.count_in_batch(b + 6)
+
+    def test_count_never_below_one(self):
+        cls = TaskClassSpec(
+            "x", count=1, mean_seconds=0.01, phase_amplitude=0.9, phase_period=4
+        )
+        assert all(cls.count_in_batch(b) >= 1 for b in range(8))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TaskClassSpec("x", count=1, mean_seconds=0.01, phase_amplitude=1.0)
+        with pytest.raises(WorkloadError):
+            TaskClassSpec("x", count=1, mean_seconds=0.01, phase_period=0)
+
+    def test_generator_respects_phase_counts(self):
+        spec = WorkloadSpec(
+            name="p",
+            classes=(
+                TaskClassSpec(
+                    "w", count=10, mean_seconds=0.01,
+                    phase_amplitude=0.3, phase_period=4,
+                ),
+            ),
+        )
+        program = generate_program(spec, batches=8, seed=0)
+        cls = spec.classes[0]
+        for b, batch in enumerate(program):
+            assert len(batch) == cls.count_in_batch(b)
+
+    def test_phased_spec_builds(self):
+        spec = phased_spec()
+        assert spec.name == "DMC-phased"
+        phased = [c for c in spec.classes if c.phase_amplitude > 0]
+        assert len(phased) == 1
+        program = generate_program(spec, batches=4, seed=1)
+        assert len(program) == 4

@@ -1,0 +1,84 @@
+"""Tests for workload diagnostics — including validation of the analytic
+estimates against actual simulations."""
+
+import pytest
+
+from repro.core.eewa import EEWAScheduler
+from repro.machine.topology import opteron_8380_machine
+from repro.runtime.cilk import CilkScheduler
+from repro.sim.engine import simulate
+from repro.workloads.benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_program,
+    benchmark_spec,
+    memory_bound_spec,
+)
+from repro.workloads.generators import generate_program
+from repro.workloads.synthetic import uniform_spec
+from repro.workloads.validation import diagnose
+
+
+class TestDiagnostics:
+    def test_sha1_is_granularity_bound_with_slack(self):
+        d = diagnose(benchmark_spec("SHA-1"), 16)
+        assert d.binding_constraint == "granularity"
+        assert d.slack_cores > 5.0
+        assert d.eewa_can_save
+        anchors = [c for c in d.classes if c.is_anchor]
+        assert [a.name for a in anchors] == ["sha1_chunk"]
+
+    def test_uniform_workload_capacity_bound(self):
+        d = diagnose(uniform_spec(tasks=256, mean_seconds=2e-3), 16)
+        assert d.binding_constraint == "capacity"
+        assert d.slack_cores == pytest.approx(0.0, abs=1e-9)
+        assert not d.eewa_can_save
+
+    def test_memory_bound_app_flagged(self):
+        d = diagnose(memory_bound_spec(), 16)
+        assert d.likely_memory_bound_app
+        assert not d.eewa_can_save
+
+    def test_shares_sum_to_one(self):
+        for name in BENCHMARK_NAMES:
+            d = diagnose(benchmark_spec(name), 16)
+            assert sum(c.share_of_work for c in d.classes) == pytest.approx(1.0)
+
+    def test_summary_renders(self):
+        text = diagnose(benchmark_spec("DMC"), 16).summary()
+        assert "DMC on 16 cores" in text
+        assert "[anchor]" in text
+
+    def test_fewer_cores_less_slack(self):
+        d16 = diagnose(benchmark_spec("DMC"), 16)
+        d4 = diagnose(benchmark_spec("DMC"), 4)
+        assert d4.slack_cores < d16.slack_cores
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("name", ["SHA-1", "DMC", "JE"])
+    def test_expected_iteration_matches_measured(self, name):
+        """The analytic iteration estimate lands within 25% of the measured
+        first-batch duration under Cilk."""
+        machine = opteron_8380_machine()
+        d = diagnose(benchmark_spec(name), 16)
+        program = benchmark_program(name, batches=2, seed=11)
+        result = simulate(program, CilkScheduler(), machine, seed=11)
+        measured = result.trace.batch_durations()[0]
+        assert d.expected_iteration_s == pytest.approx(measured, rel=0.25)
+
+    def test_eewa_can_save_predicts_scaling(self):
+        """Where the diagnostic says 'can save', EEWA scales something down;
+        where it says saturated, EEWA keeps everything fast."""
+        machine = opteron_8380_machine()
+
+        slack_spec = benchmark_spec("SHA-1")
+        assert diagnose(slack_spec, 16).eewa_can_save
+        program = generate_program(slack_spec, batches=4, seed=11)
+        result = simulate(program, EEWAScheduler(), machine, seed=11)
+        assert any(h[0] < 16 for h in result.trace.level_histograms()[1:])
+
+        flat_spec = uniform_spec(tasks=256, mean_seconds=2e-3)
+        assert not diagnose(flat_spec, 16).eewa_can_save
+        program = generate_program(flat_spec, batches=4, seed=11)
+        result = simulate(program, EEWAScheduler(), machine, seed=11)
+        assert all(h[0] == 16 for h in result.trace.level_histograms())
