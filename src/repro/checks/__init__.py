@@ -1,0 +1,52 @@
+"""Static analysis and model checking for the EEWA reproduction.
+
+Three engines, one finding model, one CLI (``repro check`` /
+``python -m repro.checks``):
+
+* :mod:`repro.checks.lint` — repo-specific AST rules (``EEWA001``...):
+  unseeded randomness, wall-clock reads, and set-iteration hazards in the
+  deterministic zone; float-literal equality in scheduler math; mutable
+  defaults and silent ``except`` everywhere.
+* :mod:`repro.checks.invariants` — bounded exhaustive model checking of
+  Algorithm 1 (monotonicity, feasibility, completeness, bottom-up
+  minimality) and the Fig. 5 preference-list shape.
+* :mod:`repro.checks.races` — vector-clock happens-before analysis over
+  deep simulation traces: double execution, lost tasks, and steals that
+  violate the rob-the-weaker-first order.
+
+These exist to make aggressive refactoring safe: the properties the rest
+of the test suite *assumes* are checked here mechanically.
+"""
+
+from repro.checks.findings import (
+    Finding,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+)
+from repro.checks.invariants import (
+    check_invariants,
+    check_ktuple_invariants,
+    check_preference_invariants,
+)
+from repro.checks.lint import lint_paths, lint_source
+from repro.checks.races import check_shipped_policies, find_trace_races
+from repro.checks.runner import main, run_checks
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "check_invariants",
+    "check_ktuple_invariants",
+    "check_preference_invariants",
+    "check_shipped_policies",
+    "exit_code",
+    "find_trace_races",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+    "run_checks",
+]

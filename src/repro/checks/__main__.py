@@ -1,0 +1,8 @@
+"""``python -m repro.checks`` — run the full check battery."""
+
+import sys
+
+from repro.checks.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

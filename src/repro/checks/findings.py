@@ -1,0 +1,120 @@
+"""The shared finding model every check engine reports through.
+
+A :class:`Finding` is one defect at one location: the lint engines anchor it
+to a ``file:line``, the invariant model checker to a ``(r, k, m)``
+configuration string, the race detector to a policy/seed/task triple. The
+reporters render a finding list as human-readable text or as JSON for CI
+tooling; :func:`exit_code` turns a list into the process exit status the
+``repro check`` command contracts to.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail ``repro check`` unconditionally; ``WARNING``
+    findings fail only under ``--strict``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by a check engine.
+
+    Attributes
+    ----------
+    check:
+        Engine that produced the finding (``"lint"``, ``"invariants"``,
+        ``"races"``).
+    rule_id:
+        Stable identifier (``EEWA001``...) usable in suppression comments.
+    severity:
+        :class:`Severity` of the finding.
+    location:
+        Where the defect is: a file path for lint, a configuration
+        descriptor for the model checker, a policy/seed label for the race
+        detector.
+    message:
+        Human-readable description of the defect.
+    line:
+        1-based line number for file-anchored findings, 0 otherwise.
+    column:
+        1-based column for file-anchored findings, 0 otherwise.
+    """
+
+    check: str
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    line: int = 0
+    column: int = 0
+
+    def anchor(self) -> str:
+        """``path:line:col`` for files, the bare location otherwise."""
+        if self.line:
+            return f"{self.location}:{self.line}:{self.column}"
+        return self.location
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Stable display order: errors first, then by location and line."""
+    return sorted(
+        findings,
+        key=lambda f: (f.severity is not Severity.ERROR, f.check, f.location, f.line, f.rule_id),
+    )
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [
+        f"{f.anchor()}: {f.severity.value} {f.rule_id} [{f.check}] {f.message}"
+        for f in sort_findings(findings)
+    ]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)"
+        if findings
+        else "no findings"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: ``{"findings": [...], "summary": {...}}``."""
+    payload = {
+        "findings": [
+            {**asdict(f), "severity": f.severity.value} for f in sort_findings(findings)
+        ],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+            "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def exit_code(findings: Sequence[Finding], *, strict: bool = False) -> int:
+    """0 = clean, 1 = findings above the threshold.
+
+    Non-strict runs fail only on :class:`Severity.ERROR`; ``--strict`` fails
+    on anything.
+    """
+    if strict:
+        return 1 if findings else 0
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0

@@ -1,0 +1,253 @@
+"""Repo-specific AST lint framework.
+
+Generic linters cannot know that everything stochastic in this codebase must
+flow through the named :class:`~repro.sim.rng.RngStreams` registry, or that
+the simulator clock is the only legal notion of time inside ``sim/`` and
+``runtime/``. These rules encode exactly those contracts; they are what
+makes "byte-identical deterministic simulation" a property a refactor
+cannot silently break.
+
+Each rule is a small class with a stable ID (``EEWA001``...), a severity,
+and a path scope. The engine parses each file once, tracks import aliases
+(so ``import numpy as np`` and ``from random import random`` are both
+resolved), and dispatches every AST node to every in-scope rule.
+
+Findings can be suppressed per line with a trailing comment::
+
+    value = random.random()  # eewa: disable=EEWA001
+
+``# eewa: disable`` (no rule list) suppresses every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.checks.findings import Finding, Severity
+
+_SUPPRESS_RE = re.compile(r"#\s*eewa:\s*disable(?:=(?P<rules>[A-Z0-9, ]+))?")
+
+#: Sentinel in a suppression set meaning "all rules".
+ALL_RULES = "*"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> suppressed rule ids (or ``{ALL_RULES}``).
+
+    Uses the tokenizer rather than a regex over raw lines so a ``# eewa:``
+    inside a string literal is not treated as a directive.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(keepends=True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            ids = (
+                {r.strip() for r in rules.split(",") if r.strip()}
+                if rules
+                else {ALL_RULES}
+            )
+            suppressions.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:  # eewa: disable=EEWA006 - lint what parses
+        pass
+    return suppressions
+
+
+@dataclass
+class ImportTable:
+    """Alias-aware view of a module's imports.
+
+    ``modules`` maps local alias -> dotted module path (``np`` ->
+    ``numpy``); ``names`` maps local alias -> ``module.attr`` for
+    ``from module import attr`` bindings.
+    """
+
+    modules: dict[str, str] = field(default_factory=dict)
+    names: dict[str, str] = field(default_factory=dict)
+
+    def record(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.modules[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve_call_target(self, func: ast.expr) -> Optional[str]:
+        """Dotted path of a call target, e.g. ``numpy.random.seed``.
+
+        Resolves through import aliases; returns ``None`` for calls on
+        local objects (``self.rng.random()``) — those are assumed to go
+        through an instance, which is exactly what the registry provides.
+        """
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = parts[0]
+        if head in self.names:
+            return ".".join([self.names[head]] + parts[1:])
+        if head in self.modules:
+            return ".".join([self.modules[head]] + parts[1:])
+        return None
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may consult about the file under lint."""
+
+    path: str  # repo-relative posix path
+    tree: ast.Module
+    imports: ImportTable
+    source: str
+
+
+class Rule:
+    """Base class for one lint rule."""
+
+    id: str = "EEWA000"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule is in scope for a repo-relative posix path."""
+        return True
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        """Yield ``(anchor_node, message)`` pairs for defects at ``node``."""
+        return ()
+
+    def finding(self, node: ast.AST, message: str, ctx: FileContext) -> Finding:
+        return Finding(
+            check="lint",
+            rule_id=self.id,
+            severity=self.severity,
+            location=ctx.path,
+            message=message,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", -1) + 1,
+        )
+
+
+def _relative_path(path: Path, root: Optional[Path]) -> str:
+    """Repo-relative posix path when possible, absolute posix otherwise."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return resolved.as_posix()  # outside the repo root
+    return resolved.as_posix()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+) -> list[Finding]:
+    """Lint one already-read file against ``rules``. ``path`` is the
+    repo-relative posix path used for scoping and reporting."""
+    active = [rule for rule in rules if rule.applies_to(path)]
+    if not active:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                check="lint",
+                rule_id="EEWA000",
+                severity=Severity.ERROR,
+                location=path,
+                message=f"file does not parse: {exc.msg}",
+                line=exc.lineno or 0,
+                column=exc.offset or 0,
+            )
+        ]
+    imports = ImportTable()
+    for node in ast.walk(tree):
+        imports.record(node)
+    ctx = FileContext(path=path, tree=tree, imports=imports, source=source)
+    suppressions = parse_suppressions(source)
+
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        for rule in active:
+            for anchor, message in rule.check_node(node, ctx):
+                finding = rule.finding(anchor, message, ctx)
+                suppressed = suppressions.get(finding.line, set())
+                if ALL_RULES in suppressed or rule.id in suppressed:
+                    continue
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``root`` anchors repo-relative paths for scoping; default is the
+    current working directory.
+    """
+    from repro.checks.lint.rules import default_rules
+
+    if rules is None:
+        rules = default_rules()
+    if root is None:
+        root = Path.cwd()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        rel = _relative_path(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    check="lint",
+                    rule_id="EEWA000",
+                    severity=Severity.ERROR,
+                    location=rel,
+                    message=f"unreadable file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, rel, rules))
+    return findings

@@ -1,0 +1,308 @@
+"""The repo-specific lint rules.
+
+=======  ========  ===========================================================
+ID       scope     contract enforced
+=======  ========  ===========================================================
+EEWA001  sim+rt    all randomness flows through the ``RngStreams`` registry
+EEWA002  sim+rt    the simulator clock is the only clock
+EEWA003  sim+rt    no iteration in set order (order is hash-dependent)
+EEWA004  core+nrg  no ``==``/``!=`` against float literals (use ``isclose``)
+EEWA005  repo      no mutable default arguments
+EEWA006  repo      no silently-swallowed exceptions (``except: pass``)
+=======  ========  ===========================================================
+
+``sim+rt`` is ``repro/sim/`` and ``repro/runtime/`` — the deterministic
+zone whose byte-identical replay the reproducibility tests assert.
+``core+nrg`` is ``repro/core/`` and ``repro/machine/energy.py`` — the
+scheduler math where float equality is always a latent epsilon bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.findings import Severity
+from repro.checks.lint import FileContext, Rule
+
+
+def _in_deterministic_zone(path: str) -> bool:
+    return "repro/sim/" in path or "repro/runtime/" in path
+
+
+def _in_float_zone(path: str) -> bool:
+    return "repro/core/" in path or path.endswith("repro/machine/energy.py")
+
+
+#: ``random`` module-level functions that draw from (or mutate) the hidden
+#: global Mersenne Twister state.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random", "uniform", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "betavariate", "expovariate", "gammavariate",
+        "gauss", "lognormvariate", "normalvariate", "paretovariate",
+        "triangular", "vonmisesvariate", "weibullvariate", "seed",
+        "getrandbits", "setstate", "randbytes",
+    }
+)
+
+#: ``numpy.random`` attributes that are fine to use: constructing an
+#: explicitly-seeded generator is the sanctioned escape hatch.
+_NUMPY_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+class UnseededRandomnessRule(Rule):
+    """EEWA001: global-state randomness inside the deterministic zone.
+
+    ``random.<draw>()``, bare ``random.Random()`` (unseeded -> OS entropy),
+    and ``numpy.random.<anything stateful>`` all bypass the named
+    :class:`~repro.sim.rng.RngStreams` registry, breaking byte-identical
+    replay. ``random.Random(seed)`` with an explicit seed is allowed — it
+    is how the registry itself constructs streams.
+    """
+
+    id = "EEWA001"
+    severity = Severity.ERROR
+    description = "unseeded / global-state randomness in sim or runtime code"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_deterministic_zone(path)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        if not isinstance(node, ast.Call):
+            return
+        target = ctx.imports.resolve_call_target(node.func)
+        if target is None:
+            return
+        if target.startswith("numpy.random."):
+            tail = target.split(".")[-1]
+            if tail not in _NUMPY_RANDOM_OK:
+                yield node, (
+                    f"{target}() uses numpy's global RNG state; draw from the "
+                    "run's RngStreams registry (or an explicit "
+                    "numpy.random.default_rng(seed))"
+                )
+            return
+        if target == "random.Random":
+            if not node.args and not node.keywords:
+                yield node, (
+                    "bare random.Random() seeds from OS entropy; derive the "
+                    "seed through RngStreams/derive_seed instead"
+                )
+            return
+        if target.startswith("random.") and target.split(".")[1] in _GLOBAL_RANDOM_FUNCS:
+            yield node, (
+                f"{target}() draws from the global RNG; route the draw "
+                "through the run's named RngStreams registry"
+            )
+
+
+#: Wall-clock call targets. ``time.process_time``/``perf_counter`` are just
+#: as non-reproducible as ``time.time`` for simulation logic.
+_WALL_CLOCK_TARGETS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """EEWA002: wall-clock reads inside the deterministic zone.
+
+    Simulated components must use ``ctx.now()`` (the event-queue clock);
+    any host-clock read makes traces differ run to run.
+    """
+
+    id = "EEWA002"
+    severity = Severity.ERROR
+    description = "wall-clock call in sim or runtime code"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_deterministic_zone(path)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        if not isinstance(node, ast.Call):
+            return
+        target = ctx.imports.resolve_call_target(node.func)
+        if target in _WALL_CLOCK_TARGETS:
+            yield node, (
+                f"{target}() reads the host clock; simulation code must use "
+                "the engine's now()"
+            )
+
+
+def _is_set_expression(node: ast.expr, ctx: FileContext) -> bool:
+    """Syntactically-evident set expressions: literals, comprehensions,
+    and ``set(...)`` / ``frozenset(...)`` constructor calls."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset") and node.func.id not in ctx.imports.names:
+            return True
+    return False
+
+
+class SetIterationOrderRule(Rule):
+    """EEWA003: iterating a set in hash order inside the deterministic zone.
+
+    Set iteration order depends on element hashes and (for strings) on
+    ``PYTHONHASHSEED`` — any decision made in that order is
+    non-reproducible. Wrap the set in ``sorted(...)`` or keep a list.
+    ``sorted``/``min``/``max``/``sum``/``len``/``any``/``all`` over a set
+    are order-insensitive and allowed.
+    """
+
+    id = "EEWA003"
+    severity = Severity.ERROR
+    description = "set-iteration-order hazard in sim or runtime code"
+
+    #: Call heads that consume their iterable order-sensitively.
+    _ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+
+    def applies_to(self, path: str) -> bool:
+        return _in_deterministic_zone(path)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        if isinstance(node, ast.For) and _is_set_expression(node.iter, ctx):
+            yield node.iter, "for-loop iterates a set in hash order; sort it first"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+            for comp in node.generators:
+                if _is_set_expression(comp.iter, ctx):
+                    yield comp.iter, (
+                        "comprehension iterates a set in hash order; sort it first"
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in self._ORDER_SENSITIVE_CALLS and node.args:
+                if _is_set_expression(node.args[0], ctx):
+                    yield node, (
+                        f"{node.func.id}() over a set preserves hash order; "
+                        "use sorted(...) instead"
+                    )
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """EEWA004: ``==``/``!=`` against a float literal in scheduler math.
+
+    Core-count tables, k-tuple scores and energy integrals are all chains
+    of float arithmetic; exact comparison against a literal is a latent
+    epsilon bug. Use ``math.isclose`` or an explicit tolerance.
+    """
+
+    id = "EEWA004"
+    severity = Severity.ERROR
+    description = "float-literal equality comparison in core/energy code"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_float_zone(path)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        if not isinstance(node, ast.Compare):
+            return
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                yield node, (
+                    "exact ==/!= against a float literal; use math.isclose "
+                    "or an explicit epsilon"
+                )
+
+
+#: Calls producing fresh mutable containers are *valid* defaults only when
+#: the author writes them out per call — as a default they are shared.
+_MUTABLE_DEFAULT_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque", "bytearray"}
+)
+
+
+class MutableDefaultRule(Rule):
+    """EEWA005: mutable default argument (shared across calls)."""
+
+    id = "EEWA005"
+    severity = Severity.ERROR
+    description = "mutable default argument"
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ):
+                yield default, (
+                    f"mutable default in {node.name}(): shared across calls; "
+                    "default to None and construct inside"
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_DEFAULT_CALLS
+            ):
+                yield default, (
+                    f"mutable default {default.func.id}() in {node.name}(): "
+                    "evaluated once at def time; default to None instead"
+                )
+
+
+class SilentExceptRule(Rule):
+    """EEWA006: an ``except`` whose entire body is ``pass``.
+
+    Swallowing an exception hides the scheduler-invariant violations this
+    whole checks subsystem exists to surface. Either handle the error,
+    re-raise, or record why ignoring it is safe (and suppress this rule
+    on that line).
+    """
+
+    id = "EEWA006"
+    severity = Severity.ERROR
+    description = "silently swallowed exception (except: pass)"
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        body_is_silent = all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis)
+            for stmt in node.body
+        )
+        if body_is_silent:
+            caught = ast.unparse(node.type) if node.type is not None else "everything"
+            yield node, (
+                f"exception handler for {caught} silently passes; handle, "
+                "re-raise, or justify with a suppression comment"
+            )
+
+
+def default_rules() -> list[Rule]:
+    """The full repo rule set, one instance per rule."""
+    return [
+        UnseededRandomnessRule(),
+        WallClockRule(),
+        SetIterationOrderRule(),
+        FloatEqualityRule(),
+        MutableDefaultRule(),
+        SilentExceptRule(),
+    ]
+
+
+#: ID -> rule class, for documentation and tests.
+RULES_BY_ID = {
+    rule.id: type(rule) for rule in default_rules()
+}

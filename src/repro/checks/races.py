@@ -1,0 +1,344 @@
+"""Trace race / lost-task detection over deep simulation traces.
+
+The engine (run with ``record_task_events=True``) emits every task's
+lifecycle — CREATE, PUSH, POP, STEAL, EXEC, DONE — plus the c-group plan
+governing each moment. This module replays that trace and checks the
+exactly-once execution contract and the paper's stealing discipline:
+
+* **EEWA201 double-execution** — a task with two EXEC events. Vector
+  clocks over the actors (cores plus the batch launcher) classify the
+  pair: *ordered* (a stale reference re-run later) or *concurrent* (a
+  true race — two cores holding the same task with no happens-before
+  edge between them).
+* **EEWA202 lost task** — created but never executed: the batch barrier
+  will wait for it forever.
+* **EEWA203 acquisition inconsistency** — a POP/STEAL of a task that is
+  not queued in any pool at that moment (double-steal, pop-after-steal,
+  acquisition of a never-pushed task).
+* **EEWA204 unacquired execution** — a pooled task EXECs more times than
+  it was acquired from a pool.
+* **EEWA205 preference-order violation** — an acquisition from c-group
+  pool ``g`` while an earlier group in the thief's rob-the-weaker-first
+  preference list still held work. Groups *faster* than the thief's own
+  are exempt: the criticality guard (Fig. 1(c)) legitimately skips them.
+
+Pool-level checks (203/204/205) only apply to tasks that appear in pool
+events at all, so the detector stays usable on minimal hand-written
+policies that schedule from private lists; double-execution and lost
+tasks are detected for every policy from the engine-side events alone.
+
+Happens-before edges: per-actor program order; PUSH → acquisition of the
+same task (the thief reads the pusher's publication); acquisition → EXEC;
+and the batch barrier (every actor → the launcher at each batch start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.checks.findings import Finding, Severity
+from repro.core.preference import preference_order
+from repro.sim.trace import (
+    LAUNCHER_ACTOR,
+    PlanEvent,
+    TaskEvent,
+    TaskEventKind,
+    TraceRecorder,
+)
+
+VClock = dict[int, int]
+
+
+def _tick(clocks: dict[int, VClock], actor: int) -> VClock:
+    vc = clocks.setdefault(actor, {})
+    vc[actor] = vc.get(actor, 0) + 1
+    return dict(vc)
+
+
+def _join(clocks: dict[int, VClock], actor: int, other: VClock) -> None:
+    vc = clocks.setdefault(actor, {})
+    for a, t in other.items():
+        if vc.get(a, 0) < t:
+            vc[a] = t
+
+
+def vc_leq(a: VClock, b: VClock) -> bool:
+    """Componentwise ``a <= b``: the event with clock ``a`` happens-before
+    (or equals) the one with clock ``b``."""
+    return all(b.get(actor, 0) >= t for actor, t in a.items())
+
+
+def vc_concurrent(a: VClock, b: VClock) -> bool:
+    return not vc_leq(a, b) and not vc_leq(b, a)
+
+
+@dataclass
+class _TaskState:
+    created: Optional[TaskEvent] = None
+    pushes: list[TaskEvent] = field(default_factory=list)
+    acquisitions: list[TaskEvent] = field(default_factory=list)
+    execs: list[tuple[TaskEvent, VClock]] = field(default_factory=list)
+    #: tasks currently published in some pool (push/acquire balance)
+    available: int = 0
+    #: clock of the latest unconsumed push, joined into the acquiring actor
+    last_push_vc: Optional[VClock] = None
+
+    @property
+    def pooled(self) -> bool:
+        return bool(self.pushes or self.acquisitions)
+
+
+def _finding(rule_id: str, label: str, message: str) -> Finding:
+    return Finding(
+        check="races",
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        location=label,
+        message=message,
+    )
+
+
+def find_trace_races(
+    trace: TraceRecorder,
+    *,
+    label: str = "trace",
+    preference_fn: Callable[[int, int], tuple[int, ...]] = preference_order,
+) -> list[Finding]:
+    """Replay a deep trace and return every contract violation found.
+
+    ``label`` prefixes finding locations (conventionally
+    ``"races(<policy>, seed=<seed>)"``). ``preference_fn`` is injectable
+    so tests can model-check against alternative orders.
+    """
+    events: list[TaskEvent | PlanEvent] = sorted(
+        list(trace.task_events) + list(trace.plan_events), key=lambda e: e.seq
+    )
+    findings: list[Finding] = []
+    clocks: dict[int, VClock] = {}
+    tasks: dict[int, _TaskState] = {}
+    plan: Optional[PlanEvent] = None
+    #: queued tasks per pool index, summed over all cores' pools
+    pool_totals: dict[int, int] = {}
+
+    for event in events:
+        if isinstance(event, PlanEvent):
+            plan = event
+            continue
+        state = tasks.setdefault(event.task_id, _TaskState())
+        if event.kind is TaskEventKind.CREATE:
+            if event.actor == LAUNCHER_ACTOR:
+                # Batch barrier: everything before the launch happened-before
+                # the launcher's placements.
+                for actor in list(clocks):
+                    if actor != LAUNCHER_ACTOR:
+                        _join(clocks, LAUNCHER_ACTOR, clocks[actor])
+            state.created = event
+            _tick(clocks, event.actor)
+        elif event.kind is TaskEventKind.PUSH:
+            state.pushes.append(event)
+            state.available += 1
+            state.last_push_vc = _tick(clocks, event.actor)
+            pool_totals[event.pool_index] = pool_totals.get(event.pool_index, 0) + 1
+        elif event.kind in (TaskEventKind.POP, TaskEventKind.STEAL):
+            _check_preference(
+                event, plan, pool_totals, preference_fn, label, findings
+            )
+            if state.available <= 0:
+                verb = "stolen" if event.kind is TaskEventKind.STEAL else "popped"
+                findings.append(
+                    _finding(
+                        "EEWA203",
+                        label,
+                        f"task {event.task_id} {verb} by core {event.actor} "
+                        f"from pool ({event.pool_core}, {event.pool_index}) "
+                        "while queued in no pool (double acquisition or "
+                        "unpushed task)",
+                    )
+                )
+            else:
+                state.available -= 1
+                pool_totals[event.pool_index] = max(
+                    0, pool_totals.get(event.pool_index, 0) - 1
+                )
+            state.acquisitions.append(event)
+            _tick(clocks, event.actor)
+            if state.last_push_vc is not None:
+                _join(clocks, event.actor, state.last_push_vc)
+        elif event.kind is TaskEventKind.EXEC:
+            if state.pooled and len(state.execs) >= len(state.acquisitions):
+                findings.append(
+                    _finding(
+                        "EEWA204",
+                        label,
+                        f"task {event.task_id} executed on core {event.actor} "
+                        f"without a matching pool acquisition "
+                        f"({len(state.acquisitions)} acquisition(s), "
+                        f"{len(state.execs) + 1} execution(s))",
+                    )
+                )
+            state.execs.append((event, _tick(clocks, event.actor)))
+        elif event.kind is TaskEventKind.DONE:
+            _tick(clocks, event.actor)
+
+    for task_id in sorted(tasks):
+        state = tasks[task_id]
+        if len(state.execs) > 1:
+            (e1, vc1), (e2, vc2) = state.execs[0], state.execs[1]
+            flavour = (
+                "concurrently (no happens-before edge: a true race)"
+                if vc_concurrent(vc1, vc2)
+                else "again after completing (stale reference re-run)"
+            )
+            findings.append(
+                _finding(
+                    "EEWA201",
+                    label,
+                    f"task {task_id} executed {len(state.execs)} times — "
+                    f"cores {e1.actor} and {e2.actor} ran it {flavour}",
+                )
+            )
+        if state.created is not None and not state.execs:
+            findings.append(
+                _finding(
+                    "EEWA202",
+                    label,
+                    f"task {task_id} was created (actor "
+                    f"{state.created.actor}) but never executed — the batch "
+                    "barrier waits on it forever",
+                )
+            )
+    return findings
+
+
+def _check_preference(
+    event: TaskEvent,
+    plan: Optional[PlanEvent],
+    pool_totals: dict[int, int],
+    preference_fn: Callable[[int, int], tuple[int, ...]],
+    label: str,
+    findings: list[Finding],
+) -> None:
+    """Flag an acquisition that skipped a non-empty earlier-preference group."""
+    if plan is None or event.actor == LAUNCHER_ACTOR:
+        return  # single-pool policy (or launcher): no preference contract
+    if event.actor >= len(plan.group_of_core):
+        return
+    own = plan.group_of_core[event.actor]
+    num_groups = len(plan.group_levels)
+    group = event.pool_index
+    if not 0 <= group < num_groups:
+        return  # stale pool index from an older, larger plan
+    prefs = preference_fn(own, num_groups)
+    position = prefs.index(group)
+    for earlier in prefs[:position]:
+        if pool_totals.get(earlier, 0) <= 0:
+            continue
+        if plan.group_levels[earlier] < plan.group_levels[own]:
+            # Strictly faster group: the criticality guard may skip it.
+            continue
+        findings.append(
+            _finding(
+                "EEWA205",
+                label,
+                f"core {event.actor} (group G{own}) acquired from group "
+                f"G{group} while preferred group G{earlier} still had "
+                f"{pool_totals[earlier]} queued task(s) — violates the "
+                "rob-the-weaker-first order "
+                f"{prefs}",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shipped-policy battery (the CLI's `repro check` race stage)
+# ---------------------------------------------------------------------------
+
+#: Policies the battery covers and how to build them on the test machine.
+SHIPPED_POLICY_NAMES = ("cilk", "cilk_d", "wats", "eewa")
+
+DEFAULT_RACE_SEEDS = (3, 5, 11)
+
+
+def _shipped_factory(name: str):
+    from repro.core.eewa import EEWAScheduler
+    from repro.runtime.cilk import CilkScheduler
+    from repro.runtime.cilk_d import CilkDScheduler
+    from repro.runtime.wats import WATSScheduler
+
+    if name == "cilk":
+        return CilkScheduler
+    if name == "cilk_d":
+        return CilkDScheduler
+    if name == "wats":
+        return lambda: WATSScheduler([0, 0, 1, 2])
+    if name == "eewa":
+        return EEWAScheduler
+    raise ValueError(f"unknown shipped policy {name!r}")
+
+
+def _battery_programs():
+    from repro.runtime.task import TaskSpec, flat_batch
+
+    ref = 2.0e9  # fastest level of the small test machine
+
+    def flat(batches: int, sizes: list[float]):
+        return [
+            flat_batch(
+                i,
+                [
+                    TaskSpec(f"c{j % 3}", cpu_cycles=s * ref)
+                    for j, s in enumerate(sizes)
+                ],
+            )
+            for i in range(batches)
+        ]
+
+    return {
+        "balanced": flat(2, [0.01] * 12),
+        "imbalanced": flat(3, [0.002] * 9 + [0.05]),
+    }
+
+
+def check_shipped_policies(
+    *,
+    seeds: Sequence[int] = DEFAULT_RACE_SEEDS,
+    policies: Sequence[str] = SHIPPED_POLICY_NAMES,
+) -> list[Finding]:
+    """Deep-trace every shipped policy across ``seeds`` and race-check it.
+
+    This is the ``races`` stage of ``repro check``: small programs, the
+    4-core test machine, every (policy, program, seed) combination.
+    """
+    from repro.machine.topology import small_test_machine
+    from repro.sim.engine import simulate
+
+    findings: list[Finding] = []
+    programs = _battery_programs()
+    for name in policies:
+        factory = _shipped_factory(name)
+        for program_name, program in sorted(programs.items()):
+            for seed in seeds:
+                machine = small_test_machine(
+                    num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9)
+                )
+                label = f"races({name}, {program_name}, seed={seed})"
+                try:
+                    result = simulate(
+                        program,
+                        factory(),
+                        machine,
+                        seed=seed,
+                        record_task_events=True,
+                    )
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    findings.append(
+                        _finding(
+                            "EEWA200",
+                            label,
+                            f"simulation failed: {type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                findings.extend(find_trace_races(result.trace, label=label))
+    return findings

@@ -1,0 +1,186 @@
+"""Orchestration and CLI for the checks subsystem.
+
+``repro check`` (and ``python -m repro.checks``) runs up to three engines —
+AST lint, the scheduler-invariant model checker, and the trace race
+detector — collects their findings into one report, and exits:
+
+* ``0`` — clean (non-strict runs ignore warnings);
+* ``1`` — findings at or above the failing threshold;
+* ``2`` — the checker itself could not run (bad paths, internal error).
+
+``--changed-only`` scopes the run for pre-commit latency: lint covers only
+files changed versus ``HEAD``, the model checker runs only when scheduler
+math changed, the race battery only when runtime/sim code changed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.checks.findings import (
+    Finding,
+    exit_code,
+    render_json,
+    render_text,
+)
+from repro.checks.invariants import check_invariants
+from repro.checks.lint import lint_paths
+from repro.checks.races import DEFAULT_RACE_SEEDS, check_shipped_policies
+
+#: Directories whose changes trigger the model checker under --changed-only.
+_INVARIANT_TRIGGERS = ("repro/core/", "repro/checks/invariants")
+#: Directories whose changes trigger the race battery under --changed-only.
+_RACE_TRIGGERS = ("repro/runtime/", "repro/sim/", "repro/checks/races")
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor containing ``.git``, else the start directory."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in [current, *current.parents]:
+        if (candidate / ".git").exists():
+            return candidate
+    return current
+
+
+def changed_python_files(root: Path) -> Optional[list[Path]]:
+    """Files changed vs HEAD plus untracked ones; ``None`` if git fails."""
+    files: set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            out = subprocess.run(
+                args, cwd=root, capture_output=True, text=True, check=True
+            ).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        files.update(line.strip() for line in out.splitlines() if line.strip())
+    return sorted(
+        root / f for f in files if f.endswith(".py") and (root / f).exists()
+    )
+
+
+def run_checks(
+    paths: Sequence[Path],
+    *,
+    root: Path,
+    lint: bool = True,
+    invariants: bool = True,
+    races: bool = True,
+    race_seeds: Sequence[int] = DEFAULT_RACE_SEEDS,
+) -> list[Finding]:
+    """Run the selected engines and pool their findings."""
+    findings: list[Finding] = []
+    if lint:
+        findings.extend(lint_paths(paths, root=root))
+    if invariants:
+        findings.extend(check_invariants())
+    if races:
+        findings.extend(check_shipped_policies(seeds=race_seeds))
+    return findings
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Determinism lint, scheduler-invariant model checking, and "
+            "trace race detection for the EEWA reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true", help="skip the AST lint engine"
+    )
+    parser.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the scheduler-invariant model checker",
+    )
+    parser.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip the shipped-policy race-detection battery",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only files changed vs HEAD; run the other engines only "
+            "when their subject code changed (pre-commit mode)"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    root = find_repo_root()
+
+    lint = not args.no_lint
+    invariants = not args.no_invariants
+    races = not args.no_races
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                f"repro check: no such path(s): {', '.join(map(str, missing))}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        default = root / "src" / "repro"
+        if not default.exists():
+            print(
+                f"repro check: default lint target {default} does not exist; "
+                "pass explicit paths",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [default]
+
+    if args.changed_only:
+        changed = changed_python_files(root)
+        if changed is None:
+            print(
+                "repro check: --changed-only requires git; running full checks",
+                file=sys.stderr,
+            )
+        else:
+            rels = [p.resolve().as_posix() for p in changed]
+            paths = list(changed)
+            lint = lint and bool(paths)
+            invariants = invariants and any(
+                t in r for r in rels for t in _INVARIANT_TRIGGERS
+            )
+            races = races and any(t in r for r in rels for t in _RACE_TRIGGERS)
+
+    findings = run_checks(
+        paths,
+        root=root,
+        lint=lint,
+        invariants=invariants,
+        races=races,
+    )
+    report = render_json(findings) if args.fmt == "json" else render_text(findings)
+    print(report)
+    return exit_code(findings, strict=args.strict)

@@ -6,7 +6,9 @@
 * ``run`` — one benchmark under one policy, with timing/energy and traces;
 * ``compare`` — one benchmark under all policies, normalised to Cilk;
 * ``figure`` — regenerate one paper exhibit (fig1/fig6/fig7/fig8/fig9/table3);
-* ``calibrate`` — re-measure the real kernels behind the workload costs.
+* ``calibrate`` — re-measure the real kernels behind the workload costs;
+* ``check`` — determinism lint, invariant model checking, race detection
+  (see :mod:`repro.checks`).
 """
 
 from __future__ import annotations
@@ -82,6 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
     cal = sub.add_parser("calibrate", help="re-measure real kernel costs")
     cal.add_argument("--repeats", type=int, default=3)
 
+    # Registered only so ``repro --help`` lists it; ``main`` hands the whole
+    # argv tail to the checks runner before this parser ever sees it.
+    sub.add_parser(
+        "check",
+        add_help=False,
+        help="determinism lint, invariant model checking, race detection",
+    )
+
     return parser
 
 
@@ -90,6 +100,7 @@ def _cmd_list() -> int:
     print("extra workloads: STREAM-like (memory-bound), DMC-phased (varying)")
     print("policies:", ", ".join(POLICY_NAMES), "(+ wats via the API)")
     print("exhibits:", ", ".join(EXHIBITS))
+    print("checks: repro check [--strict] (lint EEWA0xx, invariants EEWA1xx, races EEWA2xx)")
     return 0
 
 
@@ -238,6 +249,12 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        from repro.checks.runner import main as check_main
+
+        return check_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()

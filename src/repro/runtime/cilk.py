@@ -59,7 +59,8 @@ class CilkScheduler(SchedulerPolicy):
 
     def on_program_start(self) -> BatchAdjustment:
         ctx = self._require_ctx()
-        self._grid = PoolGrid(ctx.machine.num_cores, 1)
+        observer = getattr(ctx, "pool_observer", lambda: None)()
+        self._grid = PoolGrid(ctx.machine.num_cores, 1, observer=observer)
         levels = self._core_levels
         if levels is None:
             # All cores pinned at the fastest frequency for the entire run.

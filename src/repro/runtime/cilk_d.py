@@ -17,12 +17,11 @@ versus Cilk while EEWA saves a further 2.3-18.4% on top).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.policy import Action, BatchAdjustment, RunTask, SetFrequency, Wait
 from repro.runtime.task import Batch, Task
-from typing import Sequence
 
 #: Default idle-detection delay before a core drops to the lowest P-state.
 DEFAULT_IDLE_GRACE_S = 10e-3

@@ -14,6 +14,11 @@ The battery exercises the invariants the engine relies on:
 3. nested spawns (if the policy claims support) are scheduled;
 4. runs are deterministic for a fixed seed;
 5. frequency requests stay within the machine's ladder.
+
+``check_policy(..., deep=True)`` additionally replays a deep task-event
+trace through the race detector (:mod:`repro.checks.races`): exactly-once
+execution via vector clocks, lost-task detection, and — for c-group
+policies — conformance to the rob-the-weaker-first stealing order.
 """
 
 from __future__ import annotations
@@ -62,12 +67,14 @@ def check_policy(
     *,
     machine: MachineConfig | None = None,
     check_spawns: bool = True,
+    deep: bool = False,
 ) -> ConformanceReport:
     """Run the conformance battery against a policy factory.
 
     ``factory`` must return a *fresh* policy instance per call (policies
     are stateful and single-use). Set ``check_spawns=False`` for policies
-    that legitimately do not support nested spawns.
+    that legitimately do not support nested spawns. ``deep=True`` adds the
+    trace-replay race check (slower: records every task event).
     """
     if machine is None:
         machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
@@ -121,6 +128,22 @@ def check_policy(
         for level, secs in result.meter.seconds_by_level().items():
             assert 0 <= level < r and secs >= 0
 
+    def race_free() -> None:
+        # Imported here: repro.checks imports runtime modules, so a
+        # module-level import would be circular.
+        from repro.checks.races import find_trace_races
+        from repro.sim.engine import Simulator
+
+        program = _flat_program(2, [0.004] * 9 + [0.03])
+        sim = Simulator(machine, factory(), seed=3, record_task_events=True)
+        try:
+            sim.run(program)
+        finally:
+            findings = find_trace_races(
+                sim.trace, label=f"races({report.policy_name})"
+            )
+            assert not findings, "; ".join(f.message for f in findings)
+
     run_check("balanced-batches", balanced)
     run_check("imbalanced-batch", imbalanced)
     run_check("single-task-tail", single_task_tail)
@@ -128,4 +151,6 @@ def check_policy(
         run_check("nested-spawns", spawns)
     run_check("determinism", deterministic)
     run_check("frequency-sanity", frequency_sanity)
+    if deep:
+        run_check("race-detection", race_free)
     return report

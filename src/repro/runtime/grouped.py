@@ -55,7 +55,10 @@ class GroupedStealingPolicy(SchedulerPolicy):
         """
         ctx = self._require_ctx()
         if self._grid is None:
-            self._grid = PoolGrid(ctx.machine.num_cores, ctx.machine.r)
+            observer = getattr(ctx, "pool_observer", lambda: None)()
+            self._grid = PoolGrid(
+                ctx.machine.num_cores, ctx.machine.r, observer=observer
+            )
         self._plan = plan
         self._prefs = preference_lists(plan.num_groups)
         self._rr_cursor = {g.index: 0 for g in plan.groups}
@@ -66,6 +69,11 @@ class GroupedStealingPolicy(SchedulerPolicy):
             for name, g in plan.class_to_group.items():
                 per_group[g] = max(per_group[g], class_workloads.get(name, 0.0))
             self._group_max_workload = per_group
+        trace_plan = getattr(ctx, "trace_plan", None)
+        if trace_plan is not None:
+            trace_plan(
+                plan.group_of_core, tuple(g.level for g in plan.groups)
+            )
 
     def _steal_would_blow_budget(self, thief_level: int, group_index: int) -> bool:
         """True when the group's heaviest class cannot fit the iteration

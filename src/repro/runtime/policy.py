@@ -113,6 +113,19 @@ class RuntimeContext(Protocol):
         """Deterministic random permutation from a named stream."""
         ...
 
+    # The tracing hooks below are optional: policies access them through
+    # ``getattr`` so scripted test contexts that predate them keep working.
+
+    def pool_observer(self):  # -> Optional[PoolObserver]
+        """Pool-event sink for deep tracing; ``None`` when not recording."""
+        ...
+
+    def trace_plan(
+        self, group_of_core: Sequence[int], group_levels: Sequence[int]
+    ) -> None:
+        """Record a c-group plan installation for the race detector."""
+        ...
+
 
 @dataclass
 class PolicyStats:

@@ -12,21 +12,35 @@ check the preference-based scheduler performs on every escalation decision.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError, SchedulingError
 from repro.runtime.deque import WorkStealingDeque
 from repro.runtime.task import Task
 
+#: Observer callback for pool mutations: ``(op, pool_core, pool_index,
+#: task)`` where ``op`` is ``"push"`` / ``"pop"`` / ``"steal"`` and
+#: ``pool_core`` is the owner of the touched pool (the victim for steals).
+#: The engine supplies one when task-event tracing is enabled; see
+#: :meth:`repro.sim.engine.Simulator.pool_observer`.
+PoolObserver = Callable[[str, int, int, Task], None]
+
 
 class PoolGrid:
     """``num_cores x num_pools`` grid of work-stealing deques."""
 
-    def __init__(self, num_cores: int, num_pools: int) -> None:
+    def __init__(
+        self,
+        num_cores: int,
+        num_pools: int,
+        *,
+        observer: Optional[PoolObserver] = None,
+    ) -> None:
         if num_cores < 1 or num_pools < 1:
             raise ConfigurationError("PoolGrid needs at least one core and one pool")
         self.num_cores = num_cores
         self.num_pools = num_pools
+        self._observer = observer
         self._pools: list[list[WorkStealingDeque[Task]]] = [
             [WorkStealingDeque() for _ in range(num_pools)] for _ in range(num_cores)
         ]
@@ -47,6 +61,8 @@ class PoolGrid:
         self._check(core_id, pool_index)
         self._pools[core_id][pool_index].push_bottom(task)
         self._queued_by_pool[pool_index] += 1
+        if self._observer is not None:
+            self._observer("push", core_id, pool_index, task)
 
     def pop_local(self, core_id: int, pool_index: int) -> Optional[Task]:
         """Owner-side LIFO pop; ``None`` when the local pool is empty."""
@@ -54,6 +70,8 @@ class PoolGrid:
         task = self._pools[core_id][pool_index].pop_bottom()
         if task is not None:
             self._queued_by_pool[pool_index] -= 1
+            if self._observer is not None:
+                self._observer("pop", core_id, pool_index, task)
         return task
 
     def steal(self, victim_id: int, pool_index: int) -> Optional[Task]:
@@ -63,6 +81,8 @@ class PoolGrid:
         if task is not None:
             self._queued_by_pool[pool_index] -= 1
             task.stolen = True
+            if self._observer is not None:
+                self._observer("steal", victim_id, pool_index, task)
         return task
 
     def clear(self) -> None:

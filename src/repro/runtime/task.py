@@ -13,7 +13,7 @@ A :class:`TaskSpec` is the immutable description of one task's cost; a
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import ConfigurationError

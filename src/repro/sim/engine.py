@@ -37,16 +37,22 @@ from repro.machine.topology import MachineConfig
 from repro.runtime.barrier import BatchBarrier
 from repro.runtime.policy import (
     Action,
-    BatchAdjustment,
     RunTask,
     SchedulerPolicy,
     SetFrequency,
     Wait,
 )
+from repro.runtime.pools import PoolObserver
 from repro.runtime.task import Batch, Task, TaskFactory, iter_programs_batches
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.rng import RngStreams
-from repro.sim.trace import BatchTrace, DvfsTransition, TraceRecorder
+from repro.sim.trace import (
+    LAUNCHER_ACTOR,
+    BatchTrace,
+    DvfsTransition,
+    TaskEventKind,
+    TraceRecorder,
+)
 
 #: Hard cap on processed events — a runaway-policy backstop, far above any
 #: legitimate run (each task costs a handful of events).
@@ -105,12 +111,17 @@ class Simulator:
         keep_tasks: bool = True,
         max_events: int = DEFAULT_MAX_EVENTS,
         record_power_series: bool = False,
+        record_task_events: bool = False,
     ) -> None:
         self._machine = machine
         self._policy = policy
         self._rng = RngStreams(seed)
         self._keep_tasks = keep_tasks
         self._max_events = max_events
+        self._record_task_events = record_task_events
+        # Which core is currently driving policy code; the batch launcher
+        # when root tasks are being placed. Only used for event attribution.
+        self._trace_actor = LAUNCHER_ACTOR
 
         self._cores = [
             SimCore(core_id=i, scale=machine.scale) for i in range(machine.num_cores)
@@ -147,6 +158,12 @@ class Simulator:
     def machine(self) -> MachineConfig:
         return self._machine
 
+    @property
+    def trace(self) -> TraceRecorder:
+        """The run's trace so far — readable even after a failed run, which
+        is how the race detector examines programs that deadlock."""
+        return self._trace
+
     def now(self) -> float:
         return self._queue.now
 
@@ -163,6 +180,43 @@ class Simulator:
 
     def rng_shuffled(self, stream: str, options: Sequence[int]) -> list[int]:
         return self._rng.shuffled(stream, options)
+
+    def pool_observer(self) -> Optional[PoolObserver]:
+        """Pool-event sink for policies to hand their :class:`PoolGrid`.
+
+        ``None`` (record nothing) unless the run was started with
+        ``record_task_events=True`` — the deep-trace mode the race
+        detector consumes.
+        """
+        if not self._record_task_events:
+            return None
+
+        kinds = {
+            "push": TaskEventKind.PUSH,
+            "pop": TaskEventKind.POP,
+            "steal": TaskEventKind.STEAL,
+        }
+
+        def observe(op: str, pool_core: int, pool_index: int, task: Task) -> None:
+            self._trace.record_task_event(
+                self.now(),
+                kinds[op],
+                actor=self._trace_actor,
+                task_id=task.task_id,
+                pool_core=pool_core,
+                pool_index=pool_index,
+            )
+
+        return observe
+
+    def trace_plan(
+        self, group_of_core: Sequence[int], group_levels: Sequence[int]
+    ) -> None:
+        """Record a c-group plan installation (no-op unless deep-tracing)."""
+        if self._record_task_events:
+            self._trace.record_plan(
+                self.now(), tuple(group_of_core), tuple(group_levels)
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -221,8 +275,10 @@ class Simulator:
         self._barrier.open(batch.index, self.now())
 
         tasks = [self._factory.make(spec, batch.index) for spec in batch.specs]
-        for _ in tasks:
+        for task in tasks:
             self._barrier.add_task()
+            self._record_lifecycle(TaskEventKind.CREATE, LAUNCHER_ACTOR, task.task_id)
+        self._trace_actor = LAUNCHER_ACTOR
         self._policy.on_batch_start(batch, tasks)
 
         hist = self._level_histogram()
@@ -258,6 +314,7 @@ class Simulator:
                 f"core {core_id} finished task {finished_id}, expected {task.task_id}"
             )
         task.finish_time = self.now()
+        self._record_lifecycle(TaskEventKind.DONE, core_id, task.task_id)
         self._tasks_executed += 1
         if self._keep_tasks:
             self._finished_tasks.append(task)
@@ -313,6 +370,7 @@ class Simulator:
                 f"dispatch of core {core.core_id} in state {core.state}"
             )
         self._waiting.discard(core.core_id)
+        self._trace_actor = core.core_id
         action: Action = self._policy.next_action(core.core_id)
 
         if isinstance(action, RunTask):
@@ -341,9 +399,17 @@ class Simulator:
         else:  # pragma: no cover - action union is closed
             raise SchedulingError(f"unknown action {action!r}")
 
+    def _record_lifecycle(self, kind: TaskEventKind, actor: int, task_id: int) -> None:
+        if self._record_task_events:
+            self._trace.record_task_event(
+                self.now(), kind, actor=actor, task_id=task_id,
+                pool_core=actor if kind is not TaskEventKind.CREATE else -1,
+            )
+
     def _start_task(self, core: SimCore, action: RunTask) -> None:
         task = action.task
         self._meter.observe(self.now())
+        self._record_lifecycle(TaskEventKind.EXEC, core.core_id, task.task_id)
         core.start_task(task.task_id)
         acquire_seconds = action.acquire_cycles / core.frequency
         exec_seconds = core.exec_seconds(
@@ -368,9 +434,13 @@ class Simulator:
         # Cilk semantics: spawned children become stealable when the parent
         # starts running.
         if task.spec.children:
+            self._trace_actor = core.core_id
             for child_spec in task.spec.children:
                 child = self._factory.make(child_spec, task.batch_index)
                 self._barrier.add_task()
+                self._record_lifecycle(
+                    TaskEventKind.CREATE, core.core_id, child.task_id
+                )
                 self._policy.on_spawn(core.core_id, child)
             self._wake_all_idle()
 
@@ -564,6 +634,7 @@ def simulate(
     seed: int = 0,
     keep_tasks: bool = True,
     record_power_series: bool = False,
+    record_task_events: bool = False,
 ) -> SimResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -572,4 +643,5 @@ def simulate(
         seed=seed,
         keep_tasks=keep_tasks,
         record_power_series=record_power_series,
+        record_task_events=record_task_events,
     ).run(program)

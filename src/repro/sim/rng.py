@@ -32,9 +32,27 @@ class RngStreams:
     def stream(self, name: str) -> random.Random:
         rng = self._streams.get(name)
         if rng is None:
+            if not name or not name.strip():
+                raise ValueError(
+                    f"stream name must be non-empty and non-whitespace, got {name!r}"
+                )
             rng = random.Random(derive_seed(self.root_seed, name))
             self._streams[name] = rng
         return rng
+
+    def spawn_child(self, name: str) -> "RngStreams":
+        """Independent child registry rooted under ``name``.
+
+        The child's root seed lives in a namespace (``spawn\\x1f``) disjoint
+        from ordinary stream names, so ``streams.stream("x")`` and
+        ``streams.spawn_child("x").stream("y")`` can never alias — a child
+        can safely reuse any stream name its parent also uses.
+        """
+        if not name or not name.strip():
+            raise ValueError(
+                f"child name must be non-empty and non-whitespace, got {name!r}"
+            )
+        return RngStreams(derive_seed(self.root_seed, "spawn\x1f" + name))
 
     def choice(self, name: str, options: Sequence[T]) -> T:
         if not options:

@@ -5,13 +5,74 @@ The trace captures what the paper's figures are drawn from:
 * per-batch frequency configurations (Fig. 8: "number of cores with four
   frequencies in the 10 batches of SHA-1");
 * per-batch durations and adjuster overheads (Table III);
-* DVFS transition log (for debugging and the frequency-timeline example).
+* DVFS transition log (for debugging and the frequency-timeline example);
+* optionally (``record_task_events=True`` on the engine), the full task
+  lifecycle — create / push / pop / steal / exec / done, plus the c-group
+  plan active at each moment — which is what the race detector in
+  :mod:`repro.checks.races` replays for its happens-before analysis.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Optional
+
+#: Actor id used for events performed by the batch launcher (the engine
+#: placing a batch's root tasks) rather than by a specific core.
+LAUNCHER_ACTOR = -1
+
+
+class TaskEventKind(enum.Enum):
+    """Lifecycle stages of a task as seen by the trace."""
+
+    CREATE = "create"  #: task object materialised (batch root or spawn)
+    PUSH = "push"      #: owner-side push into a pool
+    POP = "pop"        #: owner-side LIFO pop from a pool
+    STEAL = "steal"    #: thief-side FIFO steal from a victim's pool
+    EXEC = "exec"      #: execution started on a core
+    DONE = "done"      #: execution finished
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One task-lifecycle event.
+
+    ``seq`` is a global, gap-free order shared with :class:`PlanEvent` —
+    the replay order of the race detector. ``actor`` is the core driving
+    the event (:data:`LAUNCHER_ACTOR` for batch placement); ``pool_core``
+    is the owner of the pool touched (the victim, for steals) and equals
+    ``actor`` for POP/EXEC/DONE. ``pool_index`` is the c-group pool number
+    (always 0 for single-pool policies); it is ``-1`` where no pool is
+    involved (CREATE, and EXEC/DONE which name only the executing core).
+    """
+
+    seq: int
+    time: float
+    kind: TaskEventKind
+    actor: int
+    task_id: int
+    pool_core: int = -1
+    pool_index: int = -1
+
+
+@dataclass(frozen=True)
+class PlanEvent:
+    """A c-group plan installation (grouped policies only).
+
+    Shares the ``seq`` sequence with :class:`TaskEvent` so the race
+    detector knows which plan governs each subsequent pool operation.
+    ``group_of_core[c]`` is core ``c``'s group index; ``group_levels[g]``
+    is group ``g``'s frequency level (fastest-first index into the scale).
+    """
+
+    seq: int
+    time: float
+    group_of_core: tuple[int, ...]
+    group_levels: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -43,12 +104,56 @@ class TraceRecorder:
 
     batches: list[BatchTrace] = field(default_factory=list)
     transitions: list[DvfsTransition] = field(default_factory=list)
+    #: Task-lifecycle events; empty unless the engine ran with
+    #: ``record_task_events=True``.
+    task_events: list[TaskEvent] = field(default_factory=list)
+    #: Plan installations, same opt-in.
+    plan_events: list[PlanEvent] = field(default_factory=list)
+    _next_seq: int = 0
 
     def record_batch(self, trace: BatchTrace) -> None:
         self.batches.append(trace)
 
     def record_transition(self, transition: DvfsTransition) -> None:
         self.transitions.append(transition)
+
+    def record_task_event(
+        self,
+        time: float,
+        kind: TaskEventKind,
+        actor: int,
+        task_id: int,
+        pool_core: int = -1,
+        pool_index: int = -1,
+    ) -> TaskEvent:
+        event = TaskEvent(
+            seq=self._next_seq,
+            time=time,
+            kind=kind,
+            actor=actor,
+            task_id=task_id,
+            pool_core=pool_core,
+            pool_index=pool_index,
+        )
+        self._next_seq += 1
+        self.task_events.append(event)
+        return event
+
+    def record_plan(
+        self,
+        time: float,
+        group_of_core: tuple[int, ...],
+        group_levels: tuple[int, ...],
+    ) -> PlanEvent:
+        event = PlanEvent(
+            seq=self._next_seq,
+            time=time,
+            group_of_core=group_of_core,
+            group_levels=group_levels,
+        )
+        self._next_seq += 1
+        self.plan_events.append(event)
+        return event
 
     # -- figure-ready views ----------------------------------------------------
 

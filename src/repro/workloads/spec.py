@@ -13,7 +13,7 @@ generator converts them to cycles with the reference frequency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.analysis.thermal import (
-    ThermalParams,
-    _merge_power_series,
-    socket_thermal_report,
-)
+from repro.analysis.thermal import _merge_power_series, socket_thermal_report
 from repro.core.eewa import EEWAScheduler
 from repro.errors import ConfigurationError
 from repro.machine.topology import opteron_8380_machine

@@ -1,0 +1,134 @@
+"""Deliberately broken policies shared by the conformance and race tests.
+
+Each fixture violates exactly one contract the checks subsystem exists to
+catch, in a way that is invisible to coarse metrics (task counts, timing)
+but visible to the deep-trace race detector and/or the conformance
+battery:
+
+* :class:`DoubleExecutes` — re-runs a completed task in place of a freshly
+  acquired one (EEWA201/202/204);
+* :class:`DropsTasks` — silently loses work, deadlocking the batch barrier
+  (EEWA202, and an engine-side ``SimulationError``);
+* :class:`OffLadderFrequency` — requests a DVFS level outside the
+  machine's ladder (conformance: raised ``ConfigurationError``);
+* :class:`BadStealOrder` — a c-group policy that walks its preference
+  lists backwards, robbing the strongest first (EEWA205).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.cgroups import CGroupPlan
+from repro.core.eewa import EEWAScheduler
+from repro.runtime.policy import (
+    Action,
+    RunTask,
+    SchedulerPolicy,
+    SetFrequency,
+    Wait,
+)
+from repro.runtime.pools import PoolGrid
+from repro.runtime.task import Batch, Task
+
+
+class DoubleExecutes(SchedulerPolicy):
+    """Runs the first completed task a second time in place of another.
+
+    Pool bookkeeping stays balanced — a victim task is acquired from the
+    grid for every ``RunTask`` returned — so the batch barrier's completion
+    count works out and the run terminates normally. The trace, however,
+    shows one task with two EXECs (only one acquisition) and one task that
+    was acquired but never executed: exactly the shape EEWA201/202/204
+    exist to catch, and invisible to anything that only counts executions.
+    """
+
+    name = "double-executes"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._grid: Optional[PoolGrid] = None
+        self._first_done: Optional[Task] = None
+        self._cheated = False
+
+    def on_batch_start(self, batch: Batch, tasks: Sequence[Task]) -> None:
+        ctx = self._require_ctx()
+        if self._grid is None:
+            observer = getattr(ctx, "pool_observer", lambda: None)()
+            self._grid = PoolGrid(ctx.machine.num_cores, 1, observer=observer)
+        for task in tasks:
+            self._grid.push(0, 0, task)
+
+    def on_spawn(self, core_id: int, task: Task) -> None:
+        assert self._grid is not None
+        self._grid.push(core_id, 0, task)
+
+    def on_task_complete(self, core_id: int, task: Task) -> None:
+        if self._first_done is None:
+            self._first_done = task
+
+    def next_action(self, core_id: int) -> Action:
+        assert self._grid is not None
+        if core_id == 0:
+            task = self._grid.pop_local(0, 0)
+        else:
+            task = self._grid.steal(0, 0)
+        if task is None:
+            return Wait()
+        if self._first_done is not None and not self._cheated:
+            # Drop the task just acquired and re-run the stale reference.
+            self._cheated = True
+            return RunTask(self._first_done)
+        return RunTask(task)
+
+
+class DropsTasks(SchedulerPolicy):
+    """Loses every third root task; the batch barrier waits forever.
+
+    The engine detects the deadlock (event queue drained with work
+    outstanding) and raises ``SimulationError``; the partial trace still
+    carries the CREATE events of the lost tasks, which is what EEWA202
+    reports.
+    """
+
+    name = "drops-tasks"
+
+    def on_batch_start(self, batch: Batch, tasks: Sequence[Task]) -> None:
+        self._tasks = [t for i, t in enumerate(tasks) if i % 3]
+
+    def on_spawn(self, core_id: int, task: Task) -> None:
+        self._tasks.append(task)
+
+    def next_action(self, core_id: int) -> Action:
+        if self._tasks:
+            return RunTask(self._tasks.pop())
+        return Wait()
+
+
+class OffLadderFrequency(SchedulerPolicy):
+    """Requests DVFS level 99 on a machine whose ladder has r levels."""
+
+    name = "off-ladder-frequency"
+
+    def on_batch_start(self, batch: Batch, tasks: Sequence[Task]) -> None:
+        self._tasks = list(tasks)
+
+    def on_spawn(self, core_id: int, task: Task) -> None:
+        self._tasks.append(task)
+
+    def next_action(self, core_id: int) -> Action:
+        return SetFrequency(99)
+
+
+class BadStealOrder(EEWAScheduler):
+    """EEWA with its preference lists reversed: robs the *strongest* first.
+
+    Functionally complete (every task runs exactly once), so only the
+    EEWA205 preference-order check can tell it from the real scheduler.
+    """
+
+    name = "bad-steal-order"
+
+    def _install_plan(self, plan: CGroupPlan, **kwargs) -> None:
+        super()._install_plan(plan, **kwargs)
+        self._prefs = [tuple(reversed(p)) for p in self._prefs]

@@ -1,0 +1,94 @@
+"""The bounded-exhaustive model checker: clean on the real implementations,
+and — the mutation test — loud on deliberately broken ones."""
+
+from repro.checks.invariants import (
+    check_invariants,
+    check_ktuple_invariants,
+    check_preference_invariants,
+    generate_tables,
+)
+from repro.core.ktuple import KTupleSolution, search_ktuple
+
+
+class TestRealImplementations:
+    def test_ktuple_search_passes_bounded_space(self):
+        """Acceptance criterion: exhaustively clean for r,k <= 4, m <= 16."""
+        findings = check_ktuple_invariants(max_r=4, max_k=4, max_m=16)
+        assert findings == [], [f.message for f in findings]
+
+    def test_preference_orders_pass(self):
+        findings = check_preference_invariants(max_groups=8)
+        assert findings == [], [f.message for f in findings]
+
+    def test_combined_entry_point(self):
+        assert check_invariants() == []
+
+
+class TestGeneratedSpace:
+    def test_tables_cover_all_shapes(self):
+        tables = list(generate_tables(3, 3))
+        shapes = {(t.r, t.k) for t in tables}
+        assert shapes == {(r, k) for r in (1, 2, 3) for k in (1, 2, 3)}
+
+    def test_base_rows_are_heaviest_first(self):
+        for table in generate_tables(2, 3):
+            row0 = [table[0, i] for i in range(table.k)]
+            assert row0 == sorted(row0, reverse=True)
+
+
+class TestMutationKillers:
+    """Hand-broken searches must produce counterexample findings — proof
+    the checker can actually distinguish a wrong implementation."""
+
+    def test_search_that_finds_nothing_is_caught(self):
+        findings = check_ktuple_invariants(
+            max_r=2, max_k=2, max_m=8, search_fn=lambda table, m: None
+        )
+        assert findings
+        assert all(f.rule_id == "EEWA102" for f in findings)
+
+    def test_non_monotone_search_is_caught(self):
+        def reversed_search(table, m):
+            solution = search_ktuple(table, m)
+            if solution is None:
+                return None
+            a = tuple(reversed(solution.assignment))
+            return KTupleSolution(
+                assignment=a,
+                core_demand=tuple(table[j, i] for i, j in enumerate(a)),
+            )
+
+        findings = check_ktuple_invariants(max_r=3, max_k=3, search_fn=reversed_search)
+        assert any(f.rule_id == "EEWA103" for f in findings)
+        assert any("monotonicity" in f.message for f in findings)
+
+    def test_greedy_fastest_search_is_caught_as_not_minimal(self):
+        """A search that always answers all-fastest is feasible and monotone
+        but never bottom-up minimal when slower tuples fit."""
+
+        def all_fastest(table, m):
+            demand = tuple(table[0, i] for i in range(table.k))
+            if sum(demand) > m:
+                return search_ktuple(table, m)
+            return KTupleSolution(assignment=(0,) * table.k, core_demand=demand)
+
+        findings = check_ktuple_invariants(max_r=3, max_k=2, search_fn=all_fastest)
+        assert any(f.rule_id == "EEWA105" for f in findings)
+
+    def test_infeasible_search_is_caught(self):
+        def over_budget(table, m):
+            # Claims the all-fastest tuple regardless of the core budget.
+            demand = tuple(table[0, i] for i in range(table.k))
+            return KTupleSolution(assignment=(0,) * table.k, core_demand=demand)
+
+        findings = check_ktuple_invariants(
+            max_r=2, max_k=3, max_m=2, search_fn=over_budget
+        )
+        assert any(f.rule_id == "EEWA104" for f in findings)
+
+    def test_counterexample_names_the_configuration(self):
+        findings = check_ktuple_invariants(
+            max_r=2, max_k=2, max_m=4, search_fn=lambda table, m: None
+        )
+        assert findings[0].location.startswith("invariants(r=")
+        assert "m=" in findings[0].location

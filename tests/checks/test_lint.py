@@ -1,0 +1,258 @@
+"""The repo-specific AST lint: every rule fires where it should, stays
+quiet where it should, scopes to the right directories, and honours
+suppression comments."""
+
+import textwrap
+
+from repro.checks.lint import lint_paths, lint_source, parse_suppressions
+from repro.checks.lint.rules import RULES_BY_ID, default_rules
+
+SIM = "src/repro/sim/mod.py"
+RUNTIME = "src/repro/runtime/mod.py"
+CORE = "src/repro/core/mod.py"
+ENERGY = "src/repro/machine/energy.py"
+ELSEWHERE = "src/repro/analysis/mod.py"
+
+
+def run_lint(source, path=SIM):
+    return lint_source(textwrap.dedent(source), path, default_rules())
+
+
+def rule_ids(source, path=SIM):
+    return sorted({f.rule_id for f in run_lint(source, path)})
+
+
+class TestUnseededRandomness:
+    def test_global_draw_flagged(self):
+        src = """
+            import random
+            def f():
+                return random.random()
+        """
+        assert rule_ids(src) == ["EEWA001"]
+
+    def test_from_import_alias_resolved(self):
+        src = """
+            from random import choice as pick
+            def f(xs):
+                return pick(xs)
+        """
+        assert rule_ids(src) == ["EEWA001"]
+
+    def test_bare_random_constructor_flagged_seeded_allowed(self):
+        src = """
+            import random
+            a = random.Random()
+            b = random.Random(42)
+        """
+        findings = run_lint(src)
+        assert len(findings) == 1 and findings[0].line == 3
+
+    def test_numpy_global_state_flagged_default_rng_allowed(self):
+        src = """
+            import numpy as np
+            x = np.random.rand(3)
+            rng = np.random.default_rng(7)
+        """
+        findings = run_lint(src)
+        assert [f.rule_id for f in findings] == ["EEWA001"]
+        assert findings[0].line == 3
+
+    def test_out_of_zone_not_flagged(self):
+        src = """
+            import random
+            def f():
+                return random.random()
+        """
+        assert rule_ids(src, path=ELSEWHERE) == []
+
+    def test_instance_methods_not_flagged(self):
+        src = """
+            def f(streams):
+                return streams.stream("victim").random()
+        """
+        assert rule_ids(src) == []
+
+
+class TestWallClock:
+    def test_time_calls_flagged(self):
+        src = """
+            import time
+            t0 = time.perf_counter()
+            t1 = time.time()
+        """
+        findings = run_lint(src, path=RUNTIME)
+        assert [f.rule_id for f in findings] == ["EEWA002", "EEWA002"]
+
+    def test_datetime_now_flagged(self):
+        src = """
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        assert rule_ids(src) == ["EEWA002"]
+
+    def test_out_of_zone_allowed(self):
+        assert rule_ids("import time\nt = time.time()\n", path=ELSEWHERE) == []
+
+
+class TestSetIterationOrder:
+    def test_for_loop_over_set_literal(self):
+        src = """
+            for x in {1, 2, 3}:
+                print(x)
+        """
+        assert rule_ids(src) == ["EEWA003"]
+
+    def test_comprehension_over_set_call(self):
+        src = """
+            def f(xs):
+                return [x + 1 for x in set(xs)]
+        """
+        assert rule_ids(src) == ["EEWA003"]
+
+    def test_list_of_set_flagged(self):
+        assert rule_ids("xs = list({1, 2})\n") == ["EEWA003"]
+
+    def test_sorted_set_allowed(self):
+        src = """
+            def f(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+        """
+        assert rule_ids(src) == []
+
+
+class TestFloatEquality:
+    def test_float_literal_equality_in_core(self):
+        assert rule_ids("ok = x == 1.0\n", path=CORE) == ["EEWA004"]
+        assert rule_ids("ok = 0.5 != y\n", path=ENERGY) == ["EEWA004"]
+
+    def test_negated_literal_counts(self):
+        assert rule_ids("ok = x == -1.0\n", path=CORE) == ["EEWA004"]
+
+    def test_int_literal_allowed(self):
+        assert rule_ids("ok = x == 1\n", path=CORE) == []
+
+    def test_out_of_zone_allowed(self):
+        assert rule_ids("ok = x == 1.0\n", path=SIM) == []
+
+
+class TestMutableDefault:
+    def test_literal_default_flagged_everywhere(self):
+        src = """
+            def f(a=[]):
+                return a
+        """
+        assert rule_ids(src, path=ELSEWHERE) == ["EEWA005"]
+
+    def test_constructor_default_flagged(self):
+        src = """
+            def f(*, a=dict()):
+                return a
+        """
+        assert rule_ids(src, path=ELSEWHERE) == ["EEWA005"]
+
+    def test_none_default_allowed(self):
+        src = """
+            def f(a=None, b=()):
+                return a, b
+        """
+        assert rule_ids(src, path=ELSEWHERE) == []
+
+
+class TestSilentExcept:
+    def test_except_pass_flagged(self):
+        src = """
+            try:
+                work()
+            except ValueError:
+                pass
+        """
+        assert rule_ids(src, path=ELSEWHERE) == ["EEWA006"]
+
+    def test_except_ellipsis_flagged(self):
+        src = """
+            try:
+                work()
+            except Exception:
+                ...
+        """
+        assert rule_ids(src, path=ELSEWHERE) == ["EEWA006"]
+
+    def test_handled_exception_allowed(self):
+        src = """
+            try:
+                work()
+            except ValueError as exc:
+                log(exc)
+        """
+        assert rule_ids(src, path=ELSEWHERE) == []
+
+
+class TestSuppression:
+    def test_targeted_suppression(self):
+        src = """
+            import random
+            x = random.random()  # eewa: disable=EEWA001
+        """
+        assert rule_ids(src) == []
+
+    def test_blanket_suppression(self):
+        src = """
+            import random
+            x = random.random()  # eewa: disable
+        """
+        assert rule_ids(src) == []
+
+    def test_wrong_id_does_not_suppress(self):
+        src = """
+            import random
+            x = random.random()  # eewa: disable=EEWA002
+        """
+        assert rule_ids(src) == ["EEWA001"]
+
+    def test_directive_inside_string_is_not_a_directive(self):
+        src = """
+            import random
+            x = random.random()
+            note = "# eewa: disable=EEWA001"
+        """
+        assert rule_ids(src) == ["EEWA001"]
+
+    def test_parse_suppressions_maps_lines(self):
+        src = "a = 1  # eewa: disable=EEWA004, EEWA005\nb = 2\n"
+        assert parse_suppressions(src) == {1: {"EEWA004", "EEWA005"}}
+
+
+class TestFramework:
+    def test_syntax_error_reported_as_finding(self):
+        findings = run_lint("def f(:\n", path=ELSEWHERE)
+        assert len(findings) == 1 and findings[0].rule_id == "EEWA000"
+
+    def test_findings_carry_anchor(self):
+        findings = run_lint("import random\nx = random.random()\n")
+        assert findings[0].anchor() == f"{SIM}:2:5"
+
+    def test_rule_registry_ids_are_stable(self):
+        assert sorted(RULES_BY_ID) == [
+            "EEWA001", "EEWA002", "EEWA003", "EEWA004", "EEWA005", "EEWA006",
+        ]
+
+    def test_lint_paths_scopes_by_relative_path(self, tmp_path):
+        zone = tmp_path / "repro" / "sim"
+        zone.mkdir(parents=True)
+        bad = zone / "mod.py"
+        bad.write_text("import random\nx = random.random()\n")
+        outside = tmp_path / "script.py"
+        outside.write_text("import random\nx = random.random()\n")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert [f.location for f in findings] == ["repro/sim/mod.py"]
+
+    def test_clean_tree_is_clean(self):
+        """The merged tree itself carries zero lint findings — the
+        ``repro check --strict`` acceptance criterion, lint engine part."""
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        findings = lint_paths([repo / "src" / "repro"], root=repo)
+        assert findings == [], [f"{f.anchor()} {f.message}" for f in findings]

@@ -1,0 +1,120 @@
+"""The trace race detector: vector clocks, broken-policy fixtures, and the
+clean bill of health for every shipped policy."""
+
+import pytest
+
+from repro.checks.races import (
+    DEFAULT_RACE_SEEDS,
+    SHIPPED_POLICY_NAMES,
+    check_shipped_policies,
+    find_trace_races,
+    vc_concurrent,
+    vc_leq,
+)
+from repro.errors import SimulationError
+from repro.machine.topology import small_test_machine
+from repro.runtime.task import TaskSpec, flat_batch
+from repro.sim.engine import Simulator
+from tests.checks.fixtures import BadStealOrder, DoubleExecutes, DropsTasks
+
+REF = 2.0e9  # fastest level of the 4-core test machine
+
+
+def _program(batches, sizes):
+    return [
+        flat_batch(
+            i,
+            [TaskSpec(f"c{j % 3}", cpu_cycles=s * REF) for j, s in enumerate(sizes)],
+        )
+        for i in range(batches)
+    ]
+
+
+def _deep_trace(policy, program, seed=3):
+    """Run a deep-traced simulation; return the trace even on deadlock."""
+    machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+    sim = Simulator(machine, policy, seed=seed, record_task_events=True)
+    try:
+        sim.run(program)
+    except SimulationError:  # eewa: disable=EEWA006 - deadlock traces are the point
+        pass
+    return sim.trace
+
+
+class TestVectorClocks:
+    def test_leq_reflexive(self):
+        assert vc_leq({0: 1, 1: 2}, {0: 1, 1: 2})
+
+    def test_leq_ordered(self):
+        assert vc_leq({0: 1}, {0: 2, 1: 5})
+        assert not vc_leq({0: 2, 1: 5}, {0: 1})
+
+    def test_missing_entries_are_zero(self):
+        assert vc_leq({}, {0: 1})
+        assert not vc_leq({0: 1}, {})
+
+    def test_concurrent(self):
+        assert vc_concurrent({0: 2, 1: 0}, {0: 1, 1: 3})
+        assert not vc_concurrent({0: 1}, {0: 2})
+
+
+class TestBrokenPolicies:
+    def test_double_execution_detected(self):
+        trace = _deep_trace(DoubleExecutes(), _program(1, [0.01] * 8))
+        ids = {f.rule_id for f in find_trace_races(trace)}
+        assert "EEWA201" in ids  # one task ran twice
+        assert "EEWA202" in ids  # the dropped victim never ran
+        assert "EEWA204" in ids  # second EXEC had no matching acquisition
+
+    def test_double_execution_classified_as_stale_rerun(self):
+        trace = _deep_trace(DoubleExecutes(), _program(1, [0.01] * 8))
+        messages = [
+            f.message for f in find_trace_races(trace) if f.rule_id == "EEWA201"
+        ]
+        assert messages and "stale reference re-run" in messages[0]
+
+    def test_dropped_tasks_detected(self):
+        trace = _deep_trace(DropsTasks(), _program(1, [0.01] * 6))
+        findings = find_trace_races(trace)
+        lost = [f for f in findings if f.rule_id == "EEWA202"]
+        assert len(lost) == 2  # tasks 0 and 3 of 6 are dropped
+
+    def test_dropped_tasks_deadlock_the_engine(self):
+        machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+        sim = Simulator(machine, DropsTasks(), seed=3, record_task_events=True)
+        with pytest.raises(SimulationError):
+            sim.run(_program(1, [0.01] * 6))
+
+    def test_bad_steal_order_detected(self):
+        trace = _deep_trace(BadStealOrder(), _program(3, [0.002] * 9 + [0.05]))
+        ids = {f.rule_id for f in find_trace_races(trace)}
+        assert "EEWA205" in ids
+        # The policy still executes everything exactly once...
+        assert "EEWA201" not in ids and "EEWA202" not in ids
+
+    def test_finding_labels_carry_context(self):
+        trace = _deep_trace(DropsTasks(), _program(1, [0.01] * 6))
+        findings = find_trace_races(trace, label="races(drops, seed=3)")
+        assert all(f.location == "races(drops, seed=3)" for f in findings)
+
+
+class TestShippedPolicies:
+    def test_battery_is_clean(self):
+        """cilk, cilk_d, wats and eewa are race-free on every battery
+        (program, seed) combination — the PR's acceptance criterion."""
+        assert len(DEFAULT_RACE_SEEDS) >= 3
+        assert SHIPPED_POLICY_NAMES == ("cilk", "cilk_d", "wats", "eewa")
+        findings = check_shipped_policies()
+        assert findings == [], [f.message for f in findings]
+
+    def test_battery_reports_simulation_failures(self):
+        """A policy whose simulation crashes yields EEWA200, not a crash."""
+        from repro.checks import races as races_mod
+
+        original = races_mod._shipped_factory
+        try:
+            races_mod._shipped_factory = lambda name: DropsTasks
+            findings = check_shipped_policies(seeds=(3,), policies=("cilk",))
+        finally:
+            races_mod._shipped_factory = original
+        assert findings and all(f.rule_id == "EEWA200" for f in findings)

@@ -1,0 +1,108 @@
+"""The finding model, reporters, exit codes, and the ``repro check`` CLI."""
+
+import json
+
+from repro.checks.findings import (
+    Finding,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from repro.checks.runner import main
+from repro.cli import main as cli_main
+
+
+def _finding(rule_id="EEWA001", severity=Severity.ERROR, line=3):
+    return Finding(
+        check="lint",
+        rule_id=rule_id,
+        severity=severity,
+        location="src/repro/sim/mod.py",
+        message="boom",
+        line=line,
+        column=5,
+    )
+
+
+class TestFindingModel:
+    def test_anchor_with_and_without_line(self):
+        assert _finding().anchor() == "src/repro/sim/mod.py:3:5"
+        config = Finding(
+            check="invariants", rule_id="EEWA102", severity=Severity.ERROR,
+            location="invariants(r=2, k=2, m=4)", message="missed",
+        )
+        assert config.anchor() == "invariants(r=2, k=2, m=4)"
+
+    def test_sort_puts_errors_first(self):
+        warning = _finding(severity=Severity.WARNING, line=1)
+        error = _finding(severity=Severity.ERROR, line=9)
+        assert sort_findings([warning, error]) == [error, warning]
+
+    def test_exit_code_thresholds(self):
+        warning = [_finding(severity=Severity.WARNING)]
+        error = [_finding(severity=Severity.ERROR)]
+        assert exit_code([]) == 0 and exit_code([], strict=True) == 0
+        assert exit_code(warning) == 0
+        assert exit_code(warning, strict=True) == 1
+        assert exit_code(error) == 1
+
+
+class TestReporters:
+    def test_text_summary_line(self):
+        text = render_text([_finding(), _finding(severity=Severity.WARNING)])
+        assert text.endswith("2 finding(s): 1 error(s), 1 warning(s)")
+        assert "src/repro/sim/mod.py:3:5: error EEWA001 [lint] boom" in text
+
+    def test_text_clean(self):
+        assert render_text([]) == "no findings"
+
+    def test_json_round_trips(self):
+        payload = json.loads(render_json([_finding()]))
+        assert payload["summary"] == {"total": 1, "errors": 1, "warnings": 0}
+        assert payload["findings"][0]["rule_id"] == "EEWA001"
+        assert payload["findings"][0]["severity"] == "error"
+
+
+class TestRunnerCli:
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["does/not/exist.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        code = main(["--no-invariants", "--no-races", str(target)])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_dirty_file_exits_one_with_finding(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("try:\n    pass\nexcept ValueError:\n    pass\n")
+        code = main(["--no-invariants", "--no-races", str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "EEWA006" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(a=[]):\n    return a\n")
+        code = main(["--no-invariants", "--no-races", "--format", "json", str(target)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["findings"][0]["rule_id"] == "EEWA005"
+
+    def test_cli_subcommand_delegates(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        code = cli_main(["check", "--no-invariants", "--no-races", str(target)])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_full_battery_on_merged_tree_is_clean(self, capsys):
+        """``repro check --strict`` over src/repro — the PR's headline
+        acceptance criterion: zero findings from all three engines."""
+        assert main(["--strict"]) == 0
+        assert "no findings" in capsys.readouterr().out

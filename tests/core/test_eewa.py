@@ -1,11 +1,9 @@
 """Tests for the complete EEWA scheduler policy."""
 
-import pytest
-
 from repro.core.eewa import EEWAConfig, EEWAScheduler
 from repro.core.membound import MemoryBoundMode
 from repro.machine.counters import PerfCounters
-from repro.machine.topology import opteron_8380_machine, small_test_machine
+from repro.machine.topology import opteron_8380_machine
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.task import TaskSpec, flat_batch
 from repro.sim.engine import simulate

@@ -1,8 +1,6 @@
 """Cross-cutting scenario tests: unusual machine shapes, policy/domain
 combinations, and scale smoke tests."""
 
-import pytest
-
 from repro.core.eewa import EEWAConfig, EEWAScheduler
 from repro.machine.frequency import FrequencyScale
 from repro.machine.power import calibrated_power_model

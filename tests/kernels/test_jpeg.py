@@ -11,7 +11,6 @@ from repro.kernels.jpeg import (
     entropy_decode,
     entropy_encode,
     forward_blocks,
-    inverse_blocks,
     jpeg_decode,
     jpeg_encode,
     quant_table,

@@ -6,7 +6,7 @@ import numpy as np
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.cc_table import build_cc_table, cc_table_from_values
+from repro.core.cc_table import build_cc_table
 from repro.core.cgroups import build_cgroup_plan
 from repro.core.ktuple import default_power_estimate, exhaustive_search, search_ktuple
 from repro.core.preference import preference_order

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.eewa import EEWAScheduler
-from repro.machine.core import CoreState
 from repro.machine.topology import small_test_machine
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.cilk_d import CilkDScheduler

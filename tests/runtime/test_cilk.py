@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.machine.core import CoreState
 from repro.machine.topology import small_test_machine
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.task import TaskSpec, flat_batch

@@ -1,14 +1,17 @@
 """The conformance harness applied to every shipped policy, and to a
 deliberately broken one."""
 
-import pytest
-
 from repro.core.eewa import EEWAScheduler
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.cilk_d import CilkDScheduler
 from repro.runtime.conformance import check_policy
 from repro.runtime.policy import RunTask, SchedulerPolicy, Wait
 from repro.runtime.wats import WATSScheduler
+from tests.checks.fixtures import (
+    BadStealOrder,
+    DoubleExecutes,
+    OffLadderFrequency,
+)
 
 
 class TestShippedPolicies:
@@ -89,3 +92,46 @@ class TestBrokenPolicies:
 
         assert not check_policy(NoSpawns).ok  # spawns check fails
         assert check_policy(NoSpawns, check_spawns=False).ok
+
+    def test_off_ladder_frequency_detected(self):
+        report = check_policy(OffLadderFrequency, check_spawns=False)
+        assert not report.ok
+        assert any(
+            "raised ConfigurationError" in f and "out of range" in f
+            for f in report.failures
+        )
+
+    def test_double_executor_passes_shallow_count_but_not_id_check(self):
+        """DoubleExecutes keeps execution *counts* balanced; only the
+        duplicate-id assertion (and, below, the deep trace) exposes it."""
+        report = check_policy(DoubleExecutes)
+        assert not report.ok
+        assert any(
+            "balanced-batches" in f and "duplicate task execution" in f
+            for f in report.failures
+        )
+
+
+class TestDeepMode:
+    def test_shallow_runs_six_checks_deep_runs_seven(self):
+        shallow = check_policy(CilkScheduler)
+        deep = check_policy(CilkScheduler, deep=True)
+        assert shallow.checks_run == 6
+        assert deep.checks_run == 7
+        assert deep.ok, deep.failures
+
+    def test_eewa_is_race_free_in_deep_mode(self):
+        report = check_policy(EEWAScheduler, deep=True)
+        assert report.ok, report.failures
+
+    def test_deep_mode_catches_double_execution(self):
+        report = check_policy(DoubleExecutes, deep=True)
+        failures = [f for f in report.failures if f.startswith("race-detection")]
+        assert failures
+        assert "executed 2 times" in failures[0]
+
+    def test_deep_mode_catches_bad_steal_order(self):
+        report = check_policy(BadStealOrder, deep=True)
+        failures = [f for f in report.failures if f.startswith("race-detection")]
+        assert failures, report.failures
+        assert "rob-the-weaker-first" in failures[0]

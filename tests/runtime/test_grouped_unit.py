@@ -7,7 +7,7 @@ from repro.core.cgroups import CGroup, CGroupPlan
 from repro.machine.topology import small_test_machine
 from repro.runtime.grouped import GroupedStealingPolicy
 from repro.runtime.policy import RunTask, Wait
-from repro.runtime.task import Batch, TaskFactory, TaskSpec, flat_batch
+from repro.runtime.task import TaskFactory, TaskSpec, flat_batch
 
 
 class ScriptedContext:

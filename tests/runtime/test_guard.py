@@ -5,8 +5,6 @@ core must not steal a task that cannot finish within the iteration budget
 at its speed.
 """
 
-import pytest
-
 from repro.core.eewa import EEWAScheduler
 from repro.machine.topology import opteron_8380_machine
 from repro.runtime.task import TaskSpec, flat_batch

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.machine.topology import small_test_machine
 from repro.runtime.cilk import CilkScheduler
-from repro.runtime.policy import BatchAdjustment, RunTask, SchedulerPolicy, Wait
+from repro.runtime.policy import SchedulerPolicy, Wait
 from repro.runtime.task import TaskSpec, flat_batch
 from repro.sim.engine import Simulator, simulate
 

@@ -56,3 +56,47 @@ class TestRngStreams:
         for _ in range(100):
             v = rng.uniform("u", 2.0, 3.0)
             assert 2.0 <= v <= 3.0
+
+    def test_empty_stream_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).stream("")
+
+    def test_whitespace_stream_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RngStreams(0).stream("   ")
+
+
+class TestSpawnChild:
+    def test_deterministic(self):
+        a = RngStreams(42).spawn_child("worker")
+        b = RngStreams(42).spawn_child("worker")
+        assert a.root_seed == b.root_seed
+        assert a.stream("x").random() == b.stream("x").random()
+
+    def test_children_differ_by_name(self):
+        parent = RngStreams(42)
+        assert (
+            parent.spawn_child("a").root_seed != parent.spawn_child("b").root_seed
+        )
+
+    def test_child_streams_never_alias_parent_streams(self):
+        """The spawn namespace is disjoint from ordinary stream names: a
+        child may reuse any name its parent uses without correlation."""
+        parent = RngStreams(42)
+        child = parent.spawn_child("worker")
+        assert child.root_seed != parent.root_seed
+        # Same stream name on both sides, independent draws.
+        assert parent.stream("victim").random() != child.stream("victim").random()
+        # A stream literally named like the derivation input is no collision.
+        assert parent.stream("worker").random() != child.stream("worker").random()
+
+    def test_empty_child_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RngStreams(0).spawn_child(" ")
+
+    def test_grandchildren_are_independent(self):
+        root = RngStreams(7)
+        assert (
+            root.spawn_child("a").spawn_child("b").root_seed
+            != root.spawn_child("b").spawn_child("a").root_seed
+        )

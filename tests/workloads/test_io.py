@@ -1,7 +1,5 @@
 """Tests for workload spec serialisation."""
 
-import json
-
 import pytest
 
 from repro.errors import WorkloadError
