@@ -10,8 +10,12 @@ from repro.machine.topology import opteron_8380_machine
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.task import TaskSpec, flat_batch
 from repro.sim.engine import simulate
+from repro.sim.events import EventKind, EventQueue
 
 REF = 2.5e9
+
+#: Events per iteration of the event-queue micro benchmark.
+QUEUE_EVENTS = 10_000
 
 
 def small_program(batches=4, tasks=128):
@@ -42,3 +46,28 @@ def test_bench_engine_many_cores(benchmark):
     program = small_program(batches=2, tasks=512)
     result = benchmark(lambda: simulate(program, CilkScheduler(), machine, seed=1))
     assert result.tasks_executed == 2 * 512
+
+
+def test_bench_event_queue(benchmark):
+    """Raw schedule/pop throughput of the tuple-based event heap.
+
+    Interleaves near-future and far-future events so the heap actually
+    sifts; reported ops/sec × QUEUE_EVENTS = events/sec.
+    """
+
+    def churn():
+        q = EventQueue()
+        kind = EventKind.CORE_READY
+        popped = 0
+        for i in range(QUEUE_EVENTS // 2):
+            q.schedule(1e-6, kind, core_id=i & 15)
+            q.schedule(1e-3 + i * 1e-9, kind, core_id=i & 15)
+            if i & 1:
+                q.pop()
+                popped += 1
+        while q:
+            q.pop()
+            popped += 1
+        return popped
+
+    assert benchmark(churn) == QUEUE_EVENTS

@@ -6,6 +6,8 @@
 * ``run`` — one benchmark under one policy, with timing/energy and traces;
 * ``compare`` — one benchmark under all policies, normalised to Cilk;
 * ``figure`` — regenerate one paper exhibit (fig1/fig6/fig7/fig8/fig9/table3);
+* ``bench`` — parallel cached sweep over (benchmark × policy × seed) cells
+  (see :mod:`repro.experiments.parallel`);
 * ``calibrate`` — re-measure the real kernels behind the workload costs;
 * ``check`` — determinism lint, invariant model checking, race detection
   (see :mod:`repro.checks`).
@@ -80,6 +82,35 @@ def _build_parser() -> argparse.ArgumentParser:
     spec.add_argument("--seed", type=int, default=11)
     spec.add_argument("--diagnose", action="store_true",
                       help="print the static workload diagnostics first")
+
+    bench = sub.add_parser(
+        "bench",
+        help="parallel cached sweep over (benchmark × policy × seed) cells",
+    )
+    bench.add_argument(
+        "--benchmarks", nargs="+", default=list(BENCHMARK_NAMES),
+        choices=BENCHMARK_NAMES + ("STREAM-like", "DMC-phased"),
+        metavar="NAME",
+    )
+    bench.add_argument(
+        "--policies", nargs="+", default=list(POLICY_NAMES),
+        choices=POLICY_NAMES, metavar="POLICY",
+    )
+    bench.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
+    bench.add_argument("--batches", type=int, default=None)
+    bench.add_argument("--cores", type=int, default=16)
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (default: cpu count; 0/1 runs in-process)",
+    )
+    bench.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="result cache root (default: .repro-cache)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    bench.add_argument("--json", metavar="PATH", help="write sweep results as JSON")
 
     cal = sub.add_parser("calibrate", help="re-measure real kernel costs")
     cal.add_argument("--repeats", type=int, default=3)
@@ -229,6 +260,89 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.parallel import BenchRequest, ParallelRunner
+
+    machine = opteron_8380_machine(num_cores=args.cores)
+    runner = ParallelRunner(
+        machine=machine,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    requests = [
+        BenchRequest(
+            benchmark=name, policy=policy,
+            batches=args.batches, seeds=tuple(args.seeds),
+        )
+        for name in args.benchmarks
+        for policy in args.policies
+    ]
+    started = time.perf_counter()
+    outcomes = runner.run_many(requests)
+    wall = time.perf_counter() - started
+    rows = [
+        (
+            o.benchmark,
+            o.policy,
+            o.time_mean * 1e3,
+            o.energy_mean,
+        )
+        for o in outcomes
+    ]
+    print(
+        format_table(
+            ["benchmark", "policy", "time (ms)", "energy (J)"],
+            rows,
+            title=(
+                f"bench sweep — {len(args.benchmarks)} benchmarks x "
+                f"{len(args.policies)} policies x {len(args.seeds)} seeds"
+            ),
+        )
+    )
+    stats = runner.stats
+    print(
+        f"  {stats.cells} cells in {wall:.2f} s: {stats.executed} simulated, "
+        f"{stats.cache_hits} from cache, {stats.deduplicated} deduplicated"
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "machine_cores": args.cores,
+            "seeds": list(args.seeds),
+            "wall_seconds": wall,
+            "stats": {
+                "cells": stats.cells,
+                "executed": stats.executed,
+                "cache_hits": stats.cache_hits,
+                "deduplicated": stats.deduplicated,
+            },
+            "cells": [
+                {
+                    "benchmark": o.benchmark,
+                    "policy": o.policy,
+                    "time_mean_s": o.time_mean,
+                    "energy_mean_j": o.energy_mean,
+                    "per_seed": [
+                        {
+                            "total_time": r.total_time,
+                            "total_joules": r.total_joules,
+                            "tasks_executed": r.tasks_executed,
+                        }
+                        for r in o.results
+                    ],
+                }
+                for o in outcomes
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"  wrote {args.json}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.kernels.profile import REFERENCE_COSTS, measure_kernel_costs
 
@@ -266,6 +380,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "run-spec":
         return _cmd_run_spec(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     return 1  # pragma: no cover

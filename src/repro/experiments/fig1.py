@@ -69,16 +69,42 @@ def analytic_schedules(t: float = 0.1) -> list[Schedule]:
     return [a, b, c, d]
 
 
-def run_fig1(t: float = 0.1, batches: int = 3, seed: int = 0) -> SimResult:
+def run_fig1(
+    t: float = 0.1,
+    batches: int = 3,
+    seed: int = 0,
+    *,
+    parallel: bool = False,
+    cache_dir: str | None = None,
+) -> SimResult:
     """Run EEWA on the two-task program; after profiling it should pick (b).
 
     The paper's example is an exact-fit idealisation — gamma_1 at the half
     frequency finishes precisely at ``T`` — so the jitter headroom is
     disabled here (the synthetic tasks have no jitter to guard against).
+
+    ``parallel=True`` routes the (single) run through the content-addressed
+    result cache; the result is identical.
     """
     machine = fig1_machine()
     program = fig1_program(t, ref_frequency=machine.scale.fastest, batches=batches)
     config = EEWAConfig(headroom=0.0)
+    if parallel:
+        from repro.experiments.parallel import CellSpec, ParallelRunner
+
+        runner = ParallelRunner(
+            machine=machine, workers=0,
+            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+        )
+        (outcome,) = runner.run_cells(
+            [
+                CellSpec(
+                    benchmark="fig1", policy="eewa", seed=seed,
+                    eewa_config=config, program=tuple(program),
+                )
+            ]
+        )
+        return outcome.result
     return simulate(program, EEWAScheduler(config), machine, seed=seed)
 
 

@@ -85,12 +85,37 @@ def run_fig6(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     batches: int | None = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallel: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> Fig6Result:
-    """Regenerate Fig. 6's data."""
+    """Regenerate Fig. 6's data.
+
+    ``parallel=True`` fans every (benchmark × policy × seed) cell across a
+    process pool with the content-addressed result cache
+    (:mod:`repro.experiments.parallel`); results are identical either way.
+    """
+    all_outcomes: dict[tuple[str, str], "object"] = {}
+    if parallel:
+        from repro.experiments.parallel import BenchRequest, ParallelRunner
+
+        runner = ParallelRunner(
+            machine=machine, workers=workers,
+            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+        )
+        requests = [
+            BenchRequest(name, policy, batches=batches, seeds=tuple(seeds))
+            for name in benchmarks
+            for policy in POLICIES
+        ]
+        for request, outcome in zip(requests, runner.run_many(requests)):
+            all_outcomes[(request.benchmark, request.policy)] = outcome
     rows = []
     for name in benchmarks:
         outcomes = {
-            policy: run_benchmark(
+            policy: all_outcomes[(name, policy)]
+            if parallel
+            else run_benchmark(
                 name, policy, machine=machine, batches=batches, seeds=seeds
             )
             for policy in POLICIES

@@ -69,6 +69,9 @@ def run_fig7(
     batches: int | None = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     include_phased: bool = True,
+    parallel: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> Fig7Result:
     """Regenerate Fig. 7's data.
 
@@ -77,9 +80,55 @@ def run_fig7(
     fixed configuration with workload-aware stealing matches EEWA — the
     paper's WATS gap (1.05-1.24x) appears when the workload composition
     varies across batches, which the phased workload reproduces.
+
+    ``parallel=True`` runs in two cached process-pool waves (the EEWA runs
+    that pick each benchmark's modal configuration, then the Cilk/WATS runs
+    on those configurations); results are identical either way.
     """
-    rows = []
     names = list(benchmarks) + (["DMC-phased"] if include_phased else [])
+    if parallel:
+        from repro.experiments.parallel import BenchRequest, ParallelRunner
+
+        runner = ParallelRunner(
+            machine=machine, workers=workers,
+            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+        )
+        # Wave 1: EEWA on every benchmark — also yields the modal levels
+        # (the modal cell is the seed-11 EEWA cell, shared via the cache).
+        eewa_outcomes = runner.run_many(
+            [
+                BenchRequest(name, "eewa", batches=batches, seeds=tuple(seeds))
+                for name in names
+            ]
+        )
+        levels_by_name = {
+            name: tuple(runner.modal_eewa_levels(name, batches=batches))
+            for name in names
+        }
+        # Wave 2: Cilk and WATS pinned to each benchmark's modal config.
+        fixed = runner.run_many(
+            [
+                BenchRequest(
+                    name, policy, batches=batches, seeds=tuple(seeds),
+                    core_levels=levels_by_name[name],
+                )
+                for name in names
+                for policy in ("cilk", "wats")
+            ]
+        )
+        rows = []
+        for i, (name, eewa) in enumerate(zip(names, eewa_outcomes)):
+            cilk, wats = fixed[2 * i], fixed[2 * i + 1]
+            rows.append(
+                Fig7Row(
+                    benchmark=name,
+                    cilk_over_eewa=cilk.time_mean / eewa.time_mean,
+                    wats_over_eewa=wats.time_mean / eewa.time_mean,
+                    fixed_levels=levels_by_name[name],
+                )
+            )
+        return Fig7Result(rows=tuple(rows))
+    rows = []
     for name in names:
         levels = modal_eewa_levels(name, machine=machine, batches=batches)
         eewa = run_benchmark(name, "eewa", machine=machine, batches=batches, seeds=seeds)

@@ -45,12 +45,38 @@ def run_fig8(
     machine: Optional[MachineConfig] = None,
     seed: int = 11,
     config: Optional[EEWAConfig] = None,
+    parallel: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> Fig8Result:
-    """Regenerate Fig. 8's per-batch frequency histogram series."""
+    """Regenerate Fig. 8's per-batch frequency histogram series.
+
+    Fig. 8 is a single run, so ``parallel=True`` buys no fan-out — but it
+    routes the run through the content-addressed result cache, making
+    repeated regeneration (and sharing with other exhibits' EEWA cells)
+    free.
+    """
     if machine is None:
         machine = opteron_8380_machine()
-    program = benchmark_program(benchmark, batches=batches, seed=seed)
-    result = simulate(program, EEWAScheduler(config), machine, seed=seed)
+    if parallel:
+        from repro.experiments.parallel import CellSpec, ParallelRunner
+
+        runner = ParallelRunner(
+            machine=machine, workers=workers,
+            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+        )
+        (outcome,) = runner.run_cells(
+            [
+                CellSpec(
+                    benchmark=benchmark, policy="eewa", seed=seed,
+                    batches=batches, eewa_config=config,
+                )
+            ]
+        )
+        result = outcome.result
+    else:
+        program = benchmark_program(benchmark, batches=batches, seed=seed)
+        result = simulate(program, EEWAScheduler(config), machine, seed=seed)
     return Fig8Result(
         benchmark=benchmark,
         histograms=tuple(result.trace.level_histograms()),

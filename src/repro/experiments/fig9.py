@@ -64,15 +64,45 @@ def run_fig9(
     base_machine: Optional[MachineConfig] = None,
     batches: int | None = None,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallel: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> Fig9Result:
-    """Regenerate Fig. 9's core-count sweep."""
+    """Regenerate Fig. 9's core-count sweep.
+
+    ``parallel=True`` fans every (core count × policy × seed) cell across
+    a process pool with result caching; results are identical either way.
+    """
     if base_machine is None:
         base_machine = opteron_8380_machine()
+    all_outcomes: dict[tuple[int, str], "object"] = {}
+    if parallel:
+        from repro.experiments.parallel import BenchRequest, ParallelRunner
+
+        runner = ParallelRunner(
+            machine=base_machine, workers=workers,
+            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+        )
+        requests = [
+            BenchRequest(
+                benchmark, policy, batches=batches, seeds=tuple(seeds),
+                machine=base_machine.with_cores(cores),
+            )
+            for cores in core_counts
+            for policy in POLICIES
+        ]
+        keys = [
+            (cores, policy) for cores in core_counts for policy in POLICIES
+        ]
+        for key, outcome in zip(keys, runner.run_many(requests)):
+            all_outcomes[key] = outcome
     points = []
     for cores in core_counts:
         machine = base_machine.with_cores(cores)
         outcomes = {
-            policy: run_benchmark(
+            policy: all_outcomes[(cores, policy)]
+            if parallel
+            else run_benchmark(
                 benchmark, policy, machine=machine, batches=batches, seeds=seeds
             )
             for policy in POLICIES

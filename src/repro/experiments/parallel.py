@@ -1,0 +1,461 @@
+"""Parallel, cached experiment execution.
+
+The paper's evaluation repeats every (benchmark × policy) pair ~100 times;
+our exhibits repeat each cell over seeds. The cells are embarrassingly
+parallel — every simulation is a pure function of *(program, policy config,
+machine, seed, engine version)* — so this module provides the two scaling
+levers every figure module shares:
+
+* **fan-out** — a :class:`ParallelRunner` dispatches cells to a
+  ``ProcessPoolExecutor`` (one simulation per task, results pickled back);
+* **content-addressed caching** — each cell's inputs are canonically
+  encoded (:mod:`repro.sim.fingerprint`) and SHA-256 hashed into a cache
+  key; finished :class:`~repro.sim.engine.SimResult` objects are pickled
+  under that key. A repeated sweep with unchanged inputs executes zero
+  simulations; changing *any* input — a task spec, a policy tunable, the
+  machine, the seed, or the engine version tag
+  (:data:`repro.sim.engine.ENGINE_VERSION`) — changes the key and misses.
+
+Determinism note: results are byte-identical whether a cell is computed
+in-process, in a worker, or served from cache — the simulation itself is
+seeded and single-threaded; only *where* it runs changes. The one
+exception is the wall-clock adjuster measurement riding along for Table
+III, which is a real timing and is cached verbatim from the run that
+produced it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import enum
+import functools
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.core.eewa import EEWAConfig
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    DEFAULT_SEEDS,
+    RunOutcome,
+    make_policy,
+    modal_levels_from_result,
+)
+from repro.machine.topology import MachineConfig, opteron_8380_machine
+from repro.runtime.task import Batch
+from repro.sim.engine import ENGINE_VERSION, SimResult, simulate
+from repro.sim.fingerprint import digest
+from repro.workloads.benchmarks import benchmark_program
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to invalidate cache entries whose *stored format* changed (the
+#: simulated behaviour itself is versioned by ``ENGINE_VERSION``).
+_CACHE_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# canonical encoding of cell inputs
+# ----------------------------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """Encode dataclasses/enums/containers into nested lists of scalars.
+
+    Field *names* are included so reordering or renaming a config field
+    changes the key, and every float round-trips through ``repr`` inside
+    :func:`repro.sim.fingerprint.canonical_blob`.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts: list[Any] = [type(value).__name__]
+        for f in dataclasses.fields(value):
+            parts.append(f.name)
+            parts.append(_canonical(getattr(value, f.name)))
+        return parts
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return [[_canonical(k), _canonical(v)] for k, v in sorted(value.items())]
+    return value
+
+
+#: Sub-digests of immutable inputs, memoised by object identity — a sweep
+#: hashes the same program once per (program, policy-count) instead of
+#: re-walking thousands of task specs per cell. Identity keying is sound
+#: because the keyed objects are frozen dataclasses.
+_blob_memo: dict[int, tuple[Any, str]] = {}
+
+
+def _memo_digest(value: Any) -> str:
+    cached = _blob_memo.get(id(value))
+    if cached is not None and cached[0] is value:
+        return cached[1]
+    d = digest([_canonical(value)])
+    _blob_memo[id(value)] = (value, d)
+    return d
+
+
+def cell_key(
+    program: Sequence[Batch],
+    policy: str,
+    machine: MachineConfig,
+    seed: int,
+    *,
+    core_levels: Optional[Sequence[int]] = None,
+    eewa_config: Optional[EEWAConfig] = None,
+) -> str:
+    """Content hash of one simulation's complete input set."""
+    return digest(
+        [
+            "engine", ENGINE_VERSION, _CACHE_FORMAT,
+            "machine", _memo_digest(machine),
+            "program", _memo_digest(tuple(program) if not isinstance(program, tuple) else program),
+            "policy", policy,
+            "core_levels", _canonical(None if core_levels is None else tuple(core_levels)),
+            "eewa_config", _canonical(eewa_config),
+            "seed", seed,
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# cell model
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One (benchmark × policy × seed) simulation request.
+
+    ``program`` overrides the generated benchmark program; ``machine``
+    overrides the runner's default machine (Fig. 9's core-count sweep).
+    """
+
+    benchmark: str
+    policy: str
+    seed: int
+    batches: Optional[int] = None
+    core_levels: Optional[tuple[int, ...]] = None
+    eewa_config: Optional[EEWAConfig] = None
+    machine: Optional[MachineConfig] = None
+    program: Optional[tuple[Batch, ...]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CellOutcome:
+    """One finished cell: the result plus cache/bookkeeping metadata."""
+
+    spec: CellSpec
+    key: str
+    result: SimResult
+    from_cache: bool
+    #: Real (non-simulated) seconds spent inside the EEWA adjuster, and the
+    #: number of adjustment decisions — Table III's "measured" column.
+    adjuster_wallclock_s: float = 0.0
+    adjuster_decisions: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchRequest:
+    """A multi-seed benchmark×policy request (``run_benchmark`` shaped)."""
+
+    benchmark: str
+    policy: str
+    batches: Optional[int] = None
+    seeds: tuple[int, ...] = DEFAULT_SEEDS
+    core_levels: Optional[tuple[int, ...]] = None
+    eewa_config: Optional[EEWAConfig] = None
+    machine: Optional[MachineConfig] = None
+
+    def cells(self) -> list[CellSpec]:
+        return [
+            CellSpec(
+                benchmark=self.benchmark,
+                policy=self.policy,
+                seed=seed,
+                batches=self.batches,
+                core_levels=self.core_levels,
+                eewa_config=self.eewa_config,
+                machine=self.machine,
+            )
+            for seed in self.seeds
+        ]
+
+
+# ----------------------------------------------------------------------
+# on-disk cache
+# ----------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed pickle store: one file per cell key."""
+
+    def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if payload.get("engine_version") != ENGINE_VERSION:
+            return None  # belt-and-braces; the key already encodes it
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent writers both win
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+
+# ----------------------------------------------------------------------
+# workers
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=256)
+def _generated_program(
+    benchmark: str, batches: Optional[int], seed: int
+) -> tuple[Batch, ...]:
+    """Memoised program generation — generation is deterministic in these
+    arguments, and returning the *same* tuple object across a sweep's cells
+    lets the key hasher reuse its per-program digest."""
+    return tuple(benchmark_program(benchmark, batches=batches, seed=seed))
+
+
+def _resolve_program(spec: CellSpec) -> tuple[Batch, ...]:
+    if spec.program is not None:
+        return spec.program
+    return _generated_program(spec.benchmark, spec.batches, spec.seed)
+
+
+def _simulate_cell(
+    program: tuple[Batch, ...],
+    policy_name: str,
+    machine: MachineConfig,
+    seed: int,
+    core_levels: Optional[tuple[int, ...]],
+    eewa_config: Optional[EEWAConfig],
+) -> dict[str, Any]:
+    """Run one cell; module-level so worker processes can unpickle it."""
+    policy = make_policy(
+        policy_name, core_levels=core_levels, eewa_config=eewa_config
+    )
+    result = simulate(program, policy, machine, seed=seed)
+    wallclock = getattr(policy, "total_adjuster_wallclock", None)
+    decisions = getattr(policy, "decisions", None)
+    return {
+        "engine_version": ENGINE_VERSION,
+        "result": result,
+        "adjuster_wallclock_s": wallclock() if callable(wallclock) else 0.0,
+        "adjuster_decisions": len(decisions) if decisions is not None else 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Cumulative accounting of one :class:`ParallelRunner`'s work."""
+
+    cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+
+class ParallelRunner:
+    """Fans (benchmark × policy × seed) cells across processes, cached.
+
+    Parameters
+    ----------
+    machine:
+        Default machine for cells that do not carry their own.
+    workers:
+        Process count; ``0`` or ``1`` runs in-process (no pool), ``None``
+        uses ``os.cpu_count()``.
+    cache_dir:
+        Cache root directory; ``None`` disables the on-disk cache.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: Optional[MachineConfig] = None,
+        workers: Optional[int] = None,
+        cache_dir: str | os.PathLike[str] | None = DEFAULT_CACHE_DIR,
+    ) -> None:
+        self._machine = machine if machine is not None else opteron_8380_machine()
+        if workers is not None and workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        self._workers = workers
+        self._cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = SweepStats()
+
+    # -- core fan-out ---------------------------------------------------
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> list[CellOutcome]:
+        """Run every cell, in parallel where possible, and keep order.
+
+        Cells with identical content keys are simulated once; cached cells
+        are never submitted to the pool at all.
+        """
+        self.stats.cells += len(specs)
+        jobs: list[tuple[CellSpec, str, tuple]] = []
+        payloads: dict[str, dict[str, Any]] = {}
+        hit_keys: set[str] = set()
+        for spec in specs:
+            machine = spec.machine if spec.machine is not None else self._machine
+            program = _resolve_program(spec)
+            key = cell_key(
+                program, spec.policy, machine, spec.seed,
+                core_levels=spec.core_levels, eewa_config=spec.eewa_config,
+            )
+            if key in payloads:
+                self.stats.deduplicated += 1
+                jobs.append((spec, key, ()))
+                continue
+            cached = self._cache.get(key) if self._cache is not None else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                hit_keys.add(key)
+                payloads[key] = cached
+                jobs.append((spec, key, ()))
+                continue
+            args = (
+                program, spec.policy, machine, spec.seed,
+                spec.core_levels, spec.eewa_config,
+            )
+            payloads[key] = {}  # claimed; filled below
+            jobs.append((spec, key, args))
+
+        pending = [(key, args) for _, key, args in jobs if args]
+        self.stats.executed += len(pending)
+        for key, payload in zip(
+            [k for k, _ in pending], self._execute([a for _, a in pending])
+        ):
+            payloads[key] = payload
+            if self._cache is not None:
+                self._cache.put(key, payload)
+
+        return [
+            CellOutcome(
+                spec=spec,
+                key=key,
+                result=payloads[key]["result"],
+                from_cache=key in hit_keys,
+                adjuster_wallclock_s=payloads[key]["adjuster_wallclock_s"],
+                adjuster_decisions=payloads[key]["adjuster_decisions"],
+            )
+            for spec, key, _ in jobs
+        ]
+
+    def _execute(self, argsets: list[tuple]) -> list[dict[str, Any]]:
+        if not argsets:
+            return []
+        workers = self._workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(argsets))
+        if workers <= 1:
+            return [_simulate_cell(*args) for args in argsets]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_simulate_cell, *zip(*argsets)))
+
+    # -- run_benchmark-shaped conveniences ------------------------------
+
+    def run_many(self, requests: Sequence[BenchRequest]) -> list[RunOutcome]:
+        """All requests' cells in one fan-out, regrouped per request."""
+        cells: list[CellSpec] = []
+        counts: list[int] = []
+        for request in requests:
+            request_cells = request.cells()
+            counts.append(len(request_cells))
+            cells.extend(request_cells)
+        outcomes = self.run_cells(cells)
+        grouped: list[RunOutcome] = []
+        pos = 0
+        for request, count in zip(requests, counts):
+            chunk = outcomes[pos : pos + count]
+            pos += count
+            grouped.append(
+                RunOutcome(
+                    benchmark=request.benchmark,
+                    policy=request.policy,
+                    results=tuple(c.result for c in chunk),
+                )
+            )
+        return grouped
+
+    def run_benchmark(
+        self,
+        benchmark: str,
+        policy: str,
+        *,
+        batches: Optional[int] = None,
+        seeds: Sequence[int] = DEFAULT_SEEDS,
+        core_levels: Optional[Sequence[int]] = None,
+        eewa_config: Optional[EEWAConfig] = None,
+        machine: Optional[MachineConfig] = None,
+    ) -> RunOutcome:
+        """Drop-in parallel/cached equivalent of ``runner.run_benchmark``."""
+        (outcome,) = self.run_many(
+            [
+                BenchRequest(
+                    benchmark=benchmark,
+                    policy=policy,
+                    batches=batches,
+                    seeds=tuple(seeds),
+                    core_levels=None if core_levels is None else tuple(core_levels),
+                    eewa_config=eewa_config,
+                    machine=machine,
+                )
+            ]
+        )
+        return outcome
+
+    def modal_eewa_levels(
+        self,
+        benchmark: str,
+        *,
+        batches: Optional[int] = None,
+        seed: int = DEFAULT_SEEDS[0],
+        eewa_config: Optional[EEWAConfig] = None,
+        machine: Optional[MachineConfig] = None,
+    ) -> list[int]:
+        """Cached equivalent of ``runner.modal_eewa_levels`` — shares its
+        cell (and therefore its cache entry) with any plain EEWA run of the
+        same benchmark and seed."""
+        (outcome,) = self.run_cells(
+            [
+                CellSpec(
+                    benchmark=benchmark, policy="eewa", seed=seed,
+                    batches=batches, eewa_config=eewa_config, machine=machine,
+                )
+            ]
+        )
+        resolved = machine if machine is not None else self._machine
+        return modal_levels_from_result(outcome.result, resolved.num_cores)

@@ -130,9 +130,14 @@ def modal_eewa_levels(
     result = simulate(
         program, EEWAScheduler(eewa_config), machine, seed=seed
     )
+    return modal_levels_from_result(result, machine.num_cores)
+
+
+def modal_levels_from_result(result: SimResult, num_cores: int) -> list[int]:
+    """Expand a run's modal level histogram into a per-core level vector."""
     hist = result.trace.modal_histogram()
     if hist is None:
-        return [0] * machine.num_cores
+        return [0] * num_cores
     levels: list[int] = []
     for level, count in enumerate(hist):
         levels.extend([level] * count)

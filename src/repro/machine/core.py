@@ -38,14 +38,24 @@ class CoreState(enum.Enum):
     RUNNING = "running"
     TRANSITION = "transition"
 
+    #: Enum's default ``__hash__`` is a Python-level function and core
+    #: states key the energy meter's per-state dicts on every observation;
+    #: the identity slot wrapper makes those lookups C-speed. Dicts iterate
+    #: in insertion order, so this cannot perturb determinism.
+    __hash__ = object.__hash__
+
 
 #: States billed at full busy power for the core's current frequency.
 BUSY_STATES = frozenset({CoreState.RUNNING, CoreState.SPINNING})
 
 
-@dataclass
+@dataclass(slots=True)
 class SimCore:
     """One simulated core.
+
+    ``slots=True``: the engine touches core attributes on every event, and
+    a few hundred instances exist per simulated machine — slot storage
+    makes both the footprint and the attribute loads cheaper.
 
     Parameters
     ----------

@@ -58,6 +58,12 @@ class EnergyMeter:
         self._power = power
         self._last_time = 0.0
         self._finalized = False
+        # busy_power(f) is a pure function of frequency; memoising it per
+        # distinct frequency returns the *identical* float the direct call
+        # would, so billing is unchanged bit-for-bit while the hot observe
+        # loop skips the voltage-curve arithmetic.
+        self._busy_watts: dict[float, float] = {}
+        self._idle_watts = power.idle_power()
         self.accounts: list[CoreEnergyAccount] = [CoreEnergyAccount() for _ in cores]
         #: Optional piecewise-constant power trace per core:
         #: lists of (t_start, t_end, watts) — fed to the thermal analysis.
@@ -76,22 +82,34 @@ class EnergyMeter:
         """Bill all cores for the interval ``[last, now]`` at current draw."""
         if self._finalized:
             raise SimulationError("energy meter already finalized")
-        dt = now - self._last_time
+        last = self._last_time
+        dt = now - last
         if dt < -1e-12:
-            raise SimulationError(f"time went backwards: {self._last_time} -> {now}")
+            raise SimulationError(f"time went backwards: {last} -> {now}")
         if dt <= 0.0:
             self._last_time = now
             return
+        busy_watts = self._busy_watts
+        busy_power = self._power.busy_power
+        idle_watts = self._idle_watts
+        record = self.power_series is not None
         for i, (core, account) in enumerate(zip(self._cores, self.accounts)):
-            p = self._core_power(core)
-            account.add(core.state, core.level, p * dt, dt)
-            if self.power_series is not None:
+            state = core.state
+            if state in BUSY_STATES:
+                frequency = core.scale.levels[core.level]
+                p = busy_watts.get(frequency)
+                if p is None:
+                    p = busy_watts[frequency] = busy_power(frequency)
+            else:
+                p = idle_watts
+            account.add(state, core.level, p * dt, dt)
+            if record:
                 series = self.power_series[i]
                 # Merge with the previous piece when power is unchanged.
-                if series and series[-1][2] == p and series[-1][1] == self._last_time:
+                if series and series[-1][2] == p and series[-1][1] == last:
                     series[-1] = (series[-1][0], now, p)
                 else:
-                    series.append((self._last_time, now, p))
+                    series.append((last, now, p))
         self._last_time = now
 
     def finalize(self, now: float) -> None:

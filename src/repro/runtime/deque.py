@@ -20,7 +20,12 @@ T = TypeVar("T")
 
 
 class WorkStealingDeque(Generic[T]):
-    """Owner-bottom / thief-top double-ended queue."""
+    """Owner-bottom / thief-top double-ended queue.
+
+    ``_items`` (the backing :class:`collections.deque`) is a same-package
+    contract: :class:`~repro.runtime.pools.PoolGrid` indexes it directly on
+    its hot path. Bottom = the deque's right end, top = its left end.
+    """
 
     __slots__ = ("_items",)
 

@@ -8,6 +8,16 @@ within a pool index before escalating across groups via the preference list.
 :class:`PoolGrid` is that structure plus the per-pool-index queued-task
 counters that make "are all ``TP_j`` pools empty?" an O(1) question — the
 check the preference-based scheduler performs on every escalation decision.
+
+Hot path
+--------
+``push`` / ``pop_local`` / ``steal`` run once per task acquisition attempt —
+millions of times per sweep — so they operate on the underlying
+``collections.deque`` of each :class:`~repro.runtime.deque.WorkStealingDeque`
+directly (``_items``, a same-package contract) with the bounds checks
+inlined as two chained integer comparisons instead of a helper call.
+``victims_with_work`` answers the common "nobody has work" case straight
+from the O(1) per-pool counters without scanning or allocating.
 """
 
 from __future__ import annotations
@@ -25,9 +35,23 @@ from repro.runtime.task import Task
 #: :meth:`repro.sim.engine.Simulator.pool_observer`.
 PoolObserver = Callable[[str, int, int, Task], None]
 
+#: Shared empty result for :meth:`PoolGrid.victims_with_work` — callers
+#: treat the return value as read-only, so the found-nothing case (by far
+#: the most common during the end-of-batch spin-down) allocates nothing.
+_NO_VICTIMS: list[int] = []
+
 
 class PoolGrid:
     """``num_cores x num_pools`` grid of work-stealing deques."""
+
+    __slots__ = (
+        "num_cores",
+        "num_pools",
+        "_observer",
+        "_pools",
+        "_rows",
+        "_queued_by_pool",
+    )
 
     def __init__(
         self,
@@ -44,67 +68,79 @@ class PoolGrid:
         self._pools: list[list[WorkStealingDeque[Task]]] = [
             [WorkStealingDeque() for _ in range(num_pools)] for _ in range(num_cores)
         ]
+        # Raw collections.deque view of the same grid, in the same layout —
+        # the hot-path ops index this to skip a wrapper method call each.
+        self._rows = [[pool._items for pool in row] for row in self._pools]
         self._queued_by_pool: list[int] = [0] * num_pools
 
     # -- index checks -------------------------------------------------------
 
-    def _check(self, core_id: int, pool_index: int) -> None:
+    def _raise_bounds(self, core_id: int, pool_index: int) -> None:
         if not 0 <= core_id < self.num_cores:
             raise SchedulingError(f"core {core_id} out of range [0, {self.num_cores})")
-        if not 0 <= pool_index < self.num_pools:
-            raise SchedulingError(f"pool {pool_index} out of range [0, {self.num_pools})")
+        raise SchedulingError(f"pool {pool_index} out of range [0, {self.num_pools})")
 
     # -- mutation -----------------------------------------------------------
 
     def push(self, core_id: int, pool_index: int, task: Task) -> None:
         """Owner-side push of ``task`` into ``core_id``'s pool ``pool_index``."""
-        self._check(core_id, pool_index)
-        self._pools[core_id][pool_index].push_bottom(task)
-        self._queued_by_pool[pool_index] += 1
-        if self._observer is not None:
-            self._observer("push", core_id, pool_index, task)
+        if 0 <= core_id < self.num_cores and 0 <= pool_index < self.num_pools:
+            self._rows[core_id][pool_index].append(task)
+            self._queued_by_pool[pool_index] += 1
+            if self._observer is not None:
+                self._observer("push", core_id, pool_index, task)
+            return
+        self._raise_bounds(core_id, pool_index)
 
     def pop_local(self, core_id: int, pool_index: int) -> Optional[Task]:
         """Owner-side LIFO pop; ``None`` when the local pool is empty."""
-        self._check(core_id, pool_index)
-        task = self._pools[core_id][pool_index].pop_bottom()
-        if task is not None:
+        if 0 <= core_id < self.num_cores and 0 <= pool_index < self.num_pools:
+            items = self._rows[core_id][pool_index]
+            if not items:
+                return None
+            task = items.pop()
             self._queued_by_pool[pool_index] -= 1
             if self._observer is not None:
                 self._observer("pop", core_id, pool_index, task)
-        return task
+            return task
+        self._raise_bounds(core_id, pool_index)
 
     def steal(self, victim_id: int, pool_index: int) -> Optional[Task]:
         """Thief-side FIFO steal from ``victim_id``'s pool ``pool_index``."""
-        self._check(victim_id, pool_index)
-        task = self._pools[victim_id][pool_index].steal_top()
-        if task is not None:
+        if 0 <= victim_id < self.num_cores and 0 <= pool_index < self.num_pools:
+            items = self._rows[victim_id][pool_index]
+            if not items:
+                return None
+            task = items.popleft()
             self._queued_by_pool[pool_index] -= 1
             task.stolen = True
             if self._observer is not None:
                 self._observer("steal", victim_id, pool_index, task)
-        return task
+            return task
+        self._raise_bounds(victim_id, pool_index)
 
     def clear(self) -> None:
-        for row in self._pools:
-            for pool in row:
-                pool.clear()
+        for row in self._rows:
+            for items in row:
+                items.clear()
         self._queued_by_pool = [0] * self.num_pools
 
     # -- queries --------------------------------------------------------------
 
     def queued_in_pool_index(self, pool_index: int) -> int:
         """Tasks queued across all cores in pool ``pool_index`` (O(1))."""
-        self._check(0, pool_index)
-        return self._queued_by_pool[pool_index]
+        if 0 <= pool_index < self.num_pools:
+            return self._queued_by_pool[pool_index]
+        self._raise_bounds(0, pool_index)
 
     def pool_index_empty(self, pool_index: int) -> bool:
         """True when every core's pool ``pool_index`` is empty (O(1))."""
         return self.queued_in_pool_index(pool_index) == 0
 
     def local_len(self, core_id: int, pool_index: int) -> int:
-        self._check(core_id, pool_index)
-        return len(self._pools[core_id][pool_index])
+        if 0 <= core_id < self.num_cores and 0 <= pool_index < self.num_pools:
+            return len(self._rows[core_id][pool_index])
+        self._raise_bounds(core_id, pool_index)
 
     def total_queued(self) -> int:
         return sum(self._queued_by_pool)
@@ -112,11 +148,25 @@ class PoolGrid:
     def victims_with_work(
         self, pool_index: int, exclude: int, candidates: Sequence[int] | None = None
     ) -> list[int]:
-        """Core ids (other than ``exclude``) holding work in ``pool_index``."""
-        self._check(0, pool_index)
+        """Core ids (other than ``exclude``) holding work in ``pool_index``.
+
+        The returned list is read-only: the empty result is a shared
+        constant so the (overwhelmingly common) found-nothing case does no
+        allocation and, when the whole pool index is empty, no scan at all.
+        """
+        if not 0 <= pool_index < self.num_pools:
+            self._raise_bounds(0, pool_index)
+        queued = self._queued_by_pool[pool_index]
+        if queued == 0:
+            return _NO_VICTIMS
+        rows = self._rows
+        if (
+            candidates is None
+            and 0 <= exclude < self.num_cores
+            and queued == len(rows[exclude][pool_index])
+        ):
+            # All queued work sits in the excluded core's own pool.
+            return _NO_VICTIMS
         ids: Iterable[int] = candidates if candidates is not None else range(self.num_cores)
-        return [
-            c
-            for c in ids
-            if c != exclude and len(self._pools[c][pool_index]) > 0
-        ]
+        victims = [c for c in ids if c != exclude and rows[c][pool_index]]
+        return victims if victims else _NO_VICTIMS

