@@ -254,27 +254,44 @@ def _check_preference(
 # Shipped-policy battery (the CLI's `repro check` race stage)
 # ---------------------------------------------------------------------------
 
-#: Policies the battery covers and how to build them on the test machine.
-SHIPPED_POLICY_NAMES = ("cilk", "cilk_d", "wats", "eewa")
+
+def _registry():
+    # Imported lazily: repro.checks is imported by runtime-layer modules,
+    # so a module-level registry import would be circular.
+    from repro.scenario import registry
+
+    return registry
+
+
+def shipped_policy_names() -> tuple[str, ...]:
+    """Canonical names of every registered policy, in registration order."""
+    return _registry().POLICIES.names()
+
+
+def __getattr__(name: str):
+    # Kept as a module attribute for callers that enumerated the battery
+    # via ``races.SHIPPED_POLICY_NAMES``; now derived from the registry.
+    if name == "SHIPPED_POLICY_NAMES":
+        return shipped_policy_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 DEFAULT_RACE_SEEDS = (3, 5, 11)
 
+#: Core count and level count of the battery's test machine.
+_BATTERY_CORES = 4
+_BATTERY_LEVELS = (2.0e9, 1.5e9, 1.0e9)
+
 
 def _shipped_factory(name: str):
-    from repro.core.eewa import EEWAScheduler
-    from repro.runtime.cilk import CilkScheduler
-    from repro.runtime.cilk_d import CilkDScheduler
-    from repro.runtime.wats import WATSScheduler
-
-    if name == "cilk":
-        return CilkScheduler
-    if name == "cilk_d":
-        return CilkDScheduler
-    if name == "wats":
-        return lambda: WATSScheduler([0, 0, 1, 2])
-    if name == "eewa":
-        return EEWAScheduler
-    raise ValueError(f"unknown shipped policy {name!r}")
+    registry = _registry()
+    entry = registry.POLICIES.get(name)
+    levels = (
+        registry.spread_levels(_BATTERY_CORES, len(_BATTERY_LEVELS))
+        if entry.needs_core_levels
+        else None
+    )
+    return lambda: entry.build(core_levels=levels)
 
 
 def _battery_programs():
@@ -303,16 +320,21 @@ def _battery_programs():
 def check_shipped_policies(
     *,
     seeds: Sequence[int] = DEFAULT_RACE_SEEDS,
-    policies: Sequence[str] = SHIPPED_POLICY_NAMES,
+    policies: Optional[Sequence[str]] = None,
 ) -> list[Finding]:
-    """Deep-trace every shipped policy across ``seeds`` and race-check it.
+    """Deep-trace every registered policy across ``seeds`` and race-check it.
 
     This is the ``races`` stage of ``repro check``: small programs, the
-    4-core test machine, every (policy, program, seed) combination.
+    4-core test machine, every (policy, program, seed) combination. The
+    policy list defaults to everything in the registry
+    (:data:`repro.scenario.registry.POLICIES`), so plugin policies are
+    covered automatically.
     """
     from repro.machine.topology import small_test_machine
     from repro.sim.engine import simulate
 
+    if policies is None:
+        policies = shipped_policy_names()
     findings: list[Finding] = []
     programs = _battery_programs()
     for name in policies:

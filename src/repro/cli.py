@@ -2,23 +2,32 @@
 
 ``python -m repro <command>``:
 
-* ``list`` — available benchmarks, policies and exhibits;
+* ``list`` — registered workloads, policies, machine presets and exhibits;
 * ``run`` — one benchmark under one policy, with timing/energy and traces;
-* ``compare`` — one benchmark under all policies, normalised to Cilk;
+* ``compare`` — one benchmark under several policies, normalised to the
+  first (``--policies`` defaults to the Cilk-normalised baseline set);
 * ``figure`` — regenerate one paper exhibit (fig1/fig6/fig7/fig8/fig9/table3);
-* ``bench`` — parallel cached sweep over (benchmark × policy × seed) cells
+* ``run-spec`` — run a JSON file: either a full scenario spec
+  (:class:`repro.scenario.ScenarioSpec`) or a bare workload spec;
+* ``bench`` — parallel cached sweep over (workload × policy × seed) cells
   (see :mod:`repro.experiments.parallel`);
 * ``calibrate`` — re-measure the real kernels behind the workload costs;
 * ``check`` — determinism lint, invariant model checking, race detection
   (see :mod:`repro.checks`).
+
+Every command resolves workloads, policies, and machines through the
+scenario registries (:mod:`repro.scenario.registry`) and runs simulations
+through one :class:`~repro.scenario.session.Session`, so a policy or
+workload registered by a plugin is immediately available everywhere.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.errors import ScenarioError
 from repro.experiments import (
     fig1_rows,
     format_table,
@@ -28,12 +37,16 @@ from repro.experiments import (
     run_fig9,
     run_table3,
 )
-from repro.experiments.runner import make_policy
-from repro.machine.topology import opteron_8380_machine
-from repro.sim.engine import simulate
-from repro.workloads.benchmarks import BENCHMARK_NAMES, benchmark_program
+from repro.scenario.registry import (
+    MACHINES,
+    POLICIES,
+    WORKLOADS,
+    baseline_policy_names,
+    workload_names,
+)
+from repro.scenario.session import Session
+from repro.scenario.spec import MachineSpec, PolicySpec, ScenarioSpec
 
-POLICY_NAMES = ("cilk", "cilk-d", "eewa")
 EXHIBITS = ("fig1", "fig6", "fig7", "fig8", "fig9", "table3")
 
 
@@ -44,14 +57,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks, policies and exhibits")
+    sub.add_parser("list", help="list workloads, policies, machines and exhibits")
 
     run = sub.add_parser("run", help="run one benchmark under one policy")
-    run.add_argument("benchmark", choices=BENCHMARK_NAMES + ("STREAM-like", "DMC-phased"))
-    run.add_argument("policy", choices=POLICY_NAMES)
+    run.add_argument("benchmark", choices=workload_names())
+    run.add_argument("policy", choices=POLICIES.names())
     run.add_argument("--batches", type=int, default=None)
     run.add_argument("--cores", type=int, default=16)
     run.add_argument("--seed", type=int, default=11)
+    run.add_argument(
+        "--core-levels", nargs="+", type=int, metavar="LEVEL",
+        help="fixed per-core frequency levels (policies like wats need one; "
+        "derived from EEWA's modal configuration when omitted)",
+    )
     run.add_argument("--trace", action="store_true", help="print per-batch traces")
     run.add_argument(
         "--per-socket-dvfs", action="store_true",
@@ -64,8 +82,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record power traces and print a thermal-headroom report",
     )
 
-    cmp_ = sub.add_parser("compare", help="one benchmark under all policies")
-    cmp_.add_argument("benchmark", choices=BENCHMARK_NAMES + ("STREAM-like",))
+    cmp_ = sub.add_parser("compare", help="one benchmark under several policies")
+    cmp_.add_argument("benchmark", choices=workload_names())
+    cmp_.add_argument(
+        "--policies", nargs="+", choices=POLICIES.names(), metavar="POLICY",
+        default=list(baseline_policy_names()),
+        help="policies to compare, normalised to the first "
+        "(default: the Cilk-normalised baseline set)",
+    )
+    cmp_.add_argument(
+        "--core-levels", nargs="+", type=int, metavar="LEVEL",
+        help="fixed per-core levels for policies that need them "
+        "(default: EEWA's modal configuration, Fig. 7 style)",
+    )
     cmp_.add_argument("--batches", type=int, default=None)
     cmp_.add_argument("--cores", type=int, default=16)
     cmp_.add_argument("--seed", type=int, default=11)
@@ -74,27 +103,37 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("exhibit", choices=EXHIBITS)
     fig.add_argument("--seed", type=int, default=11)
 
-    spec = sub.add_parser("run-spec", help="run a JSON workload spec file")
-    spec.add_argument("spec_file", help="path to a workload spec JSON")
-    spec.add_argument("policy", choices=POLICY_NAMES)
+    spec = sub.add_parser(
+        "run-spec",
+        help="run a JSON spec file (full scenario spec or bare workload spec)",
+    )
+    spec.add_argument(
+        "spec_file",
+        help="path to a scenario JSON (workload/policy/machine/seeds) or a "
+        "bare workload spec JSON",
+    )
+    spec.add_argument(
+        "policy", nargs="?", choices=POLICIES.names(),
+        help="policy to run (required for bare workload specs; overrides "
+        "the policy of a scenario spec)",
+    )
     spec.add_argument("--batches", type=int, default=None)
-    spec.add_argument("--cores", type=int, default=16)
-    spec.add_argument("--seed", type=int, default=11)
+    spec.add_argument("--cores", type=int, default=None)
+    spec.add_argument("--seed", type=int, default=None)
     spec.add_argument("--diagnose", action="store_true",
                       help="print the static workload diagnostics first")
 
     bench = sub.add_parser(
         "bench",
-        help="parallel cached sweep over (benchmark × policy × seed) cells",
+        help="parallel cached sweep over (workload × policy × seed) cells",
     )
     bench.add_argument(
-        "--benchmarks", nargs="+", default=list(BENCHMARK_NAMES),
-        choices=BENCHMARK_NAMES + ("STREAM-like", "DMC-phased"),
-        metavar="NAME",
+        "--benchmarks", nargs="+", default=list(workload_names(table2_only=True)),
+        choices=workload_names(), metavar="NAME",
     )
     bench.add_argument(
-        "--policies", nargs="+", default=list(POLICY_NAMES),
-        choices=POLICY_NAMES, metavar="POLICY",
+        "--policies", nargs="+", default=list(baseline_policy_names()),
+        choices=POLICIES.names(), metavar="POLICY",
     )
     bench.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
     bench.add_argument("--batches", type=int, default=None)
@@ -127,24 +166,66 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    print("benchmarks (paper Table II):", ", ".join(BENCHMARK_NAMES))
-    print("extra workloads: STREAM-like (memory-bound), DMC-phased (varying)")
-    print("policies:", ", ".join(POLICY_NAMES), "(+ wats via the API)")
+    print("benchmarks (paper Table II):", ", ".join(workload_names(table2_only=True)))
+    extras = [n for n in workload_names() if n not in workload_names(table2_only=True)]
+    print("extra workloads:", ", ".join(extras))
+    print("policies:")
+    for entry in POLICIES:
+        needs = " [needs --core-levels]" if entry.needs_core_levels else ""
+        print(f"  {entry.name:8s}{needs} — {entry.description}")
+    print("machine presets:")
+    for preset in MACHINES:
+        print(f"  {preset.name:20s} — {preset.description}")
     print("exhibits:", ", ".join(EXHIBITS))
     print("checks: repro check [--strict] (lint EEWA0xx, invariants EEWA1xx, races EEWA2xx)")
     return 0
 
 
+def _machine_spec(cores: int, *, per_socket_dvfs: bool = False) -> MachineSpec:
+    preset = "opteron-8380-socket" if per_socket_dvfs else "opteron-8380"
+    return MachineSpec(preset=preset, num_cores=cores)
+
+
+def _resolve_levels(
+    session: Session, scenario: ScenarioSpec, explicit: Optional[Sequence[int]]
+) -> ScenarioSpec:
+    """Fill in fixed core levels for policies that require them.
+
+    Without ``--core-levels``, uses EEWA's modal configuration for the
+    scenario's workload (the Fig. 7 convention) and says so.
+    """
+    entry = POLICIES.get(scenario.policy.name)
+    if explicit is not None:
+        if not (entry.needs_core_levels or entry.accepts_core_levels):
+            raise ScenarioError(
+                f"{entry.name} does not take fixed core levels"
+            )
+        return scenario.with_policy(
+            PolicySpec(scenario.policy.name, core_levels=tuple(explicit))
+        )
+    if not entry.needs_core_levels or scenario.policy.core_levels is not None:
+        return scenario
+    levels = tuple(session.modal_eewa_levels(scenario))
+    print(
+        f"  note: {entry.name} runs on EEWA's modal configuration "
+        f"{list(levels)} (pass --core-levels to override)"
+    )
+    return scenario.with_policy(
+        PolicySpec(scenario.policy.name, core_levels=levels)
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    machine = opteron_8380_machine(
-        num_cores=args.cores, per_socket_dvfs=args.per_socket_dvfs
+    session = Session()
+    scenario = ScenarioSpec(
+        workload=args.benchmark,
+        policy=args.policy,
+        machine=_machine_spec(args.cores, per_socket_dvfs=args.per_socket_dvfs),
+        seeds=(args.seed,),
+        batches=args.batches,
     )
-    program = benchmark_program(args.benchmark, batches=args.batches, seed=args.seed)
-    policy = make_policy(args.policy)
-    result = simulate(
-        program, policy, machine, seed=args.seed,
-        record_power_series=args.thermal,
-    )
+    scenario = _resolve_levels(session, scenario, args.core_levels)
+    result = session.run_single(scenario, record_power_series=args.thermal)
     print(
         f"{args.benchmark} / {args.policy} on {args.cores} cores: "
         f"{result.total_time*1e3:.1f} ms, {result.total_joules:.2f} J "
@@ -187,26 +268,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    machine = opteron_8380_machine(num_cores=args.cores)
-    program = benchmark_program(args.benchmark, batches=args.batches, seed=args.seed)
-    rows = []
-    base = None
-    for name in POLICY_NAMES:
-        result = simulate(program, make_policy(name), machine, seed=args.seed)
-        if base is None:
-            base = result
-        rows.append(
-            (
-                name,
-                result.total_time * 1e3,
-                result.total_joules,
-                result.total_time / base.total_time,
-                result.total_joules / base.total_joules,
-            )
+    session = Session()
+    machine = _machine_spec(args.cores)
+    scenarios = [
+        _resolve_levels(
+            session,
+            ScenarioSpec(
+                workload=args.benchmark, policy=name, machine=machine,
+                seeds=(args.seed,), batches=args.batches,
+            ),
+            args.core_levels if POLICIES.get(name).needs_core_levels else None,
         )
+        for name in args.policies
+    ]
+    outcomes = session.run_grid(scenarios)
+    base = outcomes[0]
+    rows = [
+        (
+            o.policy,
+            o.time_mean * 1e3,
+            o.energy_mean,
+            o.time_mean / base.time_mean,
+            o.energy_mean / base.energy_mean,
+        )
+        for o in outcomes
+    ]
     print(
         format_table(
-            ["policy", "time (ms)", "energy (J)", "t/cilk", "E/cilk"],
+            ["policy", "time (ms)", "energy (J)", f"t/{base.policy}", f"E/{base.policy}"],
             rows,
             title=f"{args.benchmark} on {args.cores} cores (seed {args.seed})",
         )
@@ -237,22 +326,79 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_run_spec_scenario(args: argparse.Namespace) -> ScenarioSpec:
+    """Build the scenario for ``run-spec``: scenario JSON or workload JSON."""
+    import json
+
+    from repro.workloads.io import spec_from_dict
+
+    try:
+        with open(args.spec_file) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ScenarioError(f"cannot read {args.spec_file}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{args.spec_file}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{args.spec_file}: expected a JSON object")
+
+    if "classes" in data:  # bare workload spec (legacy format)
+        if args.policy is None:
+            raise ScenarioError(
+                "a policy argument is required when running a bare workload "
+                "spec (or use a full scenario JSON with a 'policy' field)"
+            )
+        scenario = ScenarioSpec(
+            workload=spec_from_dict(data),
+            policy=args.policy,
+            machine=MachineSpec(num_cores=args.cores or 16),
+            seeds=(args.seed if args.seed is not None else 11,),
+            batches=args.batches,
+        )
+    else:
+        scenario = ScenarioSpec.from_dict(data)
+        if args.policy is not None:
+            scenario = scenario.with_policy(args.policy)
+        if args.cores is not None:
+            machine = scenario.machine
+            scenario = ScenarioSpec(
+                workload=scenario.workload,
+                policy=scenario.policy,
+                machine=MachineSpec(preset=machine.preset, num_cores=args.cores),
+                seeds=scenario.seeds,
+                batches=scenario.batches,
+            )
+        if args.seed is not None:
+            scenario = scenario.with_seeds((args.seed,))
+        if args.batches is not None:
+            scenario = ScenarioSpec(
+                workload=scenario.workload,
+                policy=scenario.policy,
+                machine=scenario.machine,
+                seeds=scenario.seeds,
+                batches=args.batches,
+            )
+    return scenario
+
+
 def _cmd_run_spec(args: argparse.Namespace) -> int:
-    from repro.workloads.generators import generate_program
-    from repro.workloads.io import load_spec
     from repro.workloads.validation import diagnose
 
-    spec = load_spec(args.spec_file)
-    machine = opteron_8380_machine(num_cores=args.cores)
+    session = Session()
+    scenario = _load_run_spec_scenario(args)
+    scenario = _resolve_levels(session, scenario, None)
+    cores = scenario.build_machine().num_cores
     if args.diagnose:
-        print(diagnose(spec, args.cores).summary())
+        print(diagnose(scenario.resolve_workload(), cores).summary())
         print()
-    program = generate_program(spec, batches=args.batches, seed=args.seed)
-    result = simulate(program, make_policy(args.policy), machine, seed=args.seed)
+    outcome = session.run(scenario)
+    result = outcome.first
+    seeds = list(scenario.seeds)
+    suffix = f" (mean over seeds {seeds})" if len(seeds) > 1 else ""
     print(
-        f"{spec.name} / {args.policy} on {args.cores} cores: "
-        f"{result.total_time*1e3:.1f} ms, {result.total_joules:.2f} J, "
-        f"{result.tasks_executed} tasks"
+        f"{scenario.workload_name} / {scenario.policy.name} on {cores} cores: "
+        f"{outcome.time_mean*1e3:.1f} ms, {outcome.energy_mean:.2f} J, "
+        f"{result.tasks_executed} tasks{suffix}"
     )
     for bt in result.trace.batches:
         print(f"  batch {bt.batch_index:3d}: {bt.duration*1e3:8.2f} ms | "
@@ -263,24 +409,25 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
-    from repro.experiments.parallel import BenchRequest, ParallelRunner
-
-    machine = opteron_8380_machine(num_cores=args.cores)
-    runner = ParallelRunner(
-        machine=machine,
+    session = Session(
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
     )
-    requests = [
-        BenchRequest(
-            benchmark=name, policy=policy,
-            batches=args.batches, seeds=tuple(args.seeds),
+    machine = MachineSpec(num_cores=args.cores)
+    scenarios = [
+        _resolve_levels(
+            session,
+            ScenarioSpec(
+                workload=name, policy=policy, machine=machine,
+                seeds=tuple(args.seeds), batches=args.batches,
+            ),
+            None,
         )
         for name in args.benchmarks
         for policy in args.policies
     ]
     started = time.perf_counter()
-    outcomes = runner.run_many(requests)
+    outcomes = session.run_grid(scenarios)
     wall = time.perf_counter() - started
     rows = [
         (
@@ -301,7 +448,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
-    stats = runner.stats
+    stats = session.stats
     print(
         f"  {stats.cells} cells in {wall:.2f} s: {stats.executed} simulated, "
         f"{stats.cache_hits} from cache, {stats.deduplicated} deduplicated"
@@ -370,22 +517,29 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         return check_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "run-spec":
-        return _cmd_run_spec(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "calibrate":
-        return _cmd_calibrate(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "run-spec":
+            return _cmd_run_spec(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 1  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(main())
+
+
+__all__ = ["main"]

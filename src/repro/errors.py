@@ -38,3 +38,11 @@ class KernelError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification cannot be realised."""
+
+
+class ScenarioError(ConfigurationError):
+    """A scenario spec or registry lookup is invalid.
+
+    Subclasses :class:`ConfigurationError` so callers that predate the
+    scenario layer (``except ConfigurationError``) keep working.
+    """

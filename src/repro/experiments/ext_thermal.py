@@ -15,12 +15,10 @@ from typing import Optional, Sequence
 
 from repro.analysis.thermal import ThermalParams, socket_thermal_report, thermal_report
 from repro.experiments.report import format_table
-from repro.experiments.runner import make_policy
-from repro.machine.topology import MachineConfig, opteron_8380_machine
-from repro.sim.engine import simulate
-from repro.workloads.benchmarks import benchmark_program
-
-POLICIES = ("cilk", "cilk-d", "eewa")
+from repro.machine.topology import MachineConfig
+from repro.scenario.registry import baseline_policy_names
+from repro.scenario.session import Session
+from repro.scenario.spec import MachineSpec, ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -75,22 +73,29 @@ def run_thermal_study(
     machine: Optional[MachineConfig] = None,
     seed: int = 11,
     params: Optional[ThermalParams] = None,
-    policies: Sequence[str] = POLICIES,
+    policies: Optional[Sequence[str]] = None,
 ) -> ThermalStudyResult:
-    """Run ``benchmark`` under each policy and integrate the thermal model."""
-    if machine is None:
-        machine = opteron_8380_machine()
+    """Run ``benchmark`` under each policy and integrate the thermal model.
+
+    Power-series recording bypasses the result cache (traces are
+    observability extras the cache does not store), so this always
+    simulates in-process via :meth:`Session.run_single`.
+    """
+    if policies is None:
+        policies = baseline_policy_names()
     if params is None:
         params = ThermalParams()
+    session = Session()
+    machine_spec = (
+        MachineSpec() if machine is None else MachineSpec.inline(machine)
+    )
     rows = []
     for policy in policies:
-        result = simulate(
-            benchmark_program(benchmark, batches=batches, seed=seed),
-            make_policy(policy),
-            machine,
-            seed=seed,
-            record_power_series=True,
+        scenario = ScenarioSpec(
+            workload=benchmark, policy=policy, machine=machine_spec,
+            seeds=(seed,), batches=batches,
         )
+        result = session.run_single(scenario, record_power_series=True)
         report = thermal_report(result, params)
         sockets = socket_thermal_report(result)
         peaks = [c.peak_c for c in report.cores]

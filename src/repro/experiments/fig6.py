@@ -14,11 +14,15 @@ from typing import Optional, Sequence
 
 from repro.analysis.metrics import energy_reduction_percent
 from repro.experiments.report import format_table
-from repro.experiments.runner import DEFAULT_SEEDS, run_benchmark
 from repro.machine.topology import MachineConfig
+from repro.scenario.registry import baseline_policy_names
+from repro.scenario.session import Session
+from repro.scenario.spec import DEFAULT_SEEDS, MachineSpec, ScenarioSpec
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
-POLICIES = ("cilk", "cilk-d", "eewa")
+
+def _machine_spec(machine: Optional[MachineConfig]) -> MachineSpec:
+    return MachineSpec() if machine is None else MachineSpec.inline(machine)
 
 
 @dataclass(frozen=True)
@@ -91,49 +95,44 @@ def run_fig6(
 ) -> Fig6Result:
     """Regenerate Fig. 6's data.
 
-    ``parallel=True`` fans every (benchmark × policy × seed) cell across a
-    process pool with the content-addressed result cache
-    (:mod:`repro.experiments.parallel`); results are identical either way.
+    The exhibit is one scenario grid — every benchmark crossed with the
+    baseline comparison set (:func:`baseline_policy_names`) — run through
+    a :class:`~repro.scenario.session.Session`. ``parallel=True`` fans the
+    cells across a process pool with the content-addressed result cache;
+    results are identical either way.
     """
-    all_outcomes: dict[tuple[str, str], "object"] = {}
-    if parallel:
-        from repro.experiments.parallel import BenchRequest, ParallelRunner
-
-        runner = ParallelRunner(
-            machine=machine, workers=workers,
-            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+    session = Session.for_experiment(
+        parallel=parallel, workers=workers, cache_dir=cache_dir
+    )
+    policies = baseline_policy_names()
+    machine_spec = _machine_spec(machine)
+    grid = [
+        ScenarioSpec(
+            workload=name, policy=policy, machine=machine_spec,
+            seeds=tuple(seeds), batches=batches,
         )
-        requests = [
-            BenchRequest(name, policy, batches=batches, seeds=tuple(seeds))
-            for name in benchmarks
-            for policy in POLICIES
-        ]
-        for request, outcome in zip(requests, runner.run_many(requests)):
-            all_outcomes[(request.benchmark, request.policy)] = outcome
+        for name in benchmarks
+        for policy in policies
+    ]
+    outcomes = {
+        (o.benchmark, o.policy): o for o in session.run_grid(grid)
+    }
     rows = []
     for name in benchmarks:
-        outcomes = {
-            policy: all_outcomes[(name, policy)]
-            if parallel
-            else run_benchmark(
-                name, policy, machine=machine, batches=batches, seeds=seeds
-            )
-            for policy in POLICIES
-        }
-        base_t = outcomes["cilk"].time_mean
-        base_e = outcomes["cilk"].energy_mean
+        base_t = outcomes[(name, "cilk")].time_mean
+        base_e = outcomes[(name, "cilk")].energy_mean
         rows.append(
             Fig6Row(
                 benchmark=name,
                 time_cilk=1.0,
-                time_cilk_d=outcomes["cilk-d"].time_mean / base_t,
-                time_eewa=outcomes["eewa"].time_mean / base_t,
+                time_cilk_d=outcomes[(name, "cilk-d")].time_mean / base_t,
+                time_eewa=outcomes[(name, "eewa")].time_mean / base_t,
                 energy_cilk=1.0,
-                energy_cilk_d=outcomes["cilk-d"].energy_mean / base_e,
-                energy_eewa=outcomes["eewa"].energy_mean / base_e,
+                energy_cilk_d=outcomes[(name, "cilk-d")].energy_mean / base_e,
+                energy_eewa=outcomes[(name, "eewa")].energy_mean / base_e,
             )
         )
     return Fig6Result(rows=tuple(rows))
 
 
-__all__ = ["Fig6Result", "Fig6Row", "POLICIES", "run_fig6", "energy_reduction_percent"]
+__all__ = ["Fig6Result", "Fig6Row", "run_fig6", "energy_reduction_percent"]

@@ -16,12 +16,14 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import (
-    DEFAULT_SEEDS,
-    modal_eewa_levels,
-    run_benchmark,
-)
 from repro.machine.topology import MachineConfig
+from repro.scenario.session import Session
+from repro.scenario.spec import (
+    DEFAULT_SEEDS,
+    MachineSpec,
+    PolicySpec,
+    ScenarioSpec,
+)
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
 
@@ -81,71 +83,53 @@ def run_fig7(
     paper's WATS gap (1.05-1.24x) appears when the workload composition
     varies across batches, which the phased workload reproduces.
 
-    ``parallel=True`` runs in two cached process-pool waves (the EEWA runs
-    that pick each benchmark's modal configuration, then the Cilk/WATS runs
-    on those configurations); results are identical either way.
+    Two scenario waves through one Session: the EEWA runs (which also
+    yield each benchmark's modal configuration — the modal cell *is* the
+    first-seed EEWA cell, shared via the cache), then Cilk and WATS pinned
+    to those configurations. ``parallel=True`` fans each wave across a
+    process pool with result caching; results are identical either way.
     """
     names = list(benchmarks) + (["DMC-phased"] if include_phased else [])
-    if parallel:
-        from repro.experiments.parallel import BenchRequest, ParallelRunner
-
-        runner = ParallelRunner(
-            machine=machine, workers=workers,
-            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+    session = Session.for_experiment(
+        parallel=parallel, workers=workers, cache_dir=cache_dir
+    )
+    machine_spec = (
+        MachineSpec() if machine is None else MachineSpec.inline(machine)
+    )
+    eewa_grid = [
+        ScenarioSpec(
+            workload=name, policy="eewa", machine=machine_spec,
+            seeds=tuple(seeds), batches=batches,
         )
-        # Wave 1: EEWA on every benchmark — also yields the modal levels
-        # (the modal cell is the seed-11 EEWA cell, shared via the cache).
-        eewa_outcomes = runner.run_many(
-            [
-                BenchRequest(name, "eewa", batches=batches, seeds=tuple(seeds))
-                for name in names
-            ]
-        )
-        levels_by_name = {
-            name: tuple(runner.modal_eewa_levels(name, batches=batches))
-            for name in names
-        }
-        # Wave 2: Cilk and WATS pinned to each benchmark's modal config.
-        fixed = runner.run_many(
-            [
-                BenchRequest(
-                    name, policy, batches=batches, seeds=tuple(seeds),
-                    core_levels=levels_by_name[name],
-                )
-                for name in names
-                for policy in ("cilk", "wats")
-            ]
-        )
-        rows = []
-        for i, (name, eewa) in enumerate(zip(names, eewa_outcomes)):
-            cilk, wats = fixed[2 * i], fixed[2 * i + 1]
-            rows.append(
-                Fig7Row(
-                    benchmark=name,
-                    cilk_over_eewa=cilk.time_mean / eewa.time_mean,
-                    wats_over_eewa=wats.time_mean / eewa.time_mean,
-                    fixed_levels=levels_by_name[name],
-                )
+        for name in names
+    ]
+    levels_by_name = {
+        name: tuple(session.modal_eewa_levels(spec))
+        for name, spec in zip(names, eewa_grid)
+    }
+    eewa_outcomes = session.run_grid(eewa_grid)
+    fixed = session.run_grid(
+        [
+            ScenarioSpec(
+                workload=name,
+                policy=PolicySpec(policy, core_levels=levels_by_name[name]),
+                machine=machine_spec,
+                seeds=tuple(seeds),
+                batches=batches,
             )
-        return Fig7Result(rows=tuple(rows))
+            for name in names
+            for policy in ("cilk", "wats")
+        ]
+    )
     rows = []
-    for name in names:
-        levels = modal_eewa_levels(name, machine=machine, batches=batches)
-        eewa = run_benchmark(name, "eewa", machine=machine, batches=batches, seeds=seeds)
-        cilk = run_benchmark(
-            name, "cilk", machine=machine, batches=batches, seeds=seeds,
-            core_levels=levels,
-        )
-        wats = run_benchmark(
-            name, "wats", machine=machine, batches=batches, seeds=seeds,
-            core_levels=levels,
-        )
+    for i, (name, eewa) in enumerate(zip(names, eewa_outcomes)):
+        cilk, wats = fixed[2 * i], fixed[2 * i + 1]
         rows.append(
             Fig7Row(
                 benchmark=name,
                 cilk_over_eewa=cilk.time_mean / eewa.time_mean,
                 wats_over_eewa=wats.time_mean / eewa.time_mean,
-                fixed_levels=tuple(levels),
+                fixed_levels=levels_by_name[name],
             )
         )
     return Fig7Result(rows=tuple(rows))

@@ -11,11 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.core.eewa import EEWAConfig
 from repro.experiments.report import format_table
-from repro.machine.topology import MachineConfig, opteron_8380_machine
-from repro.sim.engine import SimResult, simulate
-from repro.workloads.benchmarks import benchmark_program
+from repro.machine.topology import MachineConfig
+from repro.scenario.session import Session
+from repro.scenario.spec import MachineSpec, PolicySpec, ScenarioSpec
+from repro.sim.engine import SimResult
 
 
 @dataclass(frozen=True)
@@ -51,35 +52,26 @@ def run_fig8(
 ) -> Fig8Result:
     """Regenerate Fig. 8's per-batch frequency histogram series.
 
-    Fig. 8 is a single run, so ``parallel=True`` buys no fan-out — but it
-    routes the run through the content-addressed result cache, making
-    repeated regeneration (and sharing with other exhibits' EEWA cells)
-    free.
+    One EEWA scenario, one seed, through a Session. Fig. 8 is a single
+    run, so ``parallel=True`` buys no fan-out — but it routes the run
+    through the content-addressed result cache, making repeated
+    regeneration (and sharing with other exhibits' EEWA cells) free.
     """
-    if machine is None:
-        machine = opteron_8380_machine()
-    if parallel:
-        from repro.experiments.parallel import CellSpec, ParallelRunner
-
-        runner = ParallelRunner(
-            machine=machine, workers=workers,
-            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
-        )
-        (outcome,) = runner.run_cells(
-            [
-                CellSpec(
-                    benchmark=benchmark, policy="eewa", seed=seed,
-                    batches=batches, eewa_config=config,
-                )
-            ]
-        )
-        result = outcome.result
-    else:
-        program = benchmark_program(benchmark, batches=batches, seed=seed)
-        result = simulate(program, EEWAScheduler(config), machine, seed=seed)
+    session = Session.for_experiment(
+        parallel=parallel, workers=workers, cache_dir=cache_dir
+    )
+    spec = ScenarioSpec(
+        workload=benchmark,
+        policy=PolicySpec("eewa", config=config),
+        machine=MachineSpec() if machine is None else MachineSpec.inline(machine),
+        seeds=(seed,),
+        batches=batches,
+    )
+    result = session.run_single(spec)
+    machine_config = spec.build_machine()
     return Fig8Result(
         benchmark=benchmark,
         histograms=tuple(result.trace.level_histograms()),
-        frequencies_ghz=tuple(f / 1e9 for f in machine.scale),
+        frequencies_ghz=tuple(f / 1e9 for f in machine_config.scale),
         result=result,
     )

@@ -12,11 +12,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import DEFAULT_SEEDS, run_benchmark
 from repro.machine.topology import MachineConfig, opteron_8380_machine
+from repro.scenario.registry import baseline_policy_names
+from repro.scenario.session import Session
+from repro.scenario.spec import DEFAULT_SEEDS, MachineSpec, ScenarioSpec
 
 DEFAULT_CORE_COUNTS = (4, 8, 12, 16)
-POLICIES = ("cilk", "cilk-d", "eewa")
 
 
 @dataclass(frozen=True)
@@ -70,52 +71,44 @@ def run_fig9(
 ) -> Fig9Result:
     """Regenerate Fig. 9's core-count sweep.
 
-    ``parallel=True`` fans every (core count × policy × seed) cell across
-    a process pool with result caching; results are identical either way.
+    One scenario grid — (core count × baseline policy) — through a
+    Session. ``parallel=True`` fans every cell across a process pool with
+    result caching; results are identical either way.
     """
     if base_machine is None:
         base_machine = opteron_8380_machine()
-    all_outcomes: dict[tuple[int, str], "object"] = {}
-    if parallel:
-        from repro.experiments.parallel import BenchRequest, ParallelRunner
-
-        runner = ParallelRunner(
-            machine=base_machine, workers=workers,
-            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+    session = Session.for_experiment(
+        parallel=parallel, workers=workers, cache_dir=cache_dir
+    )
+    policies = baseline_policy_names()
+    grid = [
+        ScenarioSpec(
+            workload=benchmark,
+            policy=policy,
+            machine=MachineSpec.inline(base_machine, num_cores=cores),
+            seeds=tuple(seeds),
+            batches=batches,
         )
-        requests = [
-            BenchRequest(
-                benchmark, policy, batches=batches, seeds=tuple(seeds),
-                machine=base_machine.with_cores(cores),
-            )
-            for cores in core_counts
-            for policy in POLICIES
-        ]
-        keys = [
-            (cores, policy) for cores in core_counts for policy in POLICIES
-        ]
-        for key, outcome in zip(keys, runner.run_many(requests)):
-            all_outcomes[key] = outcome
+        for cores in core_counts
+        for policy in policies
+    ]
+    outcomes = dict(
+        zip(
+            [(cores, policy) for cores in core_counts for policy in policies],
+            session.run_grid(grid),
+        )
+    )
     points = []
     for cores in core_counts:
-        machine = base_machine.with_cores(cores)
-        outcomes = {
-            policy: all_outcomes[(cores, policy)]
-            if parallel
-            else run_benchmark(
-                benchmark, policy, machine=machine, batches=batches, seeds=seeds
-            )
-            for policy in POLICIES
-        }
-        base_t = outcomes["cilk"].time_mean
-        base_e = outcomes["cilk"].energy_mean
+        base_t = outcomes[(cores, "cilk")].time_mean
+        base_e = outcomes[(cores, "cilk")].energy_mean
         points.append(
             Fig9Point(
                 cores=cores,
-                time_cilk_d=outcomes["cilk-d"].time_mean / base_t,
-                time_eewa=outcomes["eewa"].time_mean / base_t,
-                energy_cilk_d=outcomes["cilk-d"].energy_mean / base_e,
-                energy_eewa=outcomes["eewa"].energy_mean / base_e,
+                time_cilk_d=outcomes[(cores, "cilk-d")].time_mean / base_t,
+                time_eewa=outcomes[(cores, "eewa")].time_mean / base_t,
+                energy_cilk_d=outcomes[(cores, "cilk-d")].energy_mean / base_e,
+                energy_eewa=outcomes[(cores, "eewa")].energy_mean / base_e,
             )
         )
     return Fig9Result(benchmark=benchmark, points=tuple(points))

@@ -1,0 +1,45 @@
+"""Result containers shared by the runner, the parallel runner, and Session.
+
+Kept free of experiment-layer imports so both the scenario layer and the
+experiment runners can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimResult
+
+__all__ = ["RunOutcome", "modal_levels_from_result"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One benchmark under one policy, possibly over several seeds."""
+
+    benchmark: str
+    policy: str
+    results: tuple[SimResult, ...]
+
+    @property
+    def time_mean(self) -> float:
+        return sum(r.total_time for r in self.results) / len(self.results)
+
+    @property
+    def energy_mean(self) -> float:
+        return sum(r.total_joules for r in self.results) / len(self.results)
+
+    @property
+    def first(self) -> SimResult:
+        return self.results[0]
+
+
+def modal_levels_from_result(result: SimResult, num_cores: int) -> list[int]:
+    """Expand a run's modal level histogram into a per-core level vector."""
+    hist = result.trace.modal_histogram()
+    if hist is None:
+        return [0] * num_cores
+    levels: list[int] = []
+    for level, count in enumerate(hist):
+        levels.extend([level] * count)
+    return levels

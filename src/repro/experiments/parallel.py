@@ -13,8 +13,11 @@ levers every figure module shares:
   key; finished :class:`~repro.sim.engine.SimResult` objects are pickled
   under that key. A repeated sweep with unchanged inputs executes zero
   simulations; changing *any* input — a task spec, a policy tunable, the
-  machine, the seed, or the engine version tag
-  (:data:`repro.sim.engine.ENGINE_VERSION`) — changes the key and misses.
+  machine, the seed, the engine version tag
+  (:data:`repro.sim.engine.ENGINE_VERSION`), or the scenario schema
+  version (:data:`repro.scenario.spec.SCENARIO_SCHEMA_VERSION`, which
+  versions the key layout itself) — changes the key and misses. Entries
+  written under an older schema version are therefore never served.
 
 Determinism note: results are byte-identical whether a cell is computed
 in-process, in a worker, or served from cache — the simulation itself is
@@ -28,7 +31,6 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-import enum
 import functools
 import os
 import pickle
@@ -39,51 +41,28 @@ from typing import Any, Optional, Sequence
 
 from repro.core.eewa import EEWAConfig
 from repro.errors import ConfigurationError
-from repro.experiments.runner import (
-    DEFAULT_SEEDS,
-    RunOutcome,
-    make_policy,
-    modal_levels_from_result,
-)
+from repro.experiments.outcome import RunOutcome, modal_levels_from_result
 from repro.machine.topology import MachineConfig, opteron_8380_machine
 from repro.runtime.task import Batch
+from repro.scenario.registry import POLICIES
+from repro.scenario.spec import (
+    DEFAULT_SEEDS,
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioSpec,
+)
 from repro.sim.engine import ENGINE_VERSION, SimResult, simulate
+from repro.sim.fingerprint import canonical_value as _canonical
 from repro.sim.fingerprint import digest
 from repro.workloads.benchmarks import benchmark_program
+from repro.workloads.spec import WorkloadSpec
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump to invalidate cache entries whose *stored format* changed (the
-#: simulated behaviour itself is versioned by ``ENGINE_VERSION``).
+#: simulated behaviour itself is versioned by ``ENGINE_VERSION`` and the
+#: key layout by ``SCENARIO_SCHEMA_VERSION``).
 _CACHE_FORMAT = 1
-
-
-# ----------------------------------------------------------------------
-# canonical encoding of cell inputs
-# ----------------------------------------------------------------------
-
-
-def _canonical(value: Any) -> Any:
-    """Encode dataclasses/enums/containers into nested lists of scalars.
-
-    Field *names* are included so reordering or renaming a config field
-    changes the key, and every float round-trips through ``repr`` inside
-    :func:`repro.sim.fingerprint.canonical_blob`.
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        parts: list[Any] = [type(value).__name__]
-        for f in dataclasses.fields(value):
-            parts.append(f.name)
-            parts.append(_canonical(getattr(value, f.name)))
-        return parts
-    if isinstance(value, enum.Enum):
-        return [type(value).__name__, value.value]
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, dict):
-        return [[_canonical(k), _canonical(v)] for k, v in sorted(value.items())]
-    return value
 
 
 #: Sub-digests of immutable inputs, memoised by object identity — a sweep
@@ -110,16 +89,25 @@ def cell_key(
     *,
     core_levels: Optional[Sequence[int]] = None,
     eewa_config: Optional[EEWAConfig] = None,
+    policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
 ) -> str:
-    """Content hash of one simulation's complete input set."""
+    """Content hash of one simulation's complete input set.
+
+    This is the resolved-scenario digest: policy names are canonicalised
+    through the registry (so ``cilk_d`` and ``cilk-d`` alias to one
+    entry), and the layout is versioned by ``SCENARIO_SCHEMA_VERSION`` —
+    bumping it orphans every entry written under the old layout.
+    """
     return digest(
         [
+            "schema", SCENARIO_SCHEMA_VERSION,
             "engine", ENGINE_VERSION, _CACHE_FORMAT,
             "machine", _memo_digest(machine),
             "program", _memo_digest(tuple(program) if not isinstance(program, tuple) else program),
-            "policy", policy,
+            "policy", POLICIES.canonical(policy),
             "core_levels", _canonical(None if core_levels is None else tuple(core_levels)),
             "eewa_config", _canonical(eewa_config),
+            "policy_params", _canonical(policy_params),
             "seed", seed,
         ]
     )
@@ -132,10 +120,15 @@ def cell_key(
 
 @dataclasses.dataclass(frozen=True)
 class CellSpec:
-    """One (benchmark × policy × seed) simulation request.
+    """One (workload × policy × seed) simulation request.
 
-    ``program`` overrides the generated benchmark program; ``machine``
-    overrides the runner's default machine (Fig. 9's core-count sweep).
+    ``benchmark`` names a registered workload; ``workload`` carries an
+    inline :class:`~repro.workloads.spec.WorkloadSpec` instead (the cache
+    key hashes generated program *content*, so an inline spec and the
+    registered workload it equals share cache entries). ``program``
+    overrides generation entirely; ``machine`` overrides the runner's
+    default machine (Fig. 9's core-count sweep). ``policy_params`` are the
+    JSON-scalar tunables of a :class:`~repro.scenario.spec.PolicySpec`.
     """
 
     benchmark: str
@@ -146,6 +139,36 @@ class CellSpec:
     eewa_config: Optional[EEWAConfig] = None
     machine: Optional[MachineConfig] = None
     program: Optional[tuple[Batch, ...]] = None
+    workload: Optional[WorkloadSpec] = None
+    policy_params: Optional[tuple[tuple[str, Any], ...]] = None
+
+    @classmethod
+    def from_scenario(cls, scenario: ScenarioSpec, seed: int) -> "CellSpec":
+        """One cell of a scenario (its ``seed``-th repetition)."""
+        policy = scenario.policy
+        eewa_config = None
+        if policy.config is not None:
+            if not isinstance(policy.config, EEWAConfig):
+                raise ConfigurationError(
+                    f"{policy.name}: only EEWAConfig objects can ride through "
+                    "the parallel runner; use JSON params instead"
+                )
+            eewa_config = policy.config
+        return cls(
+            benchmark=scenario.workload_name,
+            policy=policy.name,
+            seed=seed,
+            batches=scenario.batches,
+            core_levels=policy.core_levels,
+            eewa_config=eewa_config,
+            machine=scenario.build_machine(),
+            workload=(
+                scenario.workload
+                if isinstance(scenario.workload, WorkloadSpec)
+                else None
+            ),
+            policy_params=policy.params or None,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -243,9 +266,21 @@ def _generated_program(
     return tuple(benchmark_program(benchmark, batches=batches, seed=seed))
 
 
+@functools.lru_cache(maxsize=64)
+def _generated_from_spec(
+    workload: WorkloadSpec, batches: Optional[int], seed: int
+) -> tuple[Batch, ...]:
+    """Memoised generation for inline workload specs (frozen, hashable)."""
+    from repro.workloads.generators import generate_program
+
+    return tuple(generate_program(workload, batches=batches, seed=seed))
+
+
 def _resolve_program(spec: CellSpec) -> tuple[Batch, ...]:
     if spec.program is not None:
         return spec.program
+    if spec.workload is not None:
+        return _generated_from_spec(spec.workload, spec.batches, spec.seed)
     return _generated_program(spec.benchmark, spec.batches, spec.seed)
 
 
@@ -256,10 +291,13 @@ def _simulate_cell(
     seed: int,
     core_levels: Optional[tuple[int, ...]],
     eewa_config: Optional[EEWAConfig],
+    policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
 ) -> dict[str, Any]:
     """Run one cell; module-level so worker processes can unpickle it."""
-    policy = make_policy(
-        policy_name, core_levels=core_levels, eewa_config=eewa_config
+    policy = POLICIES.get(policy_name).build(
+        core_levels=core_levels,
+        params=dict(policy_params) if policy_params else None,
+        config=eewa_config,
     )
     result = simulate(program, policy, machine, seed=seed)
     wallclock = getattr(policy, "total_adjuster_wallclock", None)
@@ -333,6 +371,7 @@ class ParallelRunner:
             key = cell_key(
                 program, spec.policy, machine, spec.seed,
                 core_levels=spec.core_levels, eewa_config=spec.eewa_config,
+                policy_params=spec.policy_params,
             )
             if key in payloads:
                 self.stats.deduplicated += 1
@@ -347,7 +386,7 @@ class ParallelRunner:
                 continue
             args = (
                 program, spec.policy, machine, spec.seed,
-                spec.core_levels, spec.eewa_config,
+                spec.core_levels, spec.eewa_config, spec.policy_params,
             )
             payloads[key] = {}  # claimed; filled below
             jobs.append((spec, key, args))

@@ -8,22 +8,27 @@ program is fed to every policy being compared, and runs repeat over seeds
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.core.eewa import EEWAConfig, EEWAScheduler
-from repro.errors import ConfigurationError
+from repro.experiments.outcome import RunOutcome, modal_levels_from_result
 from repro.machine.topology import MachineConfig, opteron_8380_machine
-from repro.runtime.cilk import CilkScheduler
-from repro.runtime.cilk_d import CilkDScheduler
 from repro.runtime.policy import SchedulerPolicy
 from repro.runtime.task import Batch
-from repro.runtime.wats import WATSScheduler
-from repro.sim.engine import SimResult, simulate
+from repro.scenario.registry import POLICIES
+from repro.scenario.spec import DEFAULT_SEEDS
+from repro.sim.engine import simulate
 from repro.workloads.benchmarks import benchmark_program
 
-#: Seeds used when an experiment averages over repetitions.
-DEFAULT_SEEDS = (11, 23, 37)
+__all__ = [
+    "DEFAULT_SEEDS",
+    "PolicyFactory",
+    "RunOutcome",
+    "make_policy",
+    "modal_eewa_levels",
+    "modal_levels_from_result",
+    "run_benchmark",
+]
 
 PolicyFactory = Callable[[], SchedulerPolicy]
 
@@ -34,47 +39,15 @@ def make_policy(
     core_levels: Optional[Sequence[int]] = None,
     eewa_config: Optional[EEWAConfig] = None,
 ) -> SchedulerPolicy:
-    """Construct a scheduler policy by name.
+    """Construct a scheduler policy by registry name.
 
-    ``core_levels`` applies to the fixed-configuration policies (``cilk``
-    on an asymmetric machine, ``wats``); ``eewa_config`` to ``eewa``.
+    A thin compatibility wrapper over the policy registry
+    (:data:`repro.scenario.registry.POLICIES`): ``core_levels`` applies to
+    the fixed-configuration policies (``cilk`` on an asymmetric machine,
+    ``wats``); ``eewa_config`` to ``eewa``. Legacy alias spellings
+    (``cilk_d``) resolve with a deprecation warning.
     """
-    if name == "cilk":
-        return CilkScheduler(core_levels=core_levels)
-    if name == "cilk-d":
-        if core_levels is not None:
-            raise ConfigurationError("cilk-d does not take fixed core levels")
-        return CilkDScheduler()
-    if name == "wats":
-        if core_levels is None:
-            raise ConfigurationError("wats requires fixed core_levels")
-        return WATSScheduler(core_levels)
-    if name == "eewa":
-        if core_levels is not None:
-            raise ConfigurationError("eewa controls frequencies itself")
-        return EEWAScheduler(eewa_config)
-    raise ConfigurationError(f"unknown policy {name!r}")
-
-
-@dataclass(frozen=True)
-class RunOutcome:
-    """One benchmark under one policy, possibly over several seeds."""
-
-    benchmark: str
-    policy: str
-    results: tuple[SimResult, ...]
-
-    @property
-    def time_mean(self) -> float:
-        return sum(r.total_time for r in self.results) / len(self.results)
-
-    @property
-    def energy_mean(self) -> float:
-        return sum(r.total_joules for r in self.results) / len(self.results)
-
-    @property
-    def first(self) -> SimResult:
-        return self.results[0]
+    return POLICIES.get(name).build(core_levels=core_levels, config=eewa_config)
 
 
 def run_benchmark(
@@ -131,14 +104,3 @@ def modal_eewa_levels(
         program, EEWAScheduler(eewa_config), machine, seed=seed
     )
     return modal_levels_from_result(result, machine.num_cores)
-
-
-def modal_levels_from_result(result: SimResult, num_cores: int) -> list[int]:
-    """Expand a run's modal level histogram into a per-core level vector."""
-    hist = result.trace.modal_histogram()
-    if hist is None:
-        return [0] * num_cores
-    levels: list[int] = []
-    for level, count in enumerate(hist):
-        levels.extend([level] * count)
-    return levels

@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.core.eewa import EEWAConfig
 from repro.experiments.report import format_table
-from repro.machine.topology import MachineConfig, opteron_8380_machine
-from repro.sim.engine import simulate
-from repro.workloads.benchmarks import BENCHMARK_NAMES, benchmark_program
+from repro.machine.topology import MachineConfig
+from repro.scenario.session import Session
+from repro.scenario.spec import MachineSpec, PolicySpec, ScenarioSpec
+from repro.workloads.benchmarks import BENCHMARK_NAMES
 
 
 @dataclass(frozen=True)
@@ -71,50 +72,34 @@ def run_table3(
 ) -> Table3Result:
     """Regenerate Table III.
 
-    ``parallel=True`` fans the per-benchmark EEWA runs across a process
-    pool with result caching. The simulated columns are identical either
-    way; the *measured* wall-clock column is a real timing and, when a
-    cell is served from cache, reports the timing of the run that
-    populated the cache.
+    One single-seed EEWA scenario per benchmark, run through a Session's
+    detailed path — the per-cell outcome carries the adjuster wall-clock
+    bookkeeping. The simulated columns are identical with or without
+    ``parallel=True``; the *measured* wall-clock column is a real timing
+    and, when a cell is served from cache, reports the timing of the run
+    that populated the cache.
     """
-    if machine is None:
-        machine = opteron_8380_machine()
-    if parallel:
-        from repro.experiments.parallel import CellSpec, ParallelRunner
-
-        runner = ParallelRunner(
-            machine=machine, workers=workers,
-            cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
-        )
-        outcomes = runner.run_cells(
-            [
-                CellSpec(
-                    benchmark=name, policy="eewa", seed=seed,
-                    batches=batches, eewa_config=config,
-                )
-                for name in benchmarks
-            ]
-        )
-        rows = []
-        for name, outcome in zip(benchmarks, outcomes):
-            result = outcome.result
-            overhead = result.adjust_overhead_seconds
-            rows.append(
-                Table3Row(
-                    benchmark=name,
-                    execution_ms=result.total_time * 1e3,
-                    overhead_ms=overhead * 1e3,
-                    overhead_pct=100.0 * overhead / result.total_time,
-                    measured_wallclock_ms=outcome.adjuster_wallclock_s * 1e3,
-                    decisions=outcome.adjuster_decisions,
-                )
+    session = Session.for_experiment(
+        parallel=parallel, workers=workers, cache_dir=cache_dir
+    )
+    machine_spec = (
+        MachineSpec() if machine is None else MachineSpec.inline(machine)
+    )
+    grids = session.run_grid_detailed(
+        [
+            ScenarioSpec(
+                workload=name,
+                policy=PolicySpec("eewa", config=config),
+                machine=machine_spec,
+                seeds=(seed,),
+                batches=batches,
             )
-        return Table3Result(rows=tuple(rows))
+            for name in benchmarks
+        ]
+    )
     rows = []
-    for name in benchmarks:
-        program = benchmark_program(name, batches=batches, seed=seed)
-        policy = EEWAScheduler(config)
-        result = simulate(program, policy, machine, seed=seed)
+    for name, (outcome,) in zip(benchmarks, grids):
+        result = outcome.result
         overhead = result.adjust_overhead_seconds
         rows.append(
             Table3Row(
@@ -122,8 +107,8 @@ def run_table3(
                 execution_ms=result.total_time * 1e3,
                 overhead_ms=overhead * 1e3,
                 overhead_pct=100.0 * overhead / result.total_time,
-                measured_wallclock_ms=policy.total_adjuster_wallclock() * 1e3,
-                decisions=len(policy.decisions),
+                measured_wallclock_ms=outcome.adjuster_wallclock_s * 1e3,
+                decisions=outcome.adjuster_decisions,
             )
         )
     return Table3Result(rows=tuple(rows))

@@ -154,3 +154,74 @@ def check_policy(
     if deep:
         run_check("race-detection", race_free)
     return report
+
+
+def check_registered_policies(
+    *,
+    machine: MachineConfig | None = None,
+    deep: bool = False,
+) -> list[ConformanceReport]:
+    """Run the conformance battery over every policy in the registry.
+
+    Policies that require a fixed level vector (``needs_core_levels``)
+    get the standard spread configuration
+    (:func:`repro.scenario.registry.spread_levels`); policies declaring
+    ``supports_spawns=False`` skip the nested-spawn check. This is what CI
+    runs (``python -m repro.runtime.conformance``), so a newly registered
+    policy is conformance-checked with no extra wiring.
+    """
+    # Imported here: the scenario layer imports runtime modules, so a
+    # module-level import would be circular.
+    from repro.scenario.registry import POLICIES, spread_levels
+
+    if machine is None:
+        machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+    reports = []
+    for entry in POLICIES:
+        levels = (
+            spread_levels(machine.num_cores, machine.r)
+            if entry.needs_core_levels
+            else None
+        )
+
+        def factory(entry=entry, levels=levels) -> SchedulerPolicy:
+            return entry.build(core_levels=levels)
+
+        reports.append(
+            check_policy(
+                factory,
+                machine=machine,
+                check_spawns=entry.supports_spawns,
+                deep=deep,
+            )
+        )
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.runtime.conformance`` — the CI conformance job."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.conformance",
+        description="Run the policy conformance battery over every "
+        "registered policy.",
+    )
+    parser.add_argument(
+        "--shallow", action="store_true",
+        help="skip the deep trace-replay race check",
+    )
+    args = parser.parse_args(argv)
+    reports = check_registered_policies(deep=not args.shallow)
+    failed = False
+    for report in reports:
+        status = "ok" if report.ok else "FAIL"
+        print(f"{report.policy_name:10s} {status} ({report.checks_run} checks)")
+        for failure in report.failures:
+            failed = True
+            print(f"  - {failure}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,229 @@
+"""The Session facade: one entry point from a scenario to results.
+
+Every consumer — the CLI commands, the ``fig*``/``table3`` exhibit
+modules, and ad-hoc API use — runs simulations the same way::
+
+    from repro.scenario import ScenarioSpec, PolicySpec, Session
+
+    spec = ScenarioSpec(workload="SHA-1", policy=PolicySpec("eewa"))
+    outcome = Session.from_spec(spec).run()          # RunOutcome over seeds
+
+Sweeps go through :meth:`Session.run_grid`, which fans every (scenario ×
+seed) cell through one :class:`~repro.experiments.parallel.ParallelRunner`
+— deduplicated, optionally cached on disk and spread over worker
+processes. Results are bit-identical whether a session runs in-process,
+pooled, or from cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenario.spec import DEFAULT_SEEDS, ScenarioSpec
+from repro.sim.engine import SimResult, simulate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.outcome import RunOutcome
+    from repro.experiments.parallel import CellOutcome, SweepStats
+
+#: The exhibit modules' shared on-disk cache default (mirrors
+#: ``repro.experiments.parallel.DEFAULT_CACHE_DIR``; asserted in tests).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _parallel():
+    # Imported lazily: repro.experiments.* modules import this module (the
+    # exhibits are scenario grids), so a module-level import would be
+    # circular through the experiments package __init__.
+    from repro.experiments import parallel
+
+    return parallel
+
+
+class Session:
+    """Runs scenarios; owns the cache/worker configuration.
+
+    Parameters
+    ----------
+    spec:
+        Optional bound scenario (see :meth:`from_spec`); grid methods
+        accept explicit specs regardless.
+    workers:
+        Worker process count: ``0``/``1`` runs in-process (the default —
+        deterministic and dependency-free), ``None`` uses the CPU count.
+    cache_dir:
+        On-disk result cache root; ``None`` (default) disables caching.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ScenarioSpec] = None,
+        *,
+        workers: Optional[int] = 0,
+        cache_dir: str | os.PathLike[str] | None = None,
+    ) -> None:
+        self.spec = spec
+        self._runner = _parallel().ParallelRunner(
+            workers=workers, cache_dir=cache_dir
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ScenarioSpec,
+        *,
+        workers: Optional[int] = 0,
+        cache_dir: str | os.PathLike[str] | None = None,
+    ) -> "Session":
+        """Bind ``spec``: ``Session.from_spec(spec).run()`` → RunOutcome."""
+        return cls(spec, workers=workers, cache_dir=cache_dir)
+
+    @classmethod
+    def for_experiment(
+        cls,
+        *,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        cache_dir: str | os.PathLike[str] | None = None,
+    ) -> "Session":
+        """The exhibit modules' convention: serial and uncached by default;
+        ``parallel=True`` fans out over processes with the shared on-disk
+        cache."""
+        if not parallel:
+            return cls(workers=0, cache_dir=None)
+        return cls(
+            workers=workers,
+            cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def _bound(self, spec: Optional[ScenarioSpec]) -> ScenarioSpec:
+        resolved = spec if spec is not None else self.spec
+        if resolved is None:
+            raise ScenarioError(
+                "no scenario bound to this session; pass one or use "
+                "Session.from_spec"
+            )
+        return resolved
+
+    def run(self, spec: Optional[ScenarioSpec] = None) -> RunOutcome:
+        """Run one scenario over its seeds → a multi-seed RunOutcome."""
+        (outcome,) = self.run_grid([self._bound(spec)])
+        return outcome
+
+    def run_detailed(
+        self, spec: Optional[ScenarioSpec] = None
+    ) -> list[CellOutcome]:
+        """Like :meth:`run`, but per-seed CellOutcomes (cache provenance,
+        adjuster wall-clock bookkeeping for Table III)."""
+        (cells,) = self.run_grid_detailed([self._bound(spec)])
+        return cells
+
+    def run_grid(self, specs: Sequence[ScenarioSpec]) -> list[RunOutcome]:
+        """Run many scenarios in one fan-out, one RunOutcome per spec."""
+        from repro.experiments.outcome import RunOutcome
+
+        return [
+            RunOutcome(
+                benchmark=spec.workload_name,
+                policy=spec.policy.name,
+                results=tuple(cell.result for cell in cells),
+            )
+            for spec, cells in zip(specs, self.run_grid_detailed(specs))
+        ]
+
+    def run_grid_detailed(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> list[list[CellOutcome]]:
+        """Run many scenarios in one fan-out, grouped per spec.
+
+        All cells go through a single
+        :meth:`~repro.experiments.parallel.ParallelRunner.run_cells` call,
+        so identical cells across scenarios are simulated once and the
+        process pool sees the whole sweep at once.
+        """
+        cell_spec = _parallel().CellSpec
+        cells = []
+        counts: list[int] = []
+        for spec in specs:
+            counts.append(len(spec.seeds))
+            cells.extend(cell_spec.from_scenario(spec, seed) for seed in spec.seeds)
+        outcomes = self._runner.run_cells(cells)
+        grouped: list[list[CellOutcome]] = []
+        pos = 0
+        for count in counts:
+            grouped.append(outcomes[pos : pos + count])
+            pos += count
+        return grouped
+
+    def run_single(
+        self,
+        spec: Optional[ScenarioSpec] = None,
+        *,
+        seed: Optional[int] = None,
+        record_power_series: bool = False,
+    ) -> SimResult:
+        """One seed's full :class:`SimResult` (default: the first seed).
+
+        ``record_power_series=True`` runs outside the runner/cache — power
+        traces are observability extras the content-addressed cache does
+        not store.
+        """
+        resolved = self._bound(spec)
+        if seed is None:
+            seed = resolved.seeds[0]
+        if record_power_series:
+            return simulate(
+                resolved.program(seed),
+                resolved.build_policy(),
+                resolved.build_machine(),
+                seed=seed,
+                record_power_series=True,
+            )
+        (outcome,) = self._runner.run_cells(
+            [_parallel().CellSpec.from_scenario(resolved, seed)]
+        )
+        return outcome.result
+
+    def modal_eewa_levels(
+        self, spec: Optional[ScenarioSpec] = None, *, seed: Optional[int] = None
+    ) -> list[int]:
+        """Per-core level vector of EEWA's most-used configuration.
+
+        Runs the scenario under EEWA for one seed (default
+        ``DEFAULT_SEEDS[0]``, the Fig. 7 convention) and reads the modal
+        configuration off the trace. Shares its cell — and any cache entry
+        — with plain EEWA runs of the same scenario and seed.
+        """
+        resolved = self._bound(spec).with_policy("eewa")
+        if seed is None:
+            seed = DEFAULT_SEEDS[0]
+        from repro.experiments.outcome import modal_levels_from_result
+
+        result = self.run_single(resolved, seed=seed)
+        return modal_levels_from_result(
+            result, resolved.build_machine().num_cores
+        )
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def stats(self) -> SweepStats:
+        """Cumulative cell accounting (executed / cache hits / deduped)."""
+        return self._runner.stats
+
+
+def run_grid(
+    specs: Sequence[ScenarioSpec],
+    *,
+    workers: Optional[int] = 0,
+    cache_dir: str | os.PathLike[str] | None = None,
+) -> list[RunOutcome]:
+    """One-shot sweep: ``Session(...).run_grid(specs)``."""
+    return Session(workers=workers, cache_dir=cache_dir).run_grid(specs)
+
+
+__all__ = ["Session", "run_grid"]

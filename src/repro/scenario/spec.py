@@ -1,0 +1,385 @@
+"""Typed scenario specifications.
+
+A :class:`ScenarioSpec` is the first-class representation of one point in
+the paper's evaluation space: *(machine × workload × policy × seeds)*.
+Every entry point — the CLI, the figure modules, the parallel cached
+runner, the checks — consumes these specs instead of re-wiring machines,
+seeds, and policy construction by hand.
+
+Specs are frozen, JSON-round-trippable (with schema versioning and
+unknown-field rejection), and carry a stable content digest
+(:meth:`ScenarioSpec.digest`) computed over the *resolved* machine,
+workload, and policy content — the digest that keys the result cache in
+:mod:`repro.experiments.parallel`.
+
+JSON form (``repro run-spec scenario.json``)::
+
+    {
+      "schema": 1,
+      "workload": "SHA-1",                 // registry name, or an inline
+                                           // workload object with "classes"
+      "policy": {"name": "eewa", "params": {"headroom": 0.2}},
+      "machine": {"preset": "opteron-8380", "num_cores": 16},
+      "seeds": [11, 23, 37],
+      "batches": 10
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.errors import ScenarioError
+from repro.machine.topology import MachineConfig
+from repro.runtime.policy import SchedulerPolicy
+from repro.runtime.task import Batch
+from repro.scenario.registry import MACHINES, POLICIES, WORKLOADS
+from repro.sim.fingerprint import canonical_value, digest
+from repro.workloads.io import spec_from_dict, spec_to_dict
+from repro.workloads.spec import WorkloadSpec
+
+#: Version of the scenario JSON schema *and* of the digest layout. Bump on
+#: any change to the spec fields or their canonical encoding: the bump
+#: invalidates every result-cache entry written under the old layout.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Seeds used when a scenario does not pin its own (the simulated stand-in
+#: for the paper's 100 repeated hardware runs).
+DEFAULT_SEEDS = (11, 23, 37)
+
+_INLINE_PRESET = "<inline>"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Machine axis: a registered preset name plus overrides.
+
+    ``config`` is the escape hatch for API callers holding an arbitrary
+    :class:`MachineConfig` (e.g. unusual ladders in tests); inline machines
+    participate in digests but cannot be serialised to JSON.
+    """
+
+    preset: str = "opteron-8380"
+    num_cores: Optional[int] = None
+    config: Optional[MachineConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            object.__setattr__(self, "preset", MACHINES.canonical(self.preset))
+        if self.num_cores is not None and self.num_cores < 1:
+            raise ScenarioError("num_cores must be >= 1")
+
+    @classmethod
+    def inline(
+        cls, config: MachineConfig, *, num_cores: Optional[int] = None
+    ) -> "MachineSpec":
+        return cls(preset=_INLINE_PRESET, num_cores=num_cores, config=config)
+
+    def build(self) -> MachineConfig:
+        if self.config is not None:
+            if self.num_cores is not None:
+                return self.config.with_cores(self.num_cores)
+            return self.config
+        return MACHINES.get(self.preset).build(self.num_cores)
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.config is not None:
+            raise ScenarioError(
+                "an inline MachineConfig cannot be serialised; use a "
+                "registered preset"
+            )
+        data: dict[str, Any] = {"preset": self.preset}
+        if self.num_cores is not None:
+            data["num_cores"] = self.num_cores
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MachineSpec":
+        if not isinstance(data, Mapping):
+            raise ScenarioError("machine must be a JSON object")
+        unknown = set(data) - {"preset", "num_cores"}
+        if unknown:
+            raise ScenarioError(f"unknown machine fields: {sorted(unknown)}")
+        num_cores = data.get("num_cores")
+        return cls(
+            preset=str(data.get("preset", "opteron-8380")),
+            num_cores=None if num_cores is None else int(num_cores),
+        )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Policy axis: registry name, optional fixed levels, tunables.
+
+    ``params`` holds JSON-scalar tunables (stored as sorted key/value
+    pairs so the spec stays hashable and order-insensitive); ``config`` is
+    the escape hatch for an in-memory config object (e.g.
+    :class:`~repro.core.eewa.EEWAConfig`), which participates in digests
+    but cannot be serialised to JSON.
+    """
+
+    name: str
+    core_levels: Optional[tuple[int, ...]] = None
+    params: tuple[tuple[str, Any], ...] = ()
+    config: Any = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", POLICIES.canonical(self.name))
+        if self.core_levels is not None:
+            object.__setattr__(
+                self, "core_levels", tuple(int(v) for v in self.core_levels)
+            )
+        if isinstance(self.params, Mapping):
+            object.__setattr__(
+                self, "params", tuple(sorted(self.params.items()))
+            )
+        else:
+            object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    @property
+    def entry(self):
+        return POLICIES.get(self.name)
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def build(self) -> SchedulerPolicy:
+        return self.entry.build(
+            core_levels=self.core_levels,
+            params=self.params_dict() or None,
+            config=self.config,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.config is not None:
+            raise ScenarioError(
+                f"{self.name}: an inline policy config object cannot be "
+                "serialised; use JSON params"
+            )
+        data: dict[str, Any] = {"name": self.name}
+        if self.core_levels is not None:
+            data["core_levels"] = list(self.core_levels)
+        if self.params:
+            data["params"] = self.params_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicySpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        if not isinstance(data, Mapping):
+            raise ScenarioError("policy must be a JSON object or a name string")
+        unknown = set(data) - {"name", "core_levels", "params"}
+        if unknown:
+            raise ScenarioError(f"unknown policy fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise ScenarioError("policy needs a 'name'")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ScenarioError("policy params must be a JSON object")
+        levels = data.get("core_levels")
+        return cls(
+            name=str(data["name"]),
+            core_levels=None if levels is None else tuple(int(v) for v in levels),
+            params=tuple(sorted(params.items())),
+        )
+
+
+WorkloadRef = Union[str, WorkloadSpec]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluated point: machine × workload × policy × seeds.
+
+    ``workload`` is either a registered workload name or an inline
+    :class:`~repro.workloads.spec.WorkloadSpec` (both serialise to JSON).
+    """
+
+    workload: WorkloadRef
+    policy: PolicySpec
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    seeds: tuple[int, ...] = DEFAULT_SEEDS
+    batches: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.policy, str):
+            object.__setattr__(self, "policy", PolicySpec(name=self.policy))
+        if isinstance(self.workload, str):
+            # Fail fast on unknown names (and canonicalise aliases).
+            object.__setattr__(
+                self, "workload", WORKLOADS.get(self.workload).name
+            )
+        elif not isinstance(self.workload, WorkloadSpec):
+            raise ScenarioError(
+                "workload must be a registered name or a WorkloadSpec, "
+                f"got {type(self.workload).__name__}"
+            )
+        if isinstance(self.seeds, int):
+            object.__setattr__(self, "seeds", (self.seeds,))
+        else:
+            object.__setattr__(
+                self, "seeds", tuple(int(s) for s in self.seeds)
+            )
+        if not self.seeds:
+            raise ScenarioError("a scenario needs at least one seed")
+        if self.batches is not None and self.batches < 1:
+            raise ScenarioError("batches must be >= 1")
+
+    # -- resolution ------------------------------------------------------
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload if isinstance(self.workload, str) else self.workload.name
+
+    def resolve_workload(self) -> WorkloadSpec:
+        if isinstance(self.workload, WorkloadSpec):
+            return self.workload
+        return WORKLOADS.get(self.workload).spec()
+
+    def program(self, seed: int) -> list[Batch]:
+        """Generate this scenario's program for one seed."""
+        from repro.workloads.generators import generate_program
+
+        return generate_program(
+            self.resolve_workload(), batches=self.batches, seed=seed
+        )
+
+    def build_machine(self) -> MachineConfig:
+        return self.machine.build()
+
+    def build_policy(self) -> SchedulerPolicy:
+        """A fresh policy instance (policies are stateful and single-use)."""
+        return self.policy.build()
+
+    # -- derivation ------------------------------------------------------
+
+    def with_seeds(self, seeds: Sequence[int]) -> "ScenarioSpec":
+        return replace(self, seeds=tuple(seeds))
+
+    def with_policy(self, policy: Union[str, PolicySpec]) -> "ScenarioSpec":
+        return replace(
+            self,
+            policy=policy if isinstance(policy, PolicySpec) else PolicySpec(policy),
+        )
+
+    def cells(self) -> Iterator[tuple["ScenarioSpec", int]]:
+        for seed in self.seeds:
+            yield self, seed
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "workload": (
+                self.workload
+                if isinstance(self.workload, str)
+                else spec_to_dict(self.workload)
+            ),
+            "policy": self.policy.to_dict(),
+            "machine": self.machine.to_dict(),
+            "seeds": list(self.seeds),
+        }
+        if self.batches is not None:
+            data["batches"] = self.batches
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        if not isinstance(data, Mapping):
+            raise ScenarioError("scenario spec must be a JSON object")
+        unknown = set(data) - {
+            "schema", "workload", "policy", "machine", "seeds", "batches"
+        }
+        if unknown:
+            raise ScenarioError(f"unknown scenario fields: {sorted(unknown)}")
+        schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
+        if schema != SCENARIO_SCHEMA_VERSION:
+            raise ScenarioError(
+                f"unsupported scenario schema {schema!r}; this version reads "
+                f"schema {SCENARIO_SCHEMA_VERSION}"
+            )
+        if "workload" not in data or "policy" not in data:
+            raise ScenarioError("scenario spec needs 'workload' and 'policy'")
+        raw_workload = data["workload"]
+        workload: WorkloadRef
+        if isinstance(raw_workload, str):
+            workload = raw_workload
+        elif isinstance(raw_workload, Mapping):
+            workload = spec_from_dict(dict(raw_workload))
+        else:
+            raise ScenarioError(
+                "workload must be a registered name or an inline workload object"
+            )
+        machine = data.get("machine")
+        seeds = data.get("seeds", DEFAULT_SEEDS)
+        if isinstance(seeds, (str, bytes)) or not isinstance(seeds, Sequence):
+            raise ScenarioError("seeds must be a list of integers")
+        batches = data.get("batches")
+        return cls(
+            workload=workload,
+            policy=PolicySpec.from_dict(data["policy"]),
+            machine=MachineSpec() if machine is None else MachineSpec.from_dict(machine),
+            seeds=tuple(int(s) for s in seeds),
+            batches=None if batches is None else int(batches),
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ScenarioError(f"cannot load scenario from {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    # -- identity --------------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content digest of the *resolved* scenario.
+
+        Hashes the resolved workload spec, machine config, and policy
+        configuration (not just their names), so two specs digest equal
+        iff they describe identical simulations. Versioned by
+        :data:`SCENARIO_SCHEMA_VERSION`.
+        """
+        return digest(
+            [
+                "scenario-spec", SCENARIO_SCHEMA_VERSION,
+                "workload", canonical_value(self.resolve_workload()),
+                "machine", canonical_value(self.build_machine()),
+                "policy", self.policy.name,
+                "core_levels", canonical_value(self.policy.core_levels),
+                "params", canonical_value(self.policy.params),
+                "config", canonical_value(self.policy.config),
+                "seeds", canonical_value(self.seeds),
+                "batches", self.batches,
+            ]
+        )
+
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "MachineSpec",
+    "PolicySpec",
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioSpec",
+    "WorkloadRef",
+]

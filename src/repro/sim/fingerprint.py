@@ -16,11 +16,37 @@ which is salted per-process for strings).
 
 from __future__ import annotations
 
+import dataclasses
+import enum
 import hashlib
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import SimResult
+
+
+def canonical_value(value: Any) -> Any:
+    """Encode dataclasses/enums/containers into nested lists of scalars.
+
+    Field *names* are included so reordering or renaming a config field
+    changes the encoding, and every float round-trips through ``repr``
+    inside :func:`canonical_blob`. This is the shared canonical form behind
+    both the result-cache keys (:mod:`repro.experiments.parallel`) and
+    scenario digests (:mod:`repro.scenario.spec`).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts: list[Any] = [type(value).__name__]
+        for f in dataclasses.fields(value):
+            parts.append(f.name)
+            parts.append(canonical_value(getattr(value, f.name)))
+        return parts
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, dict):
+        return [[canonical_value(k), canonical_value(v)] for k, v in sorted(value.items())]
+    return value
 
 
 def _encode(parts: Iterable[Any], out: list[str]) -> None:

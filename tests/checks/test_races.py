@@ -100,10 +100,10 @@ class TestBrokenPolicies:
 
 class TestShippedPolicies:
     def test_battery_is_clean(self):
-        """cilk, cilk_d, wats and eewa are race-free on every battery
+        """cilk, cilk-d, wats and eewa are race-free on every battery
         (program, seed) combination — the PR's acceptance criterion."""
         assert len(DEFAULT_RACE_SEEDS) >= 3
-        assert SHIPPED_POLICY_NAMES == ("cilk", "cilk_d", "wats", "eewa")
+        assert SHIPPED_POLICY_NAMES == ("cilk", "cilk-d", "wats", "eewa")
         findings = check_shipped_policies()
         assert findings == [], [f.message for f in findings]
 

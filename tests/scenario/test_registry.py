@@ -1,0 +1,145 @@
+"""Registry behaviour: registration, aliases, metadata-driven validation."""
+
+import warnings
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenario.registry import (
+    MACHINES,
+    POLICIES,
+    WORKLOADS,
+    PolicyEntry,
+    Registry,
+    baseline_policy_names,
+    spread_levels,
+    workload_names,
+)
+
+
+def _entry(name, aliases=()):
+    return PolicyEntry(name=name, builder=lambda **kw: None, aliases=tuple(aliases))
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        reg = Registry("policy")
+        reg.register(_entry("p"))
+        with pytest.raises(ScenarioError, match="duplicate policy name 'p'"):
+            reg.register(_entry("p"))
+
+    def test_duplicate_alias_rejected(self):
+        reg = Registry("policy")
+        reg.register(_entry("p", aliases=("old-p",)))
+        with pytest.raises(ScenarioError, match="duplicate policy alias 'old-p'"):
+            reg.register(_entry("q", aliases=("old-p",)))
+
+    def test_alias_clashing_with_name_rejected(self):
+        reg = Registry("policy")
+        reg.register(_entry("p"))
+        with pytest.raises(ScenarioError, match="duplicate policy alias 'p'"):
+            reg.register(_entry("q", aliases=("p",)))
+
+    def test_unknown_name_lists_registered(self):
+        reg = Registry("policy")
+        reg.register(_entry("p"))
+        with pytest.raises(ScenarioError, match="unknown policy 'x'.*registered: p"):
+            reg.get("x")
+
+    def test_alias_resolves_with_deprecation_warning(self):
+        reg = Registry("policy")
+        reg.register(_entry("p", aliases=("old-p",)))
+        with pytest.warns(DeprecationWarning, match="'old-p' is a deprecated alias"):
+            assert reg.canonical("old-p") == "p"
+        with pytest.warns(DeprecationWarning):
+            assert reg.get("old-p").name == "p"
+
+    def test_canonical_name_warns_nothing(self):
+        reg = Registry("policy")
+        reg.register(_entry("p", aliases=("old-p",)))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert reg.canonical("p") == "p"
+
+    def test_contains_and_len(self):
+        reg = Registry("policy")
+        reg.register(_entry("p", aliases=("old-p",)))
+        assert "p" in reg and "old-p" in reg and "q" not in reg
+        assert len(reg) == 1
+        assert reg.names() == ("p",)
+
+
+class TestShippedEntries:
+    def test_shipped_policy_names(self):
+        assert POLICIES.names() == ("cilk", "cilk-d", "wats", "eewa")
+
+    def test_cilk_d_legacy_spelling(self):
+        with pytest.warns(DeprecationWarning, match="use 'cilk-d'"):
+            assert POLICIES.canonical("cilk_d") == "cilk-d"
+
+    def test_baseline_policy_names(self):
+        # wats needs a caller-chosen level vector, so it is not in the
+        # default Cilk-normalised comparison set.
+        assert baseline_policy_names() == ("cilk", "cilk-d", "eewa")
+
+    def test_machine_presets(self):
+        assert set(MACHINES.names()) == {
+            "opteron-8380", "opteron-8380-socket", "small-test",
+        }
+        assert MACHINES.get("opteron-8380").build().num_cores == 16
+        assert MACHINES.get("small-test").build().num_cores == 4
+
+    def test_workload_names(self):
+        assert workload_names(table2_only=True) == (
+            "BWC", "Bzip-2", "DMC", "JE", "LZW", "MD5", "SHA-1",
+        )
+        assert set(workload_names()) - set(workload_names(table2_only=True)) == {
+            "STREAM-like", "DMC-phased",
+        }
+        assert WORKLOADS.get("SHA-1").table2
+
+
+class TestBuildValidation:
+    def test_wats_requires_core_levels(self):
+        with pytest.raises(ScenarioError, match="requires fixed core_levels"):
+            POLICIES.get("wats").build()
+
+    def test_eewa_rejects_core_levels(self):
+        with pytest.raises(ScenarioError, match="does not take fixed core levels"):
+            POLICIES.get("eewa").build(core_levels=[0, 1, 2, 3])
+
+    def test_cilk_accepts_core_levels(self):
+        policy = POLICIES.get("cilk").build(core_levels=[0, 0, 1, 1])
+        assert policy.name == "cilk"
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown params"):
+            POLICIES.get("eewa").build(params={"warp_factor": 9})
+
+    def test_eewa_params_and_config_are_exclusive(self):
+        from repro.core.eewa import EEWAConfig
+
+        with pytest.raises(ScenarioError, match="not both"):
+            POLICIES.get("eewa").build(
+                params={"headroom": 0.2}, config=EEWAConfig()
+            )
+
+
+class TestSpreadLevels:
+    def test_battery_vector(self):
+        assert spread_levels(4, 3) == [0, 0, 1, 2]
+
+    def test_opteron_vector(self):
+        levels = spread_levels(16, 4)
+        assert len(levels) == 16
+        assert sorted(set(levels)) == [0, 1, 2, 3]
+        assert levels == sorted(levels)
+
+    def test_more_levels_than_cores(self):
+        assert max(spread_levels(2, 4)) <= 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ScenarioError):
+            spread_levels(0, 3)
+        with pytest.raises(ScenarioError):
+            spread_levels(4, 0)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,3 +65,93 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestWatsCli:
+    def test_run_wats_derives_modal_levels(self, capsys):
+        assert main(
+            ["run", "SHA-1", "wats", "--batches", "2", "--cores", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SHA-1 / wats" in out
+        assert "EEWA's modal configuration" in out
+
+    def test_run_wats_explicit_levels(self, capsys):
+        assert main(
+            ["run", "SHA-1", "wats", "--batches", "2", "--cores", "4",
+             "--core-levels", "0", "0", "1", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SHA-1 / wats" in out
+        assert "modal configuration" not in out
+
+    def test_explicit_levels_rejected_for_eewa(self, capsys):
+        assert main(
+            ["run", "SHA-1", "eewa", "--batches", "2", "--cores", "4",
+             "--core-levels", "0", "0", "1", "2"]
+        ) == 2
+        assert "does not take fixed core levels" in capsys.readouterr().err
+
+    def test_compare_with_wats(self, capsys):
+        assert main(
+            ["compare", "SHA-1", "--batches", "2", "--cores", "4",
+             "--policies", "cilk", "wats", "eewa"]
+        ) == 0
+        out = capsys.readouterr().out
+        for policy in ("cilk", "wats", "eewa"):
+            assert policy in out
+        assert "t/cilk" in out and "E/cilk" in out
+
+
+class TestRunSpecScenario:
+    def _write(self, tmp_path, data):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_full_scenario_json(self, tmp_path, capsys):
+        path = self._write(tmp_path, {
+            "schema": 1,
+            "workload": "SHA-1",
+            "policy": {"name": "eewa", "params": {"headroom": 0.2}},
+            "machine": {"preset": "opteron-8380", "num_cores": 8},
+            "seeds": [11],
+            "batches": 2,
+        })
+        assert main(["run-spec", path]) == 0
+        out = capsys.readouterr().out
+        assert "SHA-1 / eewa on 8 cores" in out
+
+    def test_scenario_policy_override(self, tmp_path, capsys):
+        path = self._write(tmp_path, {
+            "workload": "MD5",
+            "policy": "cilk",
+            "machine": {"preset": "small-test"},
+            "seeds": [3],
+            "batches": 2,
+        })
+        assert main(["run-spec", path, "cilk-d"]) == 0
+        assert "MD5 / cilk-d" in capsys.readouterr().out
+
+    def test_unknown_scenario_field_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {
+            "workload": "SHA-1", "policy": "cilk", "sedes": [1],
+        })
+        assert main(["run-spec", path]) == 2
+        assert "unknown scenario fields" in capsys.readouterr().err
+
+    def test_schema_mismatch_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {
+            "schema": 99, "workload": "SHA-1", "policy": "cilk",
+        })
+        assert main(["run-spec", path]) == 2
+        assert "unsupported scenario schema" in capsys.readouterr().err
+
+    def test_bare_workload_spec_needs_policy(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"name": "custom", "classes": []})
+        assert main(["run-spec", path]) == 2
+        assert "policy argument is required" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["run-spec", "/no/such/file.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -11,6 +11,7 @@ import repro.experiments
 import repro.kernels
 import repro.machine
 import repro.runtime
+import repro.scenario
 import repro.sim
 import repro.workloads
 
@@ -59,6 +60,13 @@ ANALYSIS = {
 
 SIM = {"SimResult", "Simulator", "simulate", "result_to_json", "batches_to_csv"}
 
+SCENARIO = {
+    "MACHINES", "MachineSpec", "POLICIES", "PolicySpec",
+    "SCENARIO_SCHEMA_VERSION", "ScenarioSpec", "Session", "WORKLOADS",
+    "baseline_policy_names", "register_machine", "register_policy",
+    "register_workload", "run_grid", "spread_levels", "workload_names",
+}
+
 
 def _check(module, names):
     exported = set(module.__all__)
@@ -98,6 +106,10 @@ def test_analysis_surface():
 
 def test_sim_surface():
     _check(repro.sim, SIM)
+
+
+def test_scenario_surface():
+    _check(repro.scenario, SCENARIO)
 
 
 def test_version_string():
