@@ -32,6 +32,8 @@ SHORT_NAMES = {
     "test_bench_engine_cilk_throughput": "cilk_16c",
     "test_bench_engine_eewa_throughput": "eewa_16c",
     "test_bench_engine_many_cores": "cilk_64c",
+    "test_bench_engine_eewa_100batch_ff": "eewa_100batch_ff",
+    "test_bench_engine_eewa_100batch_full": "eewa_100batch_full",
     "test_bench_event_queue": "event_queue",
 }
 
@@ -70,7 +72,21 @@ def main(argv: list[str] | None = None) -> int:
         if name in baseline:
             entry["baseline_seconds_per_op"] = baseline[name]
             entry["speedup_vs_baseline"] = baseline[name] / seconds
+        for key, value in bench.get("extra_info", {}).items():
+            entry[key] = value
         report["benchmarks"][name] = entry
+
+    # Paired fast-forward rows: "<cell>_ff" vs "<cell>_full" measure the
+    # same simulation with and without steady-state replay.
+    benches = report["benchmarks"]
+    for name, entry in benches.items():
+        if not name.endswith("_ff"):
+            continue
+        full = benches.get(name[: -len("_ff")] + "_full")
+        if full and entry["seconds_per_op"] > 0:
+            entry["speedup_vs_full"] = (
+                full["seconds_per_op"] / entry["seconds_per_op"]
+            )
 
     if args.extra:
         with open(args.extra) as fh:

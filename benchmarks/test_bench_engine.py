@@ -5,12 +5,14 @@ plain and grouped schedulers — the engine's own efficiency, independent of
 the paper's results.
 """
 
-from repro.core.eewa import EEWAScheduler
-from repro.machine.topology import opteron_8380_machine
+from repro.core.adjuster import OverheadModel
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.machine.topology import dyadic_test_machine, opteron_8380_machine
 from repro.runtime.cilk import CilkScheduler
 from repro.runtime.task import TaskSpec, flat_batch
 from repro.sim.engine import simulate
 from repro.sim.events import EventKind, EventQueue
+from repro.workloads.periodic import periodic_program
 
 REF = 2.5e9
 
@@ -46,6 +48,45 @@ def test_bench_engine_many_cores(benchmark):
     program = small_program(batches=2, tasks=512)
     result = benchmark(lambda: simulate(program, CilkScheduler(), machine, seed=1))
     assert result.tasks_executed == 2 * 512
+
+
+def _steady_eewa():
+    """A 100-batch strictly periodic EEWA cell on the dyadic machine —
+    the steady-state shape the engine's fast-forward targets."""
+    policy = EEWAScheduler(
+        EEWAConfig(
+            overhead_model=OverheadModel(
+                base_seconds=2.0**-11, per_cell_seconds=2.0**-17
+            )
+        )
+    )
+    return periodic_program(100, 4, 8), policy, dyadic_test_machine(num_cores=8)
+
+
+def test_bench_engine_eewa_100batch_ff(benchmark):
+    program, _, machine = _steady_eewa()
+
+    def run():
+        _, policy, _ = _steady_eewa()
+        return simulate(program, policy, machine, seed=11)
+
+    result = benchmark(run)
+    assert result.batches_fast_forwarded >= 90
+    benchmark.extra_info["batches_simulated"] = result.batches_simulated
+    benchmark.extra_info["batches_fast_forwarded"] = result.batches_fast_forwarded
+
+
+def test_bench_engine_eewa_100batch_full(benchmark):
+    program, _, machine = _steady_eewa()
+
+    def run():
+        _, policy, _ = _steady_eewa()
+        return simulate(program, policy, machine, seed=11, fast_forward=False)
+
+    result = benchmark(run)
+    assert result.batches_fast_forwarded == 0
+    benchmark.extra_info["batches_simulated"] = result.batches_simulated
+    benchmark.extra_info["batches_fast_forwarded"] = result.batches_fast_forwarded
 
 
 def test_bench_event_queue(benchmark):

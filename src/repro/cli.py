@@ -149,6 +149,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    bench.add_argument(
+        "--no-fast-forward", action="store_true",
+        help="disable steady-state fast-forward (full event-by-event simulation)",
+    )
     bench.add_argument("--json", metavar="PATH", help="write sweep results as JSON")
 
     cal = sub.add_parser("calibrate", help="re-measure real kernel costs")
@@ -412,6 +416,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     session = Session(
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
+        fast_forward=not args.no_fast_forward,
     )
     machine = MachineSpec(num_cores=args.cores)
     scenarios = [
@@ -449,22 +454,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     )
     stats = session.stats
+    simulated = sum(r.batches_simulated for o in outcomes for r in o.results)
+    fast_forwarded = sum(
+        r.batches_fast_forwarded for o in outcomes for r in o.results
+    )
     print(
         f"  {stats.cells} cells in {wall:.2f} s: {stats.executed} simulated, "
         f"{stats.cache_hits} from cache, {stats.deduplicated} deduplicated"
     )
+    print(
+        f"  batches: {simulated} simulated, {fast_forwarded} fast-forwarded"
+    )
     if args.json:
         import json
+        import os as _os
+        import platform
 
         payload = {
             "machine_cores": args.cores,
             "seeds": list(args.seeds),
             "wall_seconds": wall,
+            "fast_forward": not args.no_fast_forward,
+            "machine_info": {
+                "cpu_count": _os.cpu_count(),
+                "python": platform.python_version(),
+            },
             "stats": {
                 "cells": stats.cells,
                 "executed": stats.executed,
                 "cache_hits": stats.cache_hits,
                 "deduplicated": stats.deduplicated,
+                "batches_simulated": simulated,
+                "batches_fast_forwarded": fast_forwarded,
             },
             "cells": [
                 {
@@ -477,6 +498,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                             "total_time": r.total_time,
                             "total_joules": r.total_joules,
                             "tasks_executed": r.tasks_executed,
+                            "batches_simulated": r.batches_simulated,
+                            "batches_fast_forwarded": r.batches_fast_forwarded,
                         }
                         for r in o.results
                     ],

@@ -166,6 +166,27 @@ class EEWAScheduler(GroupedStealingPolicy):
             overhead_seconds=decision.simulated_seconds,
         )
 
+    def state_fingerprint(self) -> Optional[str]:
+        """Grouped fingerprint plus adjuster-facing state.
+
+        Returns ``None`` (disabling fast-forward) in
+        :attr:`MemoryBoundMode.REGRESSION` mode: the
+        :class:`RegressionProfiler` accumulates samples across *all*
+        batches, so its decisions are never provably periodic. Excluded as
+        boundary-irrelevant: ``_batch_start_time`` and
+        ``_batch_class_counts`` (both overwritten in ``on_batch_start``
+        before their next read) and the grow-only ``decisions`` log.
+        """
+        if self.config.memory_bound_mode is MemoryBoundMode.REGRESSION:
+            return None
+        base = super().state_fingerprint()
+        if base is None or self.profiler is None:
+            return None
+        return (
+            f"{base}:profiler={self.profiler.state_fingerprint()}"
+            f":mb={self._memory_bound}:frozen={self._frozen}:explored={self._explored}"
+        )
+
     # -- decision paths -------------------------------------------------------------
 
     def _decide(self) -> AdjusterDecision:

@@ -149,6 +149,23 @@ class OnlineProfiler:
             raise ProfilingError("ideal iteration time not set (first batch not profiled)")
         return self.ideal_time
 
+    def state_fingerprint(self) -> str:
+        """Digest of everything a future adjuster decision can read.
+
+        Covers the pinned ideal time, the global counters, and every class
+        accumulator field. ``scale``/``miss_threshold`` are construction
+        constants (identical at every boundary of one run) and are covered
+        by the policy-level fingerprint's constructor state instead.
+        """
+        parts = [repr(self.ideal_time), str(self._tasks_seen), str(self._memory_bound_seen)]
+        for name in sorted(self._classes):
+            c = self._classes[name]
+            parts.append(
+                f"{name}:{c.count}:{c.mean_workload!r}:{c.instructions}:"
+                f"{c.cache_misses}:{c.memory_bound_tasks}"
+            )
+        return "\x1f".join(parts)
+
     # -- memory-boundness (Section IV-D) -----------------------------------------
 
     def memory_bound_fraction(self) -> float:

@@ -90,6 +90,7 @@ def cell_key(
     core_levels: Optional[Sequence[int]] = None,
     eewa_config: Optional[EEWAConfig] = None,
     policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
+    fast_forward: bool = True,
 ) -> str:
     """Content hash of one simulation's complete input set.
 
@@ -97,6 +98,9 @@ def cell_key(
     through the registry (so ``cilk_d`` and ``cilk-d`` alias to one
     entry), and the layout is versioned by ``SCENARIO_SCHEMA_VERSION`` —
     bumping it orphans every entry written under the old layout.
+    ``fast_forward`` is part of the key: on machines whose arithmetic is
+    not float-exact a fast-forwarded result may differ from a full one in
+    last-ulp positions, so the two modes must never share cache entries.
     """
     return digest(
         [
@@ -109,6 +113,7 @@ def cell_key(
             "eewa_config", _canonical(eewa_config),
             "policy_params", _canonical(policy_params),
             "seed", seed,
+            "fast_forward", fast_forward,
         ]
     )
 
@@ -292,6 +297,7 @@ def _simulate_cell(
     core_levels: Optional[tuple[int, ...]],
     eewa_config: Optional[EEWAConfig],
     policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
+    fast_forward: bool = True,
 ) -> dict[str, Any]:
     """Run one cell; module-level so worker processes can unpickle it."""
     policy = POLICIES.get(policy_name).build(
@@ -299,7 +305,9 @@ def _simulate_cell(
         params=dict(policy_params) if policy_params else None,
         config=eewa_config,
     )
-    result = simulate(program, policy, machine, seed=seed)
+    result = simulate(
+        program, policy, machine, seed=seed, fast_forward=fast_forward
+    )
     wallclock = getattr(policy, "total_adjuster_wallclock", None)
     decisions = getattr(policy, "decisions", None)
     return {
@@ -337,6 +345,11 @@ class ParallelRunner:
         uses ``os.cpu_count()``.
     cache_dir:
         Cache root directory; ``None`` disables the on-disk cache.
+    fast_forward:
+        Enable the engine's steady-state batch fast-forward (default).
+        ``False`` forces full event-by-event simulation of every cell —
+        the ``repro bench --no-fast-forward`` escape hatch. The flag is
+        part of every cell's cache key.
     """
 
     def __init__(
@@ -345,12 +358,14 @@ class ParallelRunner:
         machine: Optional[MachineConfig] = None,
         workers: Optional[int] = None,
         cache_dir: str | os.PathLike[str] | None = DEFAULT_CACHE_DIR,
+        fast_forward: bool = True,
     ) -> None:
         self._machine = machine if machine is not None else opteron_8380_machine()
         if workers is not None and workers < 0:
             raise ConfigurationError("workers must be non-negative")
         self._workers = workers
         self._cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self._fast_forward = fast_forward
         self.stats = SweepStats()
 
     # -- core fan-out ---------------------------------------------------
@@ -372,6 +387,7 @@ class ParallelRunner:
                 program, spec.policy, machine, spec.seed,
                 core_levels=spec.core_levels, eewa_config=spec.eewa_config,
                 policy_params=spec.policy_params,
+                fast_forward=self._fast_forward,
             )
             if key in payloads:
                 self.stats.deduplicated += 1
@@ -387,6 +403,7 @@ class ParallelRunner:
             args = (
                 program, spec.policy, machine, spec.seed,
                 spec.core_levels, spec.eewa_config, spec.policy_params,
+                self._fast_forward,
             )
             payloads[key] = {}  # claimed; filled below
             jobs.append((spec, key, args))

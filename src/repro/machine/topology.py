@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.machine.frequency import FrequencyScale, opteron_8380_scale
-from repro.machine.power import PowerModel, calibrated_power_model
+from repro.machine.power import PowerModel, VoltageCurve, calibrated_power_model
 
 
 @dataclass(frozen=True)
@@ -107,6 +107,40 @@ def opteron_8380_machine(
         )
     return MachineConfig(
         num_cores=num_cores, scale=scale, power=power, dvfs_domains=domains
+    )
+
+
+def dyadic_test_machine(num_cores: int = 8, r: int = 4) -> MachineConfig:
+    """A machine on which every engine computation is float-exact.
+
+    Frequencies are powers of two (halving from ``2^31`` Hz), the voltage
+    curve is flat at 1.0, ``kappa`` and every latency constant are dyadic
+    rationals, and cycle counts divide the frequencies exactly — so task
+    durations, overheads, and per-interval energies are all dyadic and
+    every ``+`` in the engine is exact (no rounding anywhere). On this
+    machine a converged steady state has *bit-constant* per-batch deltas
+    forever, which is what makes the steady-state fast-forward's arithmetic
+    replay provably bit-identical to full simulation. The fast-forward
+    tests, conformance parity check, and 100-batch benchmarks all run here.
+    """
+    if r < 1:
+        raise ConfigurationError("need at least one frequency level")
+    scale = FrequencyScale(tuple(2.0 ** (31 - i) for i in range(r)))
+    curve = VoltageCurve(f_min=scale.slowest, f_max=scale.fastest, v_min=1.0, v_max=1.0)
+    power = PowerModel(
+        voltage_curve=curve,
+        kappa=2.0**-28,
+        core_idle_power=1.0,
+        machine_base_power=2.0,
+    )
+    return MachineConfig(
+        num_cores=num_cores,
+        scale=scale,
+        power=power,
+        steal_cycles=8192.0,
+        pop_cycles=512.0,
+        failed_scan_cycles=16384.0,
+        dvfs_latency_s=2.0**-13,
     )
 
 

@@ -21,6 +21,7 @@ from repro.runtime.policy import (
 )
 from repro.runtime.pools import PoolGrid
 from repro.runtime.task import Batch, Task
+from repro.sim.fingerprint import digest
 
 
 class CilkScheduler(SchedulerPolicy):
@@ -89,6 +90,26 @@ class CilkScheduler(SchedulerPolicy):
     def on_spawn(self, core_id: int, task: Task) -> None:
         assert self._grid is not None
         self._grid.push(core_id, 0, task)
+
+    def state_fingerprint(self) -> Optional[str]:
+        """Digest placement mode, pinned levels, and pool residue.
+
+        Cilk draws from the ``cilk.place`` stream every batch, so its RNG
+        position always advances and fast-forward never engages in
+        practice; the fingerprint still exists so the equality machinery
+        (and the conformance parity check) treats it uniformly.
+        """
+        if self._grid is None:
+            return None
+        return digest(
+            [
+                "cilk-policy-state",
+                self.name,
+                self._placement,
+                self._core_levels,
+                self._grid.state_fingerprint(),
+            ]
+        )
 
     # -- scheduling ---------------------------------------------------------
 

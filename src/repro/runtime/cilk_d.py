@@ -107,3 +107,18 @@ class CilkDScheduler(CilkScheduler):
     def on_program_start(self) -> BatchAdjustment:
         self._idle_since.clear()
         return super().on_program_start()
+
+    def state_fingerprint(self) -> Optional[str]:
+        """Cilk fingerprint plus the idle-grace parameter.
+
+        ``_idle_since`` is deliberately excluded: it is cleared in
+        ``on_batch_start`` before any read in the new batch, so entries left
+        over at a boundary can never influence a future decision. (A timed
+        ``Wait`` retry crossing a boundary leaves a CORE_READY event in the
+        heap, which already makes that boundary ineligible for
+        fast-forward.)
+        """
+        base = super().state_fingerprint()
+        if base is None:
+            return None
+        return f"{base}:grace={self._idle_grace!r}"

@@ -13,7 +13,9 @@ The battery exercises the invariants the engine relies on:
 2. the policy survives multi-batch programs and empty-steal tails;
 3. nested spawns (if the policy claims support) are scheduled;
 4. runs are deterministic for a fixed seed;
-5. frequency requests stay within the machine's ladder.
+5. frequency requests stay within the machine's ladder;
+6. steady-state fast-forward reproduces full simulation bit-identically
+   (which also audits the policy's ``state_fingerprint`` for soundness).
 
 ``check_policy(..., deep=True)`` additionally replays a deep task-event
 trace through the race detector (:mod:`repro.checks.races`): exactly-once
@@ -26,7 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.machine.topology import MachineConfig, small_test_machine
+from repro.machine.topology import (
+    MachineConfig,
+    dyadic_test_machine,
+    small_test_machine,
+)
 from repro.runtime.policy import SchedulerPolicy
 from repro.runtime.task import Batch, TaskSpec, flat_batch
 from repro.sim.engine import simulate
@@ -128,6 +134,33 @@ def check_policy(
         for level, secs in result.meter.seconds_by_level().items():
             assert 0 <= level < r and secs >= 0
 
+    def fast_forward_parity() -> None:
+        # A strictly periodic program on the dyadic machine is the shape
+        # that engages the engine's steady-state fast-forward (when the
+        # policy exposes a sound ``state_fingerprint``); the two runs must
+        # be bit-identical either way. Same core count and ladder depth as
+        # the battery machine so factory-baked level vectors stay valid.
+        from repro.sim.fingerprint import trace_fingerprint
+        from repro.workloads.periodic import periodic_program
+
+        dyadic = dyadic_test_machine(
+            num_cores=machine.num_cores, r=machine.r
+        )
+        program = periodic_program(12, 2, 4)
+        full = simulate(
+            program, factory(), dyadic, seed=11, fast_forward=False
+        )
+        fast = simulate(program, factory(), dyadic, seed=11)
+        assert full.batches_fast_forwarded == 0, "fast_forward=False replayed"
+        assert (
+            fast.batches_simulated + fast.batches_fast_forwarded
+            == fast.batches_executed
+        ), "batch counters do not sum to batches_executed"
+        assert trace_fingerprint(fast) == trace_fingerprint(full), (
+            "fast-forward diverged from full simulation "
+            f"({fast.batches_fast_forwarded} batches replayed)"
+        )
+
     def race_free() -> None:
         # Imported here: repro.checks imports runtime modules, so a
         # module-level import would be circular.
@@ -151,6 +184,7 @@ def check_policy(
         run_check("nested-spawns", spawns)
     run_check("determinism", deterministic)
     run_check("frequency-sanity", frequency_sanity)
+    run_check("fast-forward-parity", fast_forward_parity)
     if deep:
         run_check("race-detection", race_free)
     return report

@@ -60,3 +60,20 @@ class WorkStealingDeque(Generic[T]):
 
     def clear(self) -> None:
         self._items.clear()
+
+    def state_fingerprint(self) -> str:
+        """Digest of the deque's exact contents, top-to-bottom.
+
+        Items are identified by ``(task_id, function)`` when they look like
+        :class:`~repro.runtime.task.Task`; anything else falls back to
+        ``repr``. Used by the engine's steady-state fast-forward: residual
+        queued work at a batch boundary must perturb the digest.
+        """
+        parts = []
+        for item in self._items:
+            task_id = getattr(item, "task_id", None)
+            if task_id is not None:
+                parts.append(f"{task_id}:{getattr(item, 'function', '')}")
+            else:
+                parts.append(repr(item))
+        return "|".join(parts)

@@ -20,6 +20,7 @@ from repro.core.preference import preference_lists
 from repro.runtime.policy import Action, RunTask, SchedulerPolicy, Wait
 from repro.runtime.pools import PoolGrid
 from repro.runtime.task import Batch, Task
+from repro.sim.fingerprint import digest
 
 
 class GroupedStealingPolicy(SchedulerPolicy):
@@ -83,6 +84,35 @@ class GroupedStealingPolicy(SchedulerPolicy):
         ctx = self._require_ctx()
         heaviest = self._group_max_workload[group_index]
         return heaviest * ctx.machine.scale.slowdown(thief_level) > self._ideal_time
+
+    def state_fingerprint(self) -> Optional[str]:
+        """Digest the installed plan, steal cursors, guard state and pools.
+
+        Round-robin cursors are digested *modulo group size*: after placing
+        a whole batch they may differ by a full number of laps between
+        boundaries, yet the next placement is identical — only the residue
+        matters. Residual pooled tasks enter via the grid fingerprint, so a
+        batch that left work queued never matches a clean boundary.
+        """
+        if self._plan is None or self._grid is None:
+            return None
+        plan = self._plan
+        cursors = tuple(
+            self._rr_cursor[g.index] % len(g.core_ids) for g in plan.groups
+        )
+        return digest(
+            [
+                "grouped-policy-state",
+                self.name,
+                tuple(plan.group_of_core),
+                tuple((g.index, g.level, tuple(g.core_ids)) for g in plan.groups),
+                tuple(sorted(plan.class_to_group.items())),
+                cursors,
+                self._group_max_workload,
+                self._ideal_time,
+                self._grid.state_fingerprint(),
+            ]
+        )
 
     @property
     def plan(self) -> CGroupPlan:

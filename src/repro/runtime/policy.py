@@ -181,6 +181,24 @@ class SchedulerPolicy(abc.ABC):
     def on_program_end(self) -> None:
         """Program finished; final bookkeeping."""
 
+    def state_fingerprint(self) -> Optional[str]:
+        """Digest of all *decision-relevant* policy state, or ``None``.
+
+        The engine's steady-state fast-forward compares this digest at
+        batch boundaries: two boundaries with equal fingerprints (and equal
+        engine-side state) must make byte-identical decisions for identical
+        batches. Returning ``None`` — the default — declares the policy
+        opaque and disables fast-forward entirely, which is always sound.
+
+        Implementations must cover every piece of state that influences
+        future actions (installed plans, round-robin cursors, residual
+        pooled tasks, profiler accumulators) and must *exclude* grow-only
+        bookkeeping (stats counters, decision logs) that never feeds back
+        into scheduling. An unsound fingerprint is caught loudly by the
+        ``fast_forward_parity`` conformance check.
+        """
+        return None
+
     # -- shared helpers -------------------------------------------------------
 
     def _require_ctx(self) -> RuntimeContext:

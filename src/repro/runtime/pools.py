@@ -22,6 +22,7 @@ from the O(1) per-pool counters without scanning or allocating.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError, SchedulingError
@@ -144,6 +145,24 @@ class PoolGrid:
 
     def total_queued(self) -> int:
         return sum(self._queued_by_pool)
+
+    def state_fingerprint(self) -> str:
+        """Digest of the grid shape plus every non-empty pool's contents.
+
+        An empty grid of any given shape has a stable digest; a single
+        residual pooled task changes it (the fast-forward mutation tests
+        pin this). Delegates per-pool content to
+        :meth:`WorkStealingDeque.state_fingerprint`.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"{self.num_cores}x{self.num_pools}".encode())
+        for core_id, row in enumerate(self._pools):
+            for pool_index, pool in enumerate(row):
+                if pool:
+                    hasher.update(
+                        f"\x1f{core_id}.{pool_index}:{pool.state_fingerprint()}".encode()
+                    )
+        return hasher.hexdigest()
 
     def victims_with_work(
         self, pool_index: int, exclude: int, candidates: Sequence[int] | None = None

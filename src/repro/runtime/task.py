@@ -12,7 +12,6 @@ A :class:`TaskSpec` is the immutable description of one task's cost; a
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
@@ -127,13 +126,34 @@ class Batch:
 
 
 class TaskFactory:
-    """Mints :class:`Task` records with process-unique dense ids."""
+    """Mints :class:`Task` records with process-unique dense ids.
+
+    The counter is a plain observable int (not :func:`itertools.count`) so
+    the engine's steady-state fast-forward can mint replayed task ids
+    arithmetically and :meth:`advance_to` the factory past them before
+    resuming normal simulation.
+    """
 
     def __init__(self) -> None:
-        self._ids = itertools.count()
+        self._next_id = 0
+
+    @property
+    def next_id(self) -> int:
+        """The id the next :meth:`make` call will assign."""
+        return self._next_id
+
+    def advance_to(self, next_id: int) -> None:
+        """Skip the counter forward (fast-forward replay minted ids)."""
+        if next_id < self._next_id:
+            raise ConfigurationError(
+                f"cannot rewind task ids from {self._next_id} to {next_id}"
+            )
+        self._next_id = next_id
 
     def make(self, spec: TaskSpec, batch_index: int) -> Task:
-        return Task(task_id=next(self._ids), spec=spec, batch_index=batch_index)
+        task_id = self._next_id
+        self._next_id = task_id + 1
+        return Task(task_id=task_id, spec=spec, batch_index=batch_index)
 
 
 def flat_batch(index: int, specs: Sequence[TaskSpec]) -> Batch:

@@ -153,3 +153,15 @@ class WATSScheduler(GroupedStealingPolicy):
         )
         profiler.reset_batch()
         return None
+
+    def state_fingerprint(self) -> Optional[str]:
+        """Grouped fingerprint plus the profiler's accumulator state.
+
+        ``_batch_start`` is excluded: it is overwritten in every
+        ``on_batch_start`` before its only read (the batch-0 ideal-time
+        derivation), so its boundary value never feeds a decision.
+        """
+        base = super().state_fingerprint()
+        if base is None or self.profiler is None:
+            return None
+        return f"{base}:profiler={self.profiler.state_fingerprint()}"

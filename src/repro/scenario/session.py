@@ -55,6 +55,9 @@ class Session:
         deterministic and dependency-free), ``None`` uses the CPU count.
     cache_dir:
         On-disk result cache root; ``None`` (default) disables caching.
+    fast_forward:
+        Engine steady-state fast-forward (default on); ``False`` forces
+        full event-by-event simulation of every cell.
     """
 
     def __init__(
@@ -63,10 +66,12 @@ class Session:
         *,
         workers: Optional[int] = 0,
         cache_dir: str | os.PathLike[str] | None = None,
+        fast_forward: bool = True,
     ) -> None:
         self.spec = spec
+        self._fast_forward = fast_forward
         self._runner = _parallel().ParallelRunner(
-            workers=workers, cache_dir=cache_dir
+            workers=workers, cache_dir=cache_dir, fast_forward=fast_forward
         )
 
     @classmethod
@@ -76,9 +81,10 @@ class Session:
         *,
         workers: Optional[int] = 0,
         cache_dir: str | os.PathLike[str] | None = None,
+        fast_forward: bool = True,
     ) -> "Session":
         """Bind ``spec``: ``Session.from_spec(spec).run()`` → RunOutcome."""
-        return cls(spec, workers=workers, cache_dir=cache_dir)
+        return cls(spec, workers=workers, cache_dir=cache_dir, fast_forward=fast_forward)
 
     @classmethod
     def for_experiment(
@@ -87,15 +93,17 @@ class Session:
         parallel: bool = False,
         workers: Optional[int] = None,
         cache_dir: str | os.PathLike[str] | None = None,
+        fast_forward: bool = True,
     ) -> "Session":
         """The exhibit modules' convention: serial and uncached by default;
         ``parallel=True`` fans out over processes with the shared on-disk
         cache."""
         if not parallel:
-            return cls(workers=0, cache_dir=None)
+            return cls(workers=0, cache_dir=None, fast_forward=fast_forward)
         return cls(
             workers=workers,
             cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+            fast_forward=fast_forward,
         )
 
     # -- execution -------------------------------------------------------
@@ -176,12 +184,15 @@ class Session:
         if seed is None:
             seed = resolved.seeds[0]
         if record_power_series:
+            # fast_forward is passed for uniformity; the engine disables it
+            # anyway when recording power series.
             return simulate(
                 resolved.program(seed),
                 resolved.build_policy(),
                 resolved.build_machine(),
                 seed=seed,
                 record_power_series=True,
+                fast_forward=self._fast_forward,
             )
         (outcome,) = self._runner.run_cells(
             [_parallel().CellSpec.from_scenario(resolved, seed)]

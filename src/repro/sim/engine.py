@@ -37,6 +37,27 @@ that finds nothing simply re-enters the idle set, observable results are
 unchanged on flat programs; only redundant no-op dispatches are elided.
 Cores never receive duplicate zero-delay wakes: a core leaves the idle set
 the moment a wake is scheduled for it and rejoins only by waiting again.
+
+Steady-state fast-forward
+-------------------------
+Iteration-based programs converge: once a policy's plan stops changing,
+every remaining batch is dynamically identical and re-simulating its events
+is pure waste. At each *clean* batch boundary (event heap empty, no
+mid-batch DVFS request since the previous boundary) the engine digests the
+boundary state — policy :meth:`~repro.runtime.policy.SchedulerPolicy.state_fingerprint`,
+RNG stream positions, per-core frequency levels, pending adjuster overhead —
+and snapshots every accumulator. Three consecutive boundaries with equal
+fingerprints, equal upcoming batch specs, and two bitwise-equal per-batch
+delta sets (Δtime, per-core Δenergy breakdowns, Δpolicy-counters, batch
+trace shape, minted-task templates) prove a steady state; the engine then
+*replays* the recorded delta arithmetically for every remaining identical
+batch instead of simulating it. Replay performs the same additions the full
+simulation would, in the same order, so on machines where the arithmetic is
+float-exact (see :func:`repro.machine.topology.dyadic_test_machine`) the
+:class:`SimResult` is bit-identical. Any bail-out — a policy returning
+``None`` from ``state_fingerprint()``, deep tracing or power-series
+recording, a mid-batch ``SetFrequency``, events pending at the boundary, or
+any fingerprint/spec/delta mismatch — falls back to full simulation.
 """
 
 from __future__ import annotations
@@ -75,7 +96,7 @@ DEFAULT_MAX_EVENTS = 50_000_000
 #: Version tag of the engine's observable behaviour. Part of the parallel
 #: runner's cache key: bump it whenever an engine change may alter any
 #: simulated result, so stale cached results can never be served.
-ENGINE_VERSION = "eewa-engine-2"
+ENGINE_VERSION = "eewa-engine-3"
 
 # Hoisted enum members: the run loop compares kinds millions of times and
 # attribute loads on the Enum class are Python-level descriptor calls.
@@ -109,6 +130,12 @@ class SimResult:
     tasks: list[Task] = field(repr=False, default_factory=list)
     adjust_overhead_seconds: float = 0.0
     policy_stats: dict[str, float] = field(default_factory=dict)
+    #: How the batches were executed: event-by-event simulation vs
+    #: steady-state delta replay. Always sums to ``batches_executed``.
+    #: Deliberately *not* part of the result fingerprint — a fast-forwarded
+    #: run must compare bit-identical to a full one.
+    batches_simulated: int = 0
+    batches_fast_forwarded: int = 0
 
     @property
     def average_power(self) -> float:
@@ -124,6 +151,26 @@ class SimResult:
     def time_vs(self, other: "SimResult") -> float:
         """Time of this run relative to ``other`` (1.0 = equal)."""
         return self.total_time / other.total_time
+
+
+@dataclass
+class _BoundarySnapshot:
+    """Everything the fast-forward detector compares between boundaries."""
+
+    pos: int  # index of the batch about to launch
+    time: float
+    fingerprint: str
+    #: per-core (joules, seconds, joules_by_state, seconds_by_state,
+    #: seconds_by_level) copies
+    accounts: list[tuple]
+    #: (tasks_executed, tasks_stolen, local_pops, failed_scans,
+    #: cross_group_steals, extra-dict copy)
+    stats: tuple
+    n_batches: int
+    n_transitions: int
+    n_finished: int
+    factory_next: int
+    tasks_executed: int
 
 
 class Simulator:
@@ -143,6 +190,7 @@ class Simulator:
         max_events: int = DEFAULT_MAX_EVENTS,
         record_power_series: bool = False,
         record_task_events: bool = False,
+        fast_forward: bool = True,
     ) -> None:
         self._machine = machine
         self._policy = policy
@@ -150,6 +198,16 @@ class Simulator:
         self._keep_tasks = keep_tasks
         self._max_events = max_events
         self._record_task_events = record_task_events
+        # Deep traces and power series record *inside* batches, which delta
+        # replay cannot reproduce — those modes force full simulation.
+        self._fast_forward = (
+            fast_forward and not record_task_events and not record_power_series
+        )
+        self._ff_prev: Optional[_BoundarySnapshot] = None
+        self._ff_delta: Optional[tuple] = None
+        self._ff_saw_dvfs_request = False
+        self._batches_simulated = 0
+        self._batches_fast_forwarded = 0
         # Which core is currently driving policy code; the batch launcher
         # when root tasks are being placed. Only used for event attribution.
         self._trace_actor = LAUNCHER_ACTOR
@@ -315,6 +373,9 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _launch_next_batch(self) -> None:
+        if self._fast_forward and self._try_fast_forward():
+            return
+        self._batches_simulated += 1
         batch = self._batches[self._next_batch_pos]
         self._next_batch_pos += 1
         self._barrier.open(batch.index, self.now())
@@ -345,6 +406,301 @@ class Simulator:
         )
         self._pending_adjust_overhead = 0.0
         self._wake_idle()
+
+    # ------------------------------------------------------------------
+    # steady-state fast-forward
+    # ------------------------------------------------------------------
+
+    def _try_fast_forward(self) -> bool:
+        """Detect a steady state at this batch boundary and replay it.
+
+        Returns True when the boundary's batch (and possibly the rest of
+        the program) was handled by delta replay; the caller must then not
+        launch anything. Any unclean condition resets the detection chain.
+        """
+        if self._queue._heap or self._ff_saw_dvfs_request:
+            # Pending events (DVFS transitions in flight, timed Wait
+            # retries crossing the boundary) or a mid-batch SetFrequency:
+            # this boundary proves nothing.
+            self._ff_saw_dvfs_request = False
+            self._ff_prev = None
+            self._ff_delta = None
+            return False
+        # Bill the adjuster-overhead gap now. This is the exact addition
+        # the first post-launch observe would perform for the same
+        # interval at the same (still spinning) power draw — it makes the
+        # account snapshot align on the boundary time and changes nothing
+        # when the chain never engages (the later observe becomes a no-op).
+        self._meter.observe(self._queue._now)
+        snap = self._ff_snapshot()
+        if snap is None:
+            self._ff_prev = None
+            self._ff_delta = None
+            return False
+        prev = self._ff_prev
+        self._ff_prev = snap
+        if (
+            prev is None
+            or snap.pos != prev.pos + 1
+            or snap.fingerprint != prev.fingerprint
+            or self._batches[snap.pos].specs != self._batches[prev.pos].specs
+        ):
+            self._ff_delta = None
+            return False
+        delta = self._ff_delta_between(prev, snap)
+        if delta is None or self._ff_delta != delta:
+            self._ff_delta = delta
+            return False
+        return self._ff_replay(delta)
+
+    def _ff_snapshot(self) -> Optional[_BoundarySnapshot]:
+        """Boundary state capture; ``None`` when the state is opaque."""
+        policy_fp = self._policy.state_fingerprint()
+        if policy_fp is None:
+            return None
+        cores = self._cores
+        for core in cores:
+            if core.state is not _SPINNING or core.pending_level is not None:
+                return None
+        fingerprint = "\x1f".join(
+            (
+                policy_fp,
+                self._rng.state_fingerprint(),
+                ",".join(str(core.level) for core in cores),
+                ",".join(str(level) for level in self._requested),
+                repr(self._pending_adjust_overhead),
+            )
+        )
+        stats = self._policy.stats
+        return _BoundarySnapshot(
+            pos=self._next_batch_pos,
+            time=self._queue._now,
+            fingerprint=fingerprint,
+            accounts=[
+                (
+                    a.joules,
+                    a.seconds,
+                    dict(a.joules_by_state),
+                    dict(a.seconds_by_state),
+                    dict(a.seconds_by_level),
+                )
+                for a in self._meter.accounts
+            ],
+            stats=(
+                stats.tasks_executed,
+                stats.tasks_stolen,
+                stats.local_pops,
+                stats.failed_scans,
+                stats.cross_group_steals,
+                dict(stats.extra),
+            ),
+            n_batches=len(self._trace.batches),
+            n_transitions=len(self._trace.transitions),
+            n_finished=len(self._finished_tasks),
+            factory_next=self._factory.next_id,
+            tasks_executed=self._tasks_executed,
+        )
+
+    def _ff_delta_between(
+        self, prev: _BoundarySnapshot, snap: _BoundarySnapshot
+    ) -> Optional[tuple]:
+        """Everything one steady batch added, relative to its boundary.
+
+        The tuple is compared with ``==`` between consecutive boundary
+        pairs; any float that wobbles (non-exact arithmetic) or any shape
+        change (different trace/transition/task layout, different account
+        dict keys) breaks equality and keeps the engine simulating.
+        """
+        new_batches = self._trace.batches[prev.n_batches : snap.n_batches]
+        if len(new_batches) != 1:
+            return None
+        bt = new_batches[0]
+        per_core = []
+        for (pj, ps, pjs, pss, psl), (cj, cs, cjs, css, csl) in zip(
+            prev.accounts, snap.accounts
+        ):
+            per_core.append(
+                (
+                    cj - pj,
+                    cs - ps,
+                    tuple(
+                        sorted(
+                            ((k, v - pjs.get(k, 0.0)) for k, v in cjs.items()),
+                            key=lambda kv: kv[0].value,
+                        )
+                    ),
+                    tuple(
+                        sorted(
+                            ((k, v - pss.get(k, 0.0)) for k, v in css.items()),
+                            key=lambda kv: kv[0].value,
+                        )
+                    ),
+                    tuple(sorted((k, v - psl.get(k, 0.0)) for k, v in csl.items())),
+                )
+            )
+        prev_extra = prev.stats[5]
+        stats_delta = (
+            snap.stats[0] - prev.stats[0],
+            snap.stats[1] - prev.stats[1],
+            snap.stats[2] - prev.stats[2],
+            snap.stats[3] - prev.stats[3],
+            snap.stats[4] - prev.stats[4],
+            tuple(
+                sorted(
+                    (k, v - prev_extra.get(k, 0.0)) for k, v in snap.stats[5].items()
+                )
+            ),
+        )
+        batch_template = (
+            bt.start_time - prev.time,
+            bt.duration,
+            bt.tasks_completed,
+            bt.level_histogram,
+            bt.adjust_overhead_seconds,
+        )
+        transitions = tuple(
+            (tr.time - prev.time, tr.core_id, tr.from_level, tr.to_level)
+            for tr in self._trace.transitions[prev.n_transitions : snap.n_transitions]
+        )
+        task_templates = tuple(
+            (
+                task.task_id - prev.factory_next,
+                task.spec,
+                task.stolen,
+                task.start_time - prev.time,
+                task.finish_time - prev.time,
+                task.executed_on,
+                task.executed_level,
+            )
+            for task in self._finished_tasks[prev.n_finished : snap.n_finished]
+        )
+        return (
+            snap.time - prev.time,
+            tuple(per_core),
+            stats_delta,
+            batch_template,
+            transitions,
+            task_templates,
+            snap.factory_next - prev.factory_next,
+            snap.tasks_executed - prev.tasks_executed,
+        )
+
+    def _ff_replay(self, delta: tuple) -> bool:
+        """Apply the steady-state delta for every remaining identical batch.
+
+        Performs the same additions, in the same order, that full
+        simulation would: accumulators grow by one per-batch delta at a
+        time (never a multiplication), traces and tasks are minted at
+        shifted times, and the barrier history gains one entry per batch.
+        Returns True when the program was completed by replay; False when a
+        differing batch interrupted it, in which case the caller resumes
+        normal simulation at the updated ``_next_batch_pos``.
+        """
+        (
+            dt,
+            core_deltas,
+            stats_delta,
+            batch_template,
+            transitions,
+            task_templates,
+            d_created,
+            d_executed,
+        ) = delta
+        rel_start, duration, tasks_completed, level_hist, adjust_overhead = (
+            batch_template
+        )
+        batches = self._batches
+        pos = self._next_batch_pos
+        template_specs = batches[pos - 1].specs
+        t = self._queue._now
+        trace = self._trace
+        keep = self._keep_tasks
+        accounts = self._meter.accounts
+        stats = self._policy.stats
+        history = self._barrier._history
+        while pos < len(batches) and batches[pos].specs == template_specs:
+            batch = batches[pos]
+            t_launch = t + rel_start
+            self._batch_trace_pos[batch.index] = len(trace.batches)
+            trace.batches.append(
+                BatchTrace(
+                    batch_index=batch.index,
+                    start_time=t_launch,
+                    duration=duration,
+                    tasks_completed=tasks_completed,
+                    level_histogram=level_hist,
+                    adjust_overhead_seconds=adjust_overhead,
+                )
+            )
+            for rel_time, core_id, from_level, to_level in transitions:
+                trace.record_transition(
+                    DvfsTransition(
+                        time=t + rel_time,
+                        core_id=core_id,
+                        from_level=from_level,
+                        to_level=to_level,
+                    )
+                )
+            base = self._factory.next_id
+            if keep:
+                for rel_id, spec, stolen, rel_s, rel_f, on, level in task_templates:
+                    self._finished_tasks.append(
+                        Task(
+                            task_id=base + rel_id,
+                            spec=spec,
+                            batch_index=batch.index,
+                            stolen=stolen,
+                            start_time=t + rel_s,
+                            finish_time=t + rel_f,
+                            executed_on=on,
+                            executed_level=level,
+                        )
+                    )
+            self._factory.advance_to(base + d_created)
+            history.append((batch.index, tasks_completed, t_launch, duration))
+            for account, (dj, ds, djs, dss, dsl) in zip(accounts, core_deltas):
+                account.joules += dj
+                account.seconds += ds
+                jbs = account.joules_by_state
+                for k, v in djs:
+                    jbs[k] = jbs.get(k, 0.0) + v
+                sbs = account.seconds_by_state
+                for k, v in dss:
+                    sbs[k] = sbs.get(k, 0.0) + v
+                sbl = account.seconds_by_level
+                for k, v in dsl:
+                    sbl[k] = sbl.get(k, 0.0) + v
+            stats.tasks_executed += stats_delta[0]
+            stats.tasks_stolen += stats_delta[1]
+            stats.local_pops += stats_delta[2]
+            stats.failed_scans += stats_delta[3]
+            stats.cross_group_steals += stats_delta[4]
+            extra = stats.extra
+            for k, v in stats_delta[5]:
+                extra[k] = extra.get(k, 0.0) + v
+            self._tasks_executed += d_executed
+            self._batches_fast_forwarded += 1
+            t += dt
+            pos += 1
+        self._next_batch_pos = pos
+        self._queue._now = t
+        # Accounts are billed through ``t`` by the deltas; realign the
+        # meter so later billing (or none) starts from the right instant.
+        self._meter._last_time = t
+        self._ff_prev = None
+        self._ff_delta = None
+        if pos < len(batches):
+            # A differing batch interrupted the steady state: fall back to
+            # normal simulation from this boundary.
+            return False
+        self._policy.on_program_end()
+        self._meter._finalized = True
+        for core in self._cores:
+            if core.state is _SPINNING:
+                core.park()
+        self._idle.clear()
+        self._done = True
+        return True
 
     def _handle_core_ready(self, core_id: int) -> None:
         core = self._cores[core_id]
@@ -446,6 +802,7 @@ class Simulator:
                 raise SchedulingError(
                     f"policy requested a no-op frequency change on core {core_id}"
                 )
+            self._ff_saw_dvfs_request = True
             began = self._request_levels({core_id: action.level})
             if core_id not in began:
                 # The request was absorbed by the DVFS domain (a faster
@@ -477,6 +834,7 @@ class Simulator:
                 raise SchedulingError(
                     f"policy requested a no-op frequency change on core {core.core_id}"
                 )
+            self._ff_saw_dvfs_request = True
             began = self._request_levels({core.core_id: action.level})
             if core.core_id not in began:
                 self._queue.schedule(0.0, _CORE_READY, core_id=core.core_id)
@@ -752,6 +1110,8 @@ class Simulator:
                 "cross_group_steals": stats.cross_group_steals,
                 **stats.extra,
             },
+            batches_simulated=self._batches_simulated,
+            batches_fast_forwarded=self._batches_fast_forwarded,
         )
 
 
@@ -764,6 +1124,7 @@ def simulate(
     keep_tasks: bool = True,
     record_power_series: bool = False,
     record_task_events: bool = False,
+    fast_forward: bool = True,
 ) -> SimResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -773,4 +1134,5 @@ def simulate(
         keep_tasks=keep_tasks,
         record_power_series=record_power_series,
         record_task_events=record_task_events,
+        fast_forward=fast_forward,
     ).run(program)

@@ -38,6 +38,8 @@ def result_to_dict(result: SimResult, *, include_tasks: bool = False) -> dict[st
         "average_power_w": result.average_power,
         "tasks_executed": result.tasks_executed,
         "batches_executed": result.batches_executed,
+        "batches_simulated": result.batches_simulated,
+        "batches_fast_forwarded": result.batches_fast_forwarded,
         "adjust_overhead_s": result.adjust_overhead_seconds,
         "policy_stats": dict(result.policy_stats),
         "batches": [

@@ -54,6 +54,24 @@ class RngStreams:
             )
         return RngStreams(derive_seed(self.root_seed, "spawn\x1f" + name))
 
+    def state_fingerprint(self) -> str:
+        """Digest of the root seed plus every stream's exact position.
+
+        Two equal fingerprints mean every named stream will produce the
+        same future draws — the property the engine's fast-forward relies
+        on to prove a steady-state batch consumed zero (or replayable)
+        randomness. ``random.Random.getstate()`` captures the full
+        Mersenne-Twister position, so a single extra draw anywhere changes
+        the digest.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(str(self.root_seed).encode())
+        for name in sorted(self._streams):
+            hasher.update(b"\x1f")
+            hasher.update(name.encode())
+            hasher.update(repr(self._streams[name].getstate()).encode())
+        return hasher.hexdigest()
+
     def choice(self, name: str, options: Sequence[T]) -> T:
         if not options:
             raise ValueError(f"stream {name!r}: cannot choose from empty options")

@@ -1,0 +1,52 @@
+"""Strictly periodic programs for steady-state fast-forward tests.
+
+Every batch is *identical* — same specs in the same order, no jitter —
+which is the iteration-based shape EEWA targets (Fig. 2: "iterations of
+similar computation"). On :func:`repro.machine.topology.dyadic_test_machine`
+the task cycle counts below are dyadic multiples of the frequency ladder,
+so all durations and energies are float-exact and the engine's fast-forward
+replay is provably bit-identical.
+
+This module is deliberately *not* registered in the ``WORKLOADS`` registry:
+it is a test/bench harness workload, not a paper benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.task import Batch, TaskSpec, flat_batch
+
+#: Reference frequency the cycle counts below are dyadic fractions of
+#: (``F_0`` of :func:`~repro.machine.topology.dyadic_test_machine`).
+DYADIC_REF_FREQUENCY = 2.0**31
+
+#: Heavy tasks run ``2^-5`` seconds at ``F_0``; light ones ``2^-8``.
+HEAVY_CYCLES = (2.0**-5) * DYADIC_REF_FREQUENCY
+LIGHT_CYCLES = (2.0**-8) * DYADIC_REF_FREQUENCY
+
+
+def periodic_batch_specs(
+    heavy: int = 4,
+    light: int = 8,
+    *,
+    heavy_cycles: float = HEAVY_CYCLES,
+    light_cycles: float = LIGHT_CYCLES,
+) -> list[TaskSpec]:
+    """The spec list one batch repeats: ``heavy`` + ``light`` flat tasks."""
+    return [TaskSpec("heavy", cpu_cycles=heavy_cycles) for _ in range(heavy)] + [
+        TaskSpec("light", cpu_cycles=light_cycles) for _ in range(light)
+    ]
+
+
+def periodic_program(
+    batches: int,
+    heavy: int = 4,
+    light: int = 8,
+    *,
+    heavy_cycles: float = HEAVY_CYCLES,
+    light_cycles: float = LIGHT_CYCLES,
+) -> list[Batch]:
+    """``batches`` identical flat batches of heavy+light two-class work."""
+    specs = periodic_batch_specs(
+        heavy, light, heavy_cycles=heavy_cycles, light_cycles=light_cycles
+    )
+    return [flat_batch(i, list(specs)) for i in range(batches)]

@@ -1,0 +1,53 @@
+"""Long-horizon golden suite: 120-batch fast-forwarding cells.
+
+Complements ``test_golden_traces.py`` (which pins jittered cells the
+fast-forward never engages on): every cell here replays most of its 120
+batches arithmetically, and must match both the pinned fixture *and* a
+fresh full event-by-event run, bit for bit.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import golden_longhorizon_gen as gen  # noqa: E402
+
+FIXTURE = json.loads(gen.FIXTURE.read_text())
+CELLS = list(gen.cells())
+
+
+def test_fixture_covers_every_cell():
+    assert {f"{p}/seed{s}" for p, s in CELLS} == set(FIXTURE)
+
+
+def test_steady_policies_fast_forward_most_batches():
+    for policy in ("wats", "eewa"):
+        for seed in gen.SEEDS:
+            assert FIXTURE[f"{policy}/seed{seed}"]["batches_fast_forwarded"] > 100
+
+
+@pytest.mark.parametrize(
+    "policy,seed", CELLS, ids=[f"{p}-s{s}" for p, s in CELLS]
+)
+def test_longhorizon_cell(policy, seed):
+    want = FIXTURE[f"{policy}/seed{seed}"]
+    got = gen.run_cell(policy, seed)
+    # Scalars first for a readable diff; the fingerprint covers everything.
+    assert got["total_time"] == want["total_time"]
+    assert got["total_joules"] == want["total_joules"]
+    assert got == want
+
+
+@pytest.mark.parametrize(
+    "policy,seed", CELLS, ids=[f"{p}-s{s}" for p, s in CELLS]
+)
+def test_longhorizon_cell_matches_full_simulation(policy, seed):
+    want = FIXTURE[f"{policy}/seed{seed}"]
+    full = gen.run_cell(policy, seed, fast_forward=False)
+    assert full["batches_fast_forwarded"] == 0
+    assert full["fingerprint"] == want["fingerprint"]
+    scalars = {k: v for k, v in want.items() if k != "batches_fast_forwarded"}
+    assert {k: v for k, v in full.items() if k != "batches_fast_forwarded"} == scalars
