@@ -81,6 +81,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--thermal", action="store_true",
         help="record power traces and print a thermal-headroom report",
     )
+    run.add_argument(
+        "--faults", metavar="PATH",
+        help="fault-injection spec JSON (see repro.faults.FaultSpec)",
+    )
 
     cmp_ = sub.add_parser("compare", help="one benchmark under several policies")
     cmp_.add_argument("benchmark", choices=workload_names())
@@ -98,6 +102,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--batches", type=int, default=None)
     cmp_.add_argument("--cores", type=int, default=16)
     cmp_.add_argument("--seed", type=int, default=11)
+    cmp_.add_argument(
+        "--faults", metavar="PATH",
+        help="fault-injection spec JSON applied to every policy",
+    )
 
     fig = sub.add_parser("figure", help="regenerate one paper exhibit")
     fig.add_argument("exhibit", choices=EXHIBITS)
@@ -154,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable steady-state fast-forward (full event-by-event simulation)",
     )
     bench.add_argument("--json", metavar="PATH", help="write sweep results as JSON")
+    bench.add_argument(
+        "--faults", metavar="PATH",
+        help="fault-injection spec JSON; runs each cell fault-free AND "
+        "faulted and prints a resilience (degradation) report",
+    )
 
     cal = sub.add_parser("calibrate", help="re-measure real kernel costs")
     cal.add_argument("--repeats", type=int, default=3)
@@ -190,6 +203,15 @@ def _machine_spec(cores: int, *, per_socket_dvfs: bool = False) -> MachineSpec:
     return MachineSpec(preset=preset, num_cores=cores)
 
 
+def _load_faults(path: Optional[str]):
+    """Load a fault spec from ``--faults PATH`` (``None`` passes through)."""
+    if path is None:
+        return None
+    from repro.faults.spec import FaultSpec
+
+    return FaultSpec.load(path)
+
+
 def _resolve_levels(
     session: Session, scenario: ScenarioSpec, explicit: Optional[Sequence[int]]
 ) -> ScenarioSpec:
@@ -221,12 +243,14 @@ def _resolve_levels(
 
 def _cmd_run(args: argparse.Namespace) -> int:
     session = Session()
+    faults = _load_faults(args.faults)
     scenario = ScenarioSpec(
         workload=args.benchmark,
         policy=args.policy,
         machine=_machine_spec(args.cores, per_socket_dvfs=args.per_socket_dvfs),
         seeds=(args.seed,),
         batches=args.batches,
+        faults=faults,
     )
     scenario = _resolve_levels(session, scenario, args.core_levels)
     result = session.run_single(scenario, record_power_series=args.thermal)
@@ -235,6 +259,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{result.total_time*1e3:.1f} ms, {result.total_joules:.2f} J "
         f"(avg {result.average_power:.0f} W), {result.tasks_executed} tasks"
     )
+    if faults is not None and faults.active:
+        denied = result.policy_stats.get("dvfs_denied", 0.0)
+        print(
+            f"  faults active ({args.faults}): "
+            f"{int(denied)} DVFS denials observed by the policy"
+        )
     print(
         f"  energy breakdown: running {result.running_joules:.1f} J, "
         f"spinning {result.spin_joules:.1f} J, "
@@ -274,12 +304,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     session = Session()
     machine = _machine_spec(args.cores)
+    faults = _load_faults(args.faults)
     scenarios = [
         _resolve_levels(
             session,
             ScenarioSpec(
                 workload=args.benchmark, policy=name, machine=machine,
-                seeds=(args.seed,), batches=args.batches,
+                seeds=(args.seed,), batches=args.batches, faults=faults,
             ),
             args.core_levels if POLICIES.get(name).needs_core_levels else None,
         )
@@ -297,11 +328,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         for o in outcomes
     ]
+    suffix = f", faults: {args.faults}" if faults is not None else ""
     print(
         format_table(
             ["policy", "time (ms)", "energy (J)", f"t/{base.policy}", f"E/{base.policy}"],
             rows,
-            title=f"{args.benchmark} on {args.cores} cores (seed {args.seed})",
+            title=f"{args.benchmark} on {args.cores} cores (seed {args.seed}{suffix})",
         )
     )
     return 0
@@ -360,28 +392,24 @@ def _load_run_spec_scenario(args: argparse.Namespace) -> ScenarioSpec:
             batches=args.batches,
         )
     else:
+        # Overrides go through dataclasses.replace so every field the
+        # override does not touch (notably ``faults``) is preserved.
+        from dataclasses import replace as _replace
+
         scenario = ScenarioSpec.from_dict(data)
         if args.policy is not None:
             scenario = scenario.with_policy(args.policy)
         if args.cores is not None:
-            machine = scenario.machine
-            scenario = ScenarioSpec(
-                workload=scenario.workload,
-                policy=scenario.policy,
-                machine=MachineSpec(preset=machine.preset, num_cores=args.cores),
-                seeds=scenario.seeds,
-                batches=scenario.batches,
+            scenario = _replace(
+                scenario,
+                machine=MachineSpec(
+                    preset=scenario.machine.preset, num_cores=args.cores
+                ),
             )
         if args.seed is not None:
             scenario = scenario.with_seeds((args.seed,))
         if args.batches is not None:
-            scenario = ScenarioSpec(
-                workload=scenario.workload,
-                policy=scenario.policy,
-                machine=scenario.machine,
-                seeds=scenario.seeds,
-                batches=args.batches,
-            )
+            scenario = _replace(scenario, batches=args.batches)
     return scenario
 
 
@@ -419,6 +447,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fast_forward=not args.no_fast_forward,
     )
     machine = MachineSpec(num_cores=args.cores)
+    faults = _load_faults(args.faults)
     scenarios = [
         _resolve_levels(
             session,
@@ -431,8 +460,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name in args.benchmarks
         for policy in args.policies
     ]
+    # With --faults, the faulted twins ride in the SAME fan-out as the
+    # fault-free baselines, so the pool and cache see one sweep.
+    faulted_scenarios = (
+        [s.with_faults(faults) for s in scenarios] if faults is not None else []
+    )
     started = time.perf_counter()
-    outcomes = session.run_grid(scenarios)
+    all_outcomes = session.run_grid(scenarios + faulted_scenarios)
+    outcomes = all_outcomes[: len(scenarios)]
+    faulted = all_outcomes[len(scenarios):]
     wall = time.perf_counter() - started
     rows = [
         (
@@ -453,6 +489,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
+    resilience_rows = []
+    if faulted:
+        for clean, dirty in zip(outcomes, faulted):
+            clean_tasks = sum(r.tasks_executed for r in clean.results)
+            dirty_tasks = sum(r.tasks_executed for r in dirty.results)
+            resilience_rows.append(
+                (
+                    clean.benchmark,
+                    clean.policy,
+                    "ok" if dirty_tasks == clean_tasks else
+                    f"LOST {clean_tasks - dirty_tasks}",
+                    dirty.time_mean / clean.time_mean,
+                    dirty.energy_mean / clean.energy_mean,
+                )
+            )
+        print()
+        print(
+            format_table(
+                ["benchmark", "policy", "tasks", "time x", "energy x"],
+                resilience_rows,
+                title=f"resilience report — degradation under {args.faults}",
+                float_fmt="{:.3f}",
+            )
+        )
     stats = session.stats
     simulated = sum(r.batches_simulated for o in outcomes for r in o.results)
     fast_forwarded = sum(
@@ -507,6 +567,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 for o in outcomes
             ],
         }
+        if faulted:
+            payload["faults"] = faults.to_dict()
+            payload["resilience"] = [
+                {
+                    "benchmark": benchmark,
+                    "policy": policy,
+                    "completed": status == "ok",
+                    "time_ratio": time_ratio,
+                    "energy_ratio": energy_ratio,
+                }
+                for benchmark, policy, status, time_ratio, energy_ratio
+                in resilience_rows
+            ]
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"  wrote {args.json}")

@@ -61,6 +61,14 @@ class EEWAConfig:
     #: False, the plan from batch 0's profile is frozen — an ablation that
     #: shows why per-batch adaptation matters under workload drift.
     adapt_every_batch: bool = True
+    #: Consecutive boundaries a core's DVFS request may be denied (fault
+    #: injection) before EEWA stops asking for that core.
+    max_dvfs_retries: int = 3
+    #: Boundaries a backed-off core sits out before being retargeted.
+    dvfs_backoff_batches: int = 4
+    #: Consecutive "no feasible k-tuple" searches before EEWA gives up on
+    #: planning and degrades to all-``F_0`` work-stealing for good.
+    max_search_failures: int = 3
 
 
 class EEWAScheduler(GroupedStealingPolicy):
@@ -80,6 +88,14 @@ class EEWAScheduler(GroupedStealingPolicy):
         self._memory_bound = False
         self._frozen = False  # plan frozen (fallback or adapt_every_batch=False)
         self._explored = False  # regression mode ran its exploration batch
+        # Graceful-degradation state under fault injection: per-core counts
+        # of consecutive boundaries whose DVFS request was denied, cores
+        # currently backed off (with remaining boundaries), denials arrived
+        # since the last boundary, and the consecutive-search-failure count.
+        self._denied_streak: dict[int, int] = {}
+        self._dvfs_backoff: dict[int, int] = {}
+        self._denied_since_boundary: set[int] = set()
+        self._search_failures = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -119,12 +135,52 @@ class EEWAScheduler(GroupedStealingPolicy):
         )
         self.regression.observe(task.function, task.elapsed, level)
 
+    def on_dvfs_denied(self, core_id: int, level: int) -> None:
+        super().on_dvfs_denied(core_id, level)
+        self._denied_since_boundary.add(core_id)
+
+    def _update_denial_streaks(self) -> None:
+        """Bounded retry with backoff for denied boundary DVFS requests.
+
+        A core denied at ``max_dvfs_retries`` consecutive boundaries is
+        backed off: its entry in the next ``dvfs_backoff_batches`` emitted
+        plans is masked to ``None`` (no request), after which EEWA tries
+        again. A granted (or absent) request resets the core's streak.
+        """
+        denied = self._denied_since_boundary
+        self._denied_since_boundary = set()
+        if not denied and not self._denied_streak:
+            return
+        streaks: dict[int, int] = {}
+        for cid in denied:
+            streak = self._denied_streak.get(cid, 0) + 1
+            if streak >= self.config.max_dvfs_retries:
+                self._dvfs_backoff[cid] = self.config.dvfs_backoff_batches
+                self.stats.extra["dvfs_backoffs"] = (
+                    self.stats.extra.get("dvfs_backoffs", 0.0) + 1.0
+                )
+            else:
+                streaks[cid] = streak
+        self._denied_streak = streaks
+
+    def _mask_backoff(self, levels: list) -> list:
+        """Suppress requests for backed-off cores, ticking their windows."""
+        for cid in sorted(self._dvfs_backoff):
+            levels[cid] = None
+            remaining = self._dvfs_backoff[cid] - 1
+            if remaining <= 0:
+                del self._dvfs_backoff[cid]
+            else:
+                self._dvfs_backoff[cid] = remaining
+        return levels
+
     def on_batch_end(self, batch_index: int) -> BatchAdjustment | None:
         ctx = self._require_ctx()
         profiler = self.profiler
         adjuster = self.adjuster
         assert profiler is not None and adjuster is not None
 
+        self._update_denial_streaks()
         duration = ctx.now() - self._batch_start_time
         if batch_index == 0:
             profiler.set_ideal_time(duration)
@@ -146,6 +202,24 @@ class EEWAScheduler(GroupedStealingPolicy):
 
         decision = self._decide()
         self.decisions.append(decision)
+        if decision.fallback_reason == "no feasible k-tuple":
+            self._search_failures += 1
+            if self._search_failures >= self.config.max_search_failures:
+                # Graceful degradation: the search keeps coming up empty, so
+                # stop paying for it — freeze into traditional all-``F_0``
+                # work-stealing for the rest of the program.
+                self._frozen = True
+                self.stats.extra["fallback_search_failure"] = 1.0
+                self._install_plan(uniform_plan(ctx.machine.num_cores, level=0))
+                profiler.reset_batch()
+                return BatchAdjustment(
+                    frequency_levels=self._mask_backoff(
+                        [0] * ctx.machine.num_cores
+                    ),
+                    overhead_seconds=decision.simulated_seconds,
+                )
+        elif decision.fallback_reason is None:
+            self._search_failures = 0
         if decision.fallback_reason == "regression exploration batch":
             # The exploration batch *wants* slower cores to steal from the
             # fast group — the criticality guard must stay disarmed or no
@@ -162,7 +236,7 @@ class EEWAScheduler(GroupedStealingPolicy):
             )
         profiler.reset_batch()
         return BatchAdjustment(
-            frequency_levels=list(decision.plan.core_levels),
+            frequency_levels=self._mask_backoff(list(decision.plan.core_levels)),
             overhead_seconds=decision.simulated_seconds,
         )
 
@@ -182,10 +256,27 @@ class EEWAScheduler(GroupedStealingPolicy):
         base = super().state_fingerprint()
         if base is None or self.profiler is None:
             return None
-        return (
+        fp = (
             f"{base}:profiler={self.profiler.state_fingerprint()}"
             f":mb={self._memory_bound}:frozen={self._frozen}:explored={self._explored}"
         )
+        # Degradation state influences the next boundary's plan, so it must
+        # be covered — but it is only ever non-empty under fault injection
+        # (which already disables fast-forward), so fault-free fingerprints
+        # are untouched.
+        if (
+            self._denied_streak
+            or self._dvfs_backoff
+            or self._denied_since_boundary
+            or self._search_failures
+        ):
+            fp += (
+                f":deg={sorted(self._denied_streak.items())}"
+                f"|{sorted(self._dvfs_backoff.items())}"
+                f"|{sorted(self._denied_since_boundary)}"
+                f"|{self._search_failures}"
+            )
+        return fp
 
     # -- decision paths -------------------------------------------------------------
 

@@ -180,7 +180,12 @@ def exhaustive_search(
             continue
         candidate = KTupleSolution(assignment=combo, core_demand=tuple(demand))
         score = estimate(candidate)
-        if score < best_score - 1e-15:
+        # Strictly better always wins; on an *exact* score tie the later
+        # (lexicographically larger, i.e. slower) tuple wins — when two
+        # assignments cost the same energy, running slower is the
+        # energy-priority choice (more thermal/voltage headroom, and the
+        # estimate's tie means the extra time is already paid for).
+        if score < best_score - 1e-15 or (best is not None and score == best_score):
             best = candidate
             best_score = score
     return best

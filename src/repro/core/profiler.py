@@ -160,8 +160,12 @@ class OnlineProfiler:
         parts = [repr(self.ideal_time), str(self._tasks_seen), str(self._memory_bound_seen)]
         for name in sorted(self._classes):
             c = self._classes[name]
+            # The name is length-prefixed: function names may themselves
+            # contain ":" or the "\x1f" join byte, and without the prefix
+            # two distinct states could serialize identically (e.g. a class
+            # named "a:1" vs a class "a" with count 1).
             parts.append(
-                f"{name}:{c.count}:{c.mean_workload!r}:{c.instructions}:"
+                f"{len(name)}:{name}:{c.count}:{c.mean_workload!r}:{c.instructions}:"
                 f"{c.cache_misses}:{c.memory_bound_tasks}"
             )
         return "\x1f".join(parts)

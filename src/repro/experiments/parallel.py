@@ -42,6 +42,7 @@ from typing import Any, Optional, Sequence
 from repro.core.eewa import EEWAConfig
 from repro.errors import ConfigurationError
 from repro.experiments.outcome import RunOutcome, modal_levels_from_result
+from repro.faults.spec import FaultSpec
 from repro.machine.topology import MachineConfig, opteron_8380_machine
 from repro.runtime.task import Batch
 from repro.scenario.registry import POLICIES
@@ -91,6 +92,7 @@ def cell_key(
     eewa_config: Optional[EEWAConfig] = None,
     policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
     fast_forward: bool = True,
+    faults: Optional[FaultSpec] = None,
 ) -> str:
     """Content hash of one simulation's complete input set.
 
@@ -114,6 +116,7 @@ def cell_key(
             "policy_params", _canonical(policy_params),
             "seed", seed,
             "fast_forward", fast_forward,
+            "faults", _canonical(faults),
         ]
     )
 
@@ -146,6 +149,7 @@ class CellSpec:
     program: Optional[tuple[Batch, ...]] = None
     workload: Optional[WorkloadSpec] = None
     policy_params: Optional[tuple[tuple[str, Any], ...]] = None
+    faults: Optional[FaultSpec] = None
 
     @classmethod
     def from_scenario(cls, scenario: ScenarioSpec, seed: int) -> "CellSpec":
@@ -173,6 +177,7 @@ class CellSpec:
                 else None
             ),
             policy_params=policy.params or None,
+            faults=scenario.faults,
         )
 
 
@@ -298,6 +303,7 @@ def _simulate_cell(
     eewa_config: Optional[EEWAConfig],
     policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
     fast_forward: bool = True,
+    faults: Optional[FaultSpec] = None,
 ) -> dict[str, Any]:
     """Run one cell; module-level so worker processes can unpickle it."""
     policy = POLICIES.get(policy_name).build(
@@ -306,7 +312,8 @@ def _simulate_cell(
         config=eewa_config,
     )
     result = simulate(
-        program, policy, machine, seed=seed, fast_forward=fast_forward
+        program, policy, machine, seed=seed, fast_forward=fast_forward,
+        faults=faults,
     )
     wallclock = getattr(policy, "total_adjuster_wallclock", None)
     decisions = getattr(policy, "decisions", None)
@@ -388,6 +395,7 @@ class ParallelRunner:
                 core_levels=spec.core_levels, eewa_config=spec.eewa_config,
                 policy_params=spec.policy_params,
                 fast_forward=self._fast_forward,
+                faults=spec.faults,
             )
             if key in payloads:
                 self.stats.deduplicated += 1
@@ -403,7 +411,7 @@ class ParallelRunner:
             args = (
                 program, spec.policy, machine, spec.seed,
                 spec.core_levels, spec.eewa_config, spec.policy_params,
-                self._fast_forward,
+                self._fast_forward, spec.faults,
             )
             payloads[key] = {}  # claimed; filled below
             jobs.append((spec, key, args))

@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the scheduler stack.
+
+Real platforms break the paper's clean-room assumptions: DVFS requests
+are denied or complete late, cores drop offline for transient windows,
+and PMU readings are noisy. This package models those perturbations as a
+JSON-round-trippable :class:`~repro.faults.spec.FaultSpec` consumed by the
+engine, with every fault drawn from a dedicated
+:meth:`~repro.sim.rng.RngStreams.spawn_child` registry so runs stay
+deterministic and the parent policy/workload streams are never perturbed.
+
+:mod:`repro.faults.matrix` defines the standard fault matrix that
+conformance check #8 and the ``python -m repro.faults.matrix`` CI gate run
+every registered policy through.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FAULT_SCHEMA_VERSION, FaultSpec
+
+__all__ = ["FAULT_SCHEMA_VERSION", "FaultInjector", "FaultSpec"]

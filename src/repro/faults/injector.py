@@ -1,0 +1,98 @@
+"""Deterministic fault draws for the discrete-event engine.
+
+A :class:`FaultInjector` binds a :class:`~repro.faults.spec.FaultSpec` to
+an :class:`~repro.sim.rng.RngStreams` registry — the engine hands it a
+``spawn_child("faults")`` of the run's root streams, so fault draws are
+fully determined by *(seed, spec, event order)* and never advance the
+policy or workload streams. Each channel draws from its own named stream;
+a channel whose rate is zero draws nothing at all, so enabling one fault
+type leaves the draw sequences of the others untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.faults.spec import FaultSpec
+from repro.machine.counters import PerfCounters
+from repro.sim.rng import RngStreams
+
+
+class FaultInjector:
+    """Per-run fault oracle; one instance per :class:`Simulator`."""
+
+    def __init__(self, spec: FaultSpec, rng: RngStreams) -> None:
+        self.spec = spec
+        self._rng = rng
+        #: How often each channel actually fired (engine observability).
+        self.counts = {
+            "dvfs_denied": 0,
+            "dvfs_delayed": 0,
+            "stalls": 0,
+            "counters_corrupted": 0,
+        }
+
+    def deny_dvfs(self, core_id: int) -> bool:
+        """Whether this core's pending DVFS request is denied."""
+        rate = self.spec.dvfs_deny_rate
+        if rate <= 0.0:
+            return False
+        if self._rng.uniform("deny", 0.0, 1.0) < rate:
+            self.counts["dvfs_denied"] += 1
+            return True
+        return False
+
+    def dvfs_extra_latency(self, core_id: int) -> float:
+        """Extra seconds added to a granted transition (0.0 = nominal)."""
+        rate = self.spec.dvfs_delay_rate
+        if rate <= 0.0:
+            return 0.0
+        if self._rng.uniform("delay", 0.0, 1.0) < rate:
+            self.counts["dvfs_delayed"] += 1
+            return self.spec.dvfs_delay_s
+        return 0.0
+
+    def stall_seconds(self, core_id: int) -> float:
+        """Offline-window length if the core stalls now (0.0 = healthy)."""
+        rate = self.spec.stall_rate
+        if rate <= 0.0:
+            return 0.0
+        if self._rng.uniform("stall", 0.0, 1.0) < rate:
+            self.counts["stalls"] += 1
+            return self.spec.stall_duration_s
+        return 0.0
+
+    def corrupt_counters(
+        self, counters: Optional[PerfCounters]
+    ) -> Optional[PerfCounters]:
+        """Corrupted replacement for a task's PMU reading, or ``None``.
+
+        Draws only when the task actually carries counters, so counterless
+        workloads consume no randomness from this channel. The corruption
+        adds spurious cache misses proportional to retired instructions,
+        scaled by a second draw — the noise the paper's memory-boundness
+        classifier would face on real PMUs.
+        """
+        rate = self.spec.counter_noise_rate
+        if rate <= 0.0 or counters is None:
+            return None
+        if self._rng.uniform("corrupt", 0.0, 1.0) >= rate:
+            return None
+        magnitude = self._rng.uniform("corrupt", 0.0, 1.0)
+        spurious = int(
+            round(
+                magnitude
+                * self.spec.counter_noise_intensity
+                * counters.retired_instructions
+            )
+        )
+        if spurious <= 0:
+            return None
+        self.counts["counters_corrupted"] += 1
+        return replace(
+            counters, cache_misses=counters.cache_misses + spurious
+        )
+
+
+__all__ = ["FaultInjector"]

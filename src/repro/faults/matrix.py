@@ -1,0 +1,185 @@
+"""The standard fault matrix and the resilience gate it drives.
+
+:data:`STANDARD_FAULT_MATRIX` is the fixed set of fault mixes that every
+registered policy must *complete* under — 100% of tasks executed, however
+degraded the timing and energy. Conformance check #8
+(:mod:`repro.runtime.conformance`) runs it per policy; ``python -m
+repro.faults.matrix`` is the CI gate that runs it over the whole registry
+and prints the energy/makespan degradation of each cell against its
+fault-free baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.spec import FaultSpec
+from repro.machine.counters import PerfCounters
+from repro.machine.topology import MachineConfig, small_test_machine
+from repro.runtime.task import Batch, TaskSpec, flat_batch
+from repro.sim.engine import simulate
+
+#: Named fault mixes every registered policy must survive. Rates are
+#: aggressive enough to fire many times per run on the battery program,
+#: yet every window is transient — completion is always reachable.
+STANDARD_FAULT_MATRIX: tuple[tuple[str, FaultSpec], ...] = (
+    ("dvfs-deny", FaultSpec(dvfs_deny_rate=0.5, dvfs_deny_penalty_s=2e-4)),
+    ("dvfs-slow", FaultSpec(dvfs_delay_rate=1.0, dvfs_delay_s=5e-4)),
+    ("core-stall", FaultSpec(stall_rate=0.05, stall_duration_s=2e-3)),
+    (
+        "counter-noise",
+        FaultSpec(counter_noise_rate=0.5, counter_noise_intensity=0.2),
+    ),
+    (
+        "combined",
+        FaultSpec(
+            dvfs_deny_rate=0.3,
+            dvfs_deny_penalty_s=2e-4,
+            dvfs_delay_rate=0.5,
+            dvfs_delay_s=5e-4,
+            stall_rate=0.02,
+            stall_duration_s=2e-3,
+            counter_noise_rate=0.25,
+            counter_noise_intensity=0.1,
+        ),
+    ),
+)
+
+_REF = 2.0e9  # fastest level of the battery machine
+_SEED = 9
+
+
+def standard_machine() -> MachineConfig:
+    """The conformance battery's machine (4 cores, 3 levels)."""
+    return small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
+
+
+def standard_program(batches: int = 3) -> list[Batch]:
+    """Imbalanced flat batches whose tasks carry PMU counters, so every
+    fault channel (including counter corruption) has something to hit."""
+    sizes = [0.004] * 9 + [0.03]
+    return [
+        flat_batch(
+            i,
+            [
+                TaskSpec(
+                    f"c{j % 3}",
+                    cpu_cycles=s * _REF,
+                    counters=PerfCounters(
+                        retired_instructions=int(s * _REF),
+                        cache_misses=int(s * _REF) // 1000,
+                    ),
+                )
+                for j, s in enumerate(sizes)
+            ],
+        )
+        for i in range(batches)
+    ]
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One (policy × fault mix) cell of the resilience report."""
+
+    policy: str
+    fault: str
+    tasks_executed: int
+    tasks_expected: int
+    time_ratio: float
+    energy_ratio: float
+
+    @property
+    def completed(self) -> bool:
+        return self.tasks_executed == self.tasks_expected
+
+
+def policy_resilience(factory, *, machine=None, seed=_SEED) -> list[ResilienceRow]:
+    """Run one policy through the standard matrix vs its clean baseline.
+
+    ``factory`` must return a fresh policy per call. Fault draws come from
+    the engine's dedicated RNG child, so the baseline run (same seed, no
+    faults) is bit-identical to a run that never imported this module.
+    """
+    if machine is None:
+        machine = standard_machine()
+    program = standard_program()
+    baseline = simulate(program, factory(), machine, seed=seed)
+    rows = []
+    for fault_name, spec in STANDARD_FAULT_MATRIX:
+        result = simulate(program, factory(), machine, seed=seed, faults=spec)
+        rows.append(
+            ResilienceRow(
+                policy=baseline.policy_name,
+                fault=fault_name,
+                tasks_executed=result.tasks_executed,
+                tasks_expected=baseline.tasks_executed,
+                time_ratio=result.total_time / baseline.total_time,
+                energy_ratio=result.total_joules / baseline.total_joules,
+            )
+        )
+    return rows
+
+
+def registered_resilience(*, machine=None) -> list[ResilienceRow]:
+    """The full gate: every registered policy through the matrix."""
+    # Imported here: the scenario layer imports runtime modules, so a
+    # module-level import would be circular.
+    from repro.scenario.registry import POLICIES, spread_levels
+
+    if machine is None:
+        machine = standard_machine()
+    rows: list[ResilienceRow] = []
+    for entry in POLICIES:
+        levels = (
+            spread_levels(machine.num_cores, machine.r)
+            if entry.needs_core_levels
+            else None
+        )
+
+        def factory(entry=entry, levels=levels):
+            return entry.build(core_levels=levels)
+
+        rows.extend(policy_resilience(factory, machine=machine))
+    return rows
+
+
+def format_resilience(rows: list[ResilienceRow]) -> str:
+    lines = [
+        f"{'policy':10s} {'fault':14s} {'tasks':>9s} {'time x':>8s} {'energy x':>9s}"
+    ]
+    for row in rows:
+        status = (
+            f"{row.tasks_executed}/{row.tasks_expected}"
+            if row.completed
+            else f"{row.tasks_executed}/{row.tasks_expected} FAIL"
+        )
+        lines.append(
+            f"{row.policy:10s} {row.fault:14s} {status:>9s} "
+            f"{row.time_ratio:8.3f} {row.energy_ratio:9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.faults.matrix`` — the CI fault-matrix gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.matrix",
+        description="Run every registered policy through the standard "
+        "fault matrix and report degradation vs the fault-free baseline.",
+    )
+    parser.parse_args(argv)
+    rows = registered_resilience()
+    print(format_resilience(rows))
+    incomplete = [r for r in rows if not r.completed]
+    for row in incomplete:
+        print(
+            f"FAIL: {row.policy} lost tasks under {row.fault} "
+            f"({row.tasks_executed}/{row.tasks_expected})"
+        )
+    return 1 if incomplete else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -87,7 +87,10 @@ class EnergyMeter:
         if dt < -1e-12:
             raise SimulationError(f"time went backwards: {last} -> {now}")
         if dt <= 0.0:
-            self._last_time = now
+            # A tiny negative dt within tolerance is float jitter, not time
+            # travel — but rewinding to ``now`` would stretch the *next*
+            # billing interval by the jitter. Keep the later instant.
+            self._last_time = max(last, now)
             return
         busy_watts = self._busy_watts
         busy_power = self._power.busy_power

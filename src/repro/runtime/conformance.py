@@ -15,7 +15,11 @@ The battery exercises the invariants the engine relies on:
 4. runs are deterministic for a fixed seed;
 5. frequency requests stay within the machine's ladder;
 6. steady-state fast-forward reproduces full simulation bit-identically
-   (which also audits the policy's ``state_fingerprint`` for soundness).
+   (which also audits the policy's ``state_fingerprint`` for soundness);
+7. the policy completes 100% of tasks under every mix of the standard
+   fault matrix (:data:`repro.faults.matrix.STANDARD_FAULT_MATRIX`),
+   with its energy/makespan degradation vs the fault-free baseline
+   reported in :attr:`ConformanceReport.fault_degradation`.
 
 ``check_policy(..., deep=True)`` additionally replays a deep task-event
 trace through the race detector (:mod:`repro.checks.races`): exactly-once
@@ -49,6 +53,9 @@ class ConformanceReport:
     policy_name: str
     checks_run: int = 0
     failures: list[str] = field(default_factory=list)
+    #: fault-mix name -> (time_ratio, energy_ratio) vs the fault-free
+    #: baseline, filled by the fault-matrix check.
+    fault_degradation: dict[str, tuple[float, float]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -161,6 +168,22 @@ def check_policy(
             f"({fast.batches_fast_forwarded} batches replayed)"
         )
 
+    def fault_matrix() -> None:
+        # Imported here: repro.faults.matrix imports scenario modules,
+        # which import runtime modules — module-level would be circular.
+        from repro.faults.matrix import policy_resilience
+
+        rows = policy_resilience(factory, machine=machine)
+        for row in rows:
+            report.fault_degradation[row.fault] = (
+                row.time_ratio,
+                row.energy_ratio,
+            )
+            assert row.completed, (
+                f"lost tasks under fault mix '{row.fault}' "
+                f"({row.tasks_executed}/{row.tasks_expected})"
+            )
+
     def race_free() -> None:
         # Imported here: repro.checks imports runtime modules, so a
         # module-level import would be circular.
@@ -185,6 +208,7 @@ def check_policy(
     run_check("determinism", deterministic)
     run_check("frequency-sanity", frequency_sanity)
     run_check("fast-forward-parity", fast_forward_parity)
+    run_check("fault-matrix", fault_matrix)
     if deep:
         run_check("race-detection", race_free)
     return report
@@ -251,6 +275,13 @@ def main(argv: list[str] | None = None) -> int:
     for report in reports:
         status = "ok" if report.ok else "FAIL"
         print(f"{report.policy_name:10s} {status} ({report.checks_run} checks)")
+        for fault, (time_ratio, energy_ratio) in sorted(
+            report.fault_degradation.items()
+        ):
+            print(
+                f"    {fault:14s} time x{time_ratio:.3f}  "
+                f"energy x{energy_ratio:.3f}"
+            )
         for failure in report.failures:
             failed = True
             print(f"  - {failure}")

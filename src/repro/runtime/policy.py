@@ -174,6 +174,19 @@ class SchedulerPolicy(abc.ABC):
     def on_task_complete(self, core_id: int, task: Task) -> None:
         """Observe a completed task (profiling hook)."""
 
+    def on_dvfs_denied(self, core_id: int, level: int) -> None:
+        """The platform denied this policy's DVFS request (fault injection).
+
+        ``level`` is the level that was requested and refused; the core
+        stays at its previous frequency. The default just counts the
+        denial — any policy is already correct under denial because the
+        engine keeps the core schedulable — but policies that *plan*
+        around frequency (EEWA) override this to degrade gracefully.
+        """
+        self.stats.extra["dvfs_denied"] = (
+            self.stats.extra.get("dvfs_denied", 0.0) + 1.0
+        )
+
     def on_batch_end(self, batch_index: int) -> BatchAdjustment | None:
         """Batch barrier reached; optionally adjust frequencies (EEWA)."""
         return None

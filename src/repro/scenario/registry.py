@@ -356,8 +356,12 @@ def eewa_config_from_params(params: Mapping[str, Any]):
     allowed = (
         "search", "cc_mode", "headroom", "leftover_policy",
         "miss_threshold", "memory_bound_mode", "adapt_every_batch",
+        "max_dvfs_retries", "dvfs_backoff_batches", "max_search_failures",
     )
     kwargs = _pop_params("eewa", params, allowed)
+    for name in ("max_dvfs_retries", "dvfs_backoff_batches", "max_search_failures"):
+        if name in kwargs:
+            kwargs[name] = int(kwargs[name])
     if "memory_bound_mode" in kwargs:
         raw = kwargs["memory_bound_mode"]
         try:

@@ -193,6 +193,7 @@ class Session:
                 seed=seed,
                 record_power_series=True,
                 fast_forward=self._fast_forward,
+                faults=resolved.faults,
             )
         (outcome,) = self._runner.run_cells(
             [_parallel().CellSpec.from_scenario(resolved, seed)]

@@ -15,13 +15,14 @@ workload, and policy content — the digest that keys the result cache in
 JSON form (``repro run-spec scenario.json``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "workload": "SHA-1",                 // registry name, or an inline
                                            // workload object with "classes"
       "policy": {"name": "eewa", "params": {"headroom": 0.2}},
       "machine": {"preset": "opteron-8380", "num_cores": 16},
       "seeds": [11, 23, 37],
-      "batches": 10
+      "batches": 10,
+      "faults": {"dvfs_deny_rate": 0.3}    // optional fault injection
     }
 """
 
@@ -33,6 +34,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.errors import ScenarioError
+from repro.faults.spec import FaultSpec
 from repro.machine.topology import MachineConfig
 from repro.runtime.policy import SchedulerPolicy
 from repro.runtime.task import Batch
@@ -44,7 +46,12 @@ from repro.workloads.spec import WorkloadSpec
 #: Version of the scenario JSON schema *and* of the digest layout. Bump on
 #: any change to the spec fields or their canonical encoding: the bump
 #: invalidates every result-cache entry written under the old layout.
-SCENARIO_SCHEMA_VERSION = 1
+#: v2 added the optional ``faults`` axis.
+SCENARIO_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`ScenarioSpec.from_dict` accepts. v1 documents
+#: are a strict subset of v2 (no ``faults`` key), so both read cleanly.
+_READABLE_SCHEMAS = frozenset({1, SCENARIO_SCHEMA_VERSION})
 
 #: Seeds used when a scenario does not pin its own (the simulated stand-in
 #: for the paper's 100 repeated hardware runs).
@@ -204,6 +211,8 @@ class ScenarioSpec:
     machine: MachineSpec = field(default_factory=MachineSpec)
     seeds: tuple[int, ...] = DEFAULT_SEEDS
     batches: Optional[int] = None
+    #: Optional fault injection applied to every cell of this scenario.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.policy, str):
@@ -266,6 +275,9 @@ class ScenarioSpec:
             policy=policy if isinstance(policy, PolicySpec) else PolicySpec(policy),
         )
 
+    def with_faults(self, faults: Optional[FaultSpec]) -> "ScenarioSpec":
+        return replace(self, faults=faults)
+
     def cells(self) -> Iterator[tuple["ScenarioSpec", int]]:
         for seed in self.seeds:
             yield self, seed
@@ -286,6 +298,8 @@ class ScenarioSpec:
         }
         if self.batches is not None:
             data["batches"] = self.batches
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -293,15 +307,16 @@ class ScenarioSpec:
         if not isinstance(data, Mapping):
             raise ScenarioError("scenario spec must be a JSON object")
         unknown = set(data) - {
-            "schema", "workload", "policy", "machine", "seeds", "batches"
+            "schema", "workload", "policy", "machine", "seeds", "batches",
+            "faults",
         }
         if unknown:
             raise ScenarioError(f"unknown scenario fields: {sorted(unknown)}")
         schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
-        if schema != SCENARIO_SCHEMA_VERSION:
+        if schema not in _READABLE_SCHEMAS:
             raise ScenarioError(
                 f"unsupported scenario schema {schema!r}; this version reads "
-                f"schema {SCENARIO_SCHEMA_VERSION}"
+                f"schemas {sorted(_READABLE_SCHEMAS)}"
             )
         if "workload" not in data or "policy" not in data:
             raise ScenarioError("scenario spec needs 'workload' and 'policy'")
@@ -320,12 +335,14 @@ class ScenarioSpec:
         if isinstance(seeds, (str, bytes)) or not isinstance(seeds, Sequence):
             raise ScenarioError("seeds must be a list of integers")
         batches = data.get("batches")
+        faults = data.get("faults")
         return cls(
             workload=workload,
             policy=PolicySpec.from_dict(data["policy"]),
             machine=MachineSpec() if machine is None else MachineSpec.from_dict(machine),
             seeds=tuple(int(s) for s in seeds),
             batches=None if batches is None else int(batches),
+            faults=None if faults is None else FaultSpec.from_dict(faults),
         )
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -371,6 +388,7 @@ class ScenarioSpec:
                 "config", canonical_value(self.policy.config),
                 "seeds", canonical_value(self.seeds),
                 "batches", self.batches,
+                "faults", canonical_value(self.faults),
             ]
         )
 

@@ -62,10 +62,12 @@ any fingerprint/spec/delta mismatch — falls back to full simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.errors import SchedulingError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
 from repro.machine.core import CoreState, SimCore
 from repro.machine.energy import EnergyMeter
 from repro.machine.topology import MachineConfig
@@ -191,6 +193,7 @@ class Simulator:
         record_power_series: bool = False,
         record_task_events: bool = False,
         fast_forward: bool = True,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         self._machine = machine
         self._policy = policy
@@ -203,6 +206,16 @@ class Simulator:
         self._fast_forward = (
             fast_forward and not record_task_events and not record_power_series
         )
+        # Fault injection draws from its own RNG child, so a fault-free run
+        # is bit-identical whether or not this feature exists. Fault draws
+        # are per-event, which delta replay cannot reproduce — active
+        # faults opt the run out of fast-forward entirely.
+        self._injector: Optional[FaultInjector] = None
+        #: core_id -> seq of the CORE_READY event that ends its stall.
+        self._stalled: dict[int, int] = {}
+        if faults is not None and faults.active:
+            self._injector = FaultInjector(faults, self._rng.spawn_child("faults"))
+            self._fast_forward = False
         self._ff_prev: Optional[_BoundarySnapshot] = None
         self._ff_delta: Optional[tuple] = None
         self._ff_saw_dvfs_request = False
@@ -352,7 +365,7 @@ class Simulator:
             if kind is _TASK_DONE:
                 handle_task_done(core_id, task_id, seq)
             elif kind is _CORE_READY:
-                handle_core_ready(core_id)
+                handle_core_ready(core_id, seq)
             elif kind is _DVFS_DONE:
                 handle_dvfs_done(core_id)
             elif kind is _BATCH_LAUNCH:
@@ -702,8 +715,20 @@ class Simulator:
         self._done = True
         return True
 
-    def _handle_core_ready(self, core_id: int) -> None:
+    def _handle_core_ready(self, core_id: int, seq: int) -> None:
         core = self._cores[core_id]
+        if self._stalled:
+            expected = self._stalled.get(core_id)
+            if expected is not None:
+                if expected != seq:
+                    return  # stale wake arriving during a stall window
+                # End of the fault-injected offline window: the core comes
+                # back up and asks for work like any other woken core.
+                del self._stalled[core_id]
+                self._meter.observe(self._queue._now)
+                core.spin()
+                self._dispatch(core)
+                return
         if core.state is not _SPINNING:
             return  # stale wake: core got work or is mid-transition already
         self._dispatch(core)
@@ -727,6 +752,12 @@ class Simulator:
         self._tasks_executed += 1
         if self._keep_tasks:
             self._finished_tasks.append(task)
+        if self._injector is not None:
+            corrupted = self._injector.corrupt_counters(task.spec.counters)
+            if corrupted is not None:
+                # The corrupted reading is what this run observed: it goes
+                # to the policy and stays on the finished-task record.
+                task.spec = replace(task.spec, counters=corrupted)
         self._policy.on_task_complete(core_id, task)
 
         if self._barrier.task_done():
@@ -783,6 +814,18 @@ class Simulator:
             )
         core_id = core.core_id
         self._idle.discard(core_id)
+        if self._injector is not None:
+            stall = self._injector.stall_seconds(core_id)
+            if stall > 0.0:
+                # Transient offline window: the core parks (baseline power
+                # only) and a seq-guarded wake brings it back. It is not in
+                # the idle set, so batch launches and spawn wakes skip it;
+                # work stealing routes around it meanwhile.
+                self._meter.observe(self._queue._now)
+                core.park()
+                event = self._queue.schedule(stall, _CORE_READY, core_id=core_id)
+                self._stalled[core_id] = event.seq
+                return
         self._trace_actor = core_id
         action: Action = self._policy.next_action(core_id)
 
@@ -803,6 +846,17 @@ class Simulator:
                     f"policy requested a no-op frequency change on core {core_id}"
                 )
             self._ff_saw_dvfs_request = True
+            if self._injector is not None and self._injector.deny_dvfs(core_id):
+                # Denied: the core keeps spinning at its old level and asks
+                # again after the platform's penalty. It is deliberately not
+                # returned to the idle set — the timed retry is its wake.
+                self._policy.on_dvfs_denied(core_id, action.level)
+                self._queue.schedule(
+                    self._injector.spec.dvfs_deny_penalty_s,
+                    _CORE_READY,
+                    core_id=core_id,
+                )
+                return
             began = self._request_levels({core_id: action.level})
             if core_id not in began:
                 # The request was absorbed by the DVFS domain (a faster
@@ -835,6 +889,14 @@ class Simulator:
                     f"policy requested a no-op frequency change on core {core.core_id}"
                 )
             self._ff_saw_dvfs_request = True
+            if self._injector is not None and self._injector.deny_dvfs(core.core_id):
+                self._policy.on_dvfs_denied(core.core_id, action.level)
+                self._queue.schedule(
+                    self._injector.spec.dvfs_deny_penalty_s,
+                    _CORE_READY,
+                    core_id=core.core_id,
+                )
+                return
             began = self._request_levels({core.core_id: action.level})
             if core.core_id not in began:
                 self._queue.schedule(0.0, _CORE_READY, core_id=core.core_id)
@@ -947,6 +1009,15 @@ class Simulator:
         targets = {
             cid: level for cid, level in enumerate(levels) if level is not None
         }
+        if self._injector is not None and self._injector.spec.dvfs_deny_rate > 0.0:
+            # Only *actual* change requests can be denied — re-asserting the
+            # current level is not a platform request, and denying it would
+            # falsely signal degradation to the policy in steady state.
+            for cid in sorted(targets):
+                if targets[cid] != self._requested[cid] and self._injector.deny_dvfs(
+                    cid
+                ):
+                    self._policy.on_dvfs_denied(cid, targets.pop(cid))
         self._request_levels(targets)
 
     def _request_levels(self, targets: dict[int, int]) -> set[int]:
@@ -1014,10 +1085,10 @@ class Simulator:
             self._idle.discard(core_id)
             core.begin_transition(target)
             began.add(core_id)
-            self._queue.schedule(
-                self._machine.dvfs_latency_s, _DVFS_DONE,
-                core_id=core_id,
-            )
+            latency = self._machine.dvfs_latency_s
+            if self._injector is not None:
+                latency += self._injector.dvfs_extra_latency(core_id)
+            self._queue.schedule(latency, _DVFS_DONE, core_id=core_id)
         return began
 
     def _retune_running(self, core: SimCore, level: int) -> None:
@@ -1125,6 +1196,7 @@ def simulate(
     record_power_series: bool = False,
     record_task_events: bool = False,
     fast_forward: bool = True,
+    faults: Optional[FaultSpec] = None,
 ) -> SimResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -1135,4 +1207,5 @@ def simulate(
         record_power_series=record_power_series,
         record_task_events=record_task_events,
         fast_forward=fast_forward,
+        faults=faults,
     ).run(program)

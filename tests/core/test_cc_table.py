@@ -113,6 +113,42 @@ class TestDiscreteTable:
         assert table[0, 0] <= 4  # never more cores than tasks
         assert np.isinf(table[1, 0])
 
+    def test_zero_count_class_demands_no_cores(self):
+        """A class seen zero times this batch must not reserve capacity."""
+        scale = opteron_8380_scale()
+        table = build_cc_table(
+            [stats("a", 4, 0.01), stats("b", 0, 0.005)],
+            scale,
+            ideal_time=0.05,
+            mode="discrete",
+        )
+        assert all(table.column(1) == 0.0)
+
+    def test_zero_workload_class_demands_no_cores(self):
+        """Zero mean workload hits the task_time <= 0 branch, not a 0/0."""
+        scale = opteron_8380_scale()
+        for mode in ("fluid", "discrete"):
+            table = build_cc_table(
+                [stats("a", 4, 0.01), stats("b", 3, 0.0)],
+                scale,
+                ideal_time=0.05,
+                mode=mode,
+            )
+            assert all(table.column(1) == 0.0)
+
+    def test_zero_headroom_accepts_an_exact_fit(self):
+        """headroom=0 is the boundary: a task taking exactly T is feasible."""
+        scale = FrequencyScale((2.0e9, 1.0e9))
+        table = build_cc_table(
+            [stats("a", 6, 0.05)],
+            scale,
+            ideal_time=0.05,
+            mode="discrete",
+            headroom=0.0,
+        )
+        assert table[0, 0] == pytest.approx(6.0)  # one task per core
+        assert np.isinf(table[1, 0])  # at half speed it no longer fits
+
     def test_negative_headroom_rejected(self):
         with pytest.raises(SearchError):
             build_cc_table(

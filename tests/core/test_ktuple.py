@@ -109,6 +109,18 @@ class TestExhaustive:
     def test_exhaustive_infeasible_returns_none(self):
         assert exhaustive_search(fig3_table(), num_cores=5) is None
 
+    def test_exact_tie_prefers_the_slower_tuple(self):
+        # Dyadic ladder (relative speeds 1, 1/2, 1/4) with CC column
+        # [1, 9, 100] on 9 cores: (0,) costs 1 + 8 * (1/4)^3 = 1.125 and
+        # (1,) costs 9 * (1/2)^3 = 1.125 — exactly equal in binary floats
+        # — while (2,) does not fit. The energy-priority tie-break must
+        # pick the slower assignment, not the first one enumerated.
+        scale = FrequencyScale((2.0e9, 1.0e9, 0.5e9))
+        table = cc_table_from_values([[1.0], [9.0], [100.0]], scale)
+        solution = exhaustive_search(table, num_cores=9)
+        assert solution is not None
+        assert solution.assignment == (1,)
+
 
 class TestSolutionViews:
     def test_levels_used(self):

@@ -1,0 +1,126 @@
+"""EEWA's graceful-degradation machinery under injected faults."""
+
+import pytest
+
+from repro.core.adjuster import AdjusterDecision
+from repro.core.cgroups import uniform_plan
+from repro.core.eewa import EEWAConfig, EEWAScheduler
+from repro.faults import FaultSpec
+from repro.faults.matrix import standard_machine, standard_program
+from repro.sim.engine import simulate
+
+_SEED = 9
+
+
+class TestDenialStreaks:
+    def test_streak_builds_then_backs_off(self):
+        policy = EEWAScheduler(
+            EEWAConfig(max_dvfs_retries=2, dvfs_backoff_batches=2)
+        )
+        policy.on_dvfs_denied(1, 2)
+        policy._update_denial_streaks()
+        assert policy._denied_streak == {1: 1}
+        assert not policy._dvfs_backoff
+        policy.on_dvfs_denied(1, 2)
+        policy._update_denial_streaks()
+        assert policy._denied_streak == {}
+        assert policy._dvfs_backoff == {1: 2}
+        assert policy.stats.extra["dvfs_backoffs"] == 1.0
+
+    def test_granted_boundary_resets_the_streak(self):
+        policy = EEWAScheduler(
+            EEWAConfig(max_dvfs_retries=3, dvfs_backoff_batches=2)
+        )
+        policy.on_dvfs_denied(0, 1)
+        policy._update_denial_streaks()
+        # Next boundary arrives with no denial for core 0: streak resets,
+        # so a later denial starts over instead of compounding.
+        policy._update_denial_streaks()
+        assert policy._denied_streak == {}
+        policy.on_dvfs_denied(0, 1)
+        policy._update_denial_streaks()
+        assert policy._denied_streak == {0: 1}
+
+    def test_mask_backoff_ticks_the_window(self):
+        policy = EEWAScheduler(
+            EEWAConfig(max_dvfs_retries=1, dvfs_backoff_batches=2)
+        )
+        policy._dvfs_backoff = {1: 2}
+        assert policy._mask_backoff([0, 0, 0, 0]) == [0, None, 0, 0]
+        assert policy._dvfs_backoff == {1: 1}
+        assert policy._mask_backoff([0, 0, 0, 0]) == [0, None, 0, 0]
+        assert policy._dvfs_backoff == {}
+        # Window expired: the next plan requests the core again.
+        assert policy._mask_backoff([0, 0, 0, 0]) == [0, 0, 0, 0]
+
+
+class TestUnderInjection:
+    def test_persistent_denial_engages_backoff_and_completes(self):
+        policy = EEWAScheduler(
+            EEWAConfig(max_dvfs_retries=2, dvfs_backoff_batches=2)
+        )
+        result = simulate(
+            standard_program(8),
+            policy,
+            standard_machine(),
+            seed=_SEED,
+            faults=FaultSpec(dvfs_deny_rate=1.0, dvfs_deny_penalty_s=2e-4),
+        )
+        assert result.tasks_executed == 80
+        assert result.policy_stats.get("dvfs_denied", 0.0) > 0
+        assert result.policy_stats.get("dvfs_backoffs", 0.0) >= 1.0
+
+    def test_repeated_search_failure_freezes_to_f0(self, monkeypatch):
+        # Force the planner to keep coming up empty: after
+        # ``max_search_failures`` boundaries EEWA must stop paying for the
+        # search and pin the rest of the run to all-F_0 work-stealing.
+        machine = standard_machine()
+
+        def no_feasible(self):
+            return AdjusterDecision(
+                plan=uniform_plan(machine.num_cores, level=0),
+                table=None,
+                solution=None,
+                wallclock_seconds=0.0,
+                simulated_seconds=0.0,
+                fallback_reason="no feasible k-tuple",
+            )
+
+        monkeypatch.setattr(EEWAScheduler, "_decide", no_feasible)
+        policy = EEWAScheduler(EEWAConfig(max_search_failures=2))
+        result = simulate(standard_program(6), policy, machine, seed=_SEED)
+        assert result.tasks_executed == 60
+        assert policy._frozen
+        assert policy._search_failures == 2
+        assert result.policy_stats.get("fallback_search_failure") == 1.0
+        # Frozen means exactly max_search_failures decisions were paid for.
+        assert len(policy.decisions) == 2
+
+
+class TestFingerprintCoverage:
+    @pytest.fixture
+    def ran_policy(self):
+        policy = EEWAScheduler()
+        simulate(standard_program(), policy, standard_machine(), seed=_SEED)
+        return policy
+
+    def test_fault_free_fingerprint_has_no_degradation_section(self, ran_policy):
+        # Golden-trace stability: the ``:deg=`` suffix may only ever appear
+        # under fault injection, which already disables fast-forward.
+        assert ":deg=" not in ran_policy.state_fingerprint()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p._denied_streak.update({0: 1}),
+            lambda p: p._dvfs_backoff.update({2: 1}),
+            lambda p: p._denied_since_boundary.add(3),
+            lambda p: setattr(p, "_search_failures", 1),
+        ],
+    )
+    def test_degradation_state_changes_the_fingerprint(self, ran_policy, mutate):
+        before = ran_policy.state_fingerprint()
+        mutate(ran_policy)
+        after = ran_policy.state_fingerprint()
+        assert after != before
+        assert ":deg=" in after

@@ -1,0 +1,109 @@
+"""Engine behaviour under fault injection.
+
+The one invariant every test here leans on: faults change *how long and
+how hot* a run is, never *whether it finishes* — and a run with no active
+faults is bit-identical to one where fault injection does not exist.
+"""
+
+from repro.core.eewa import EEWAScheduler
+from repro.faults import FaultSpec
+from repro.faults.matrix import standard_machine, standard_program
+from repro.runtime.cilk import CilkScheduler
+from repro.runtime.cilk_d import CilkDScheduler
+from repro.sim.engine import Simulator, simulate
+from repro.sim.fingerprint import trace_fingerprint
+
+_SEED = 9
+
+
+def _expected_tasks(batches: int) -> int:
+    return batches * 10  # standard_program batches carry 10 tasks each
+
+
+class TestGoldenParity:
+    def test_inactive_spec_is_bit_identical_to_no_faults(self):
+        # ``faults=FaultSpec()`` must not even construct an injector: the
+        # run draws the exact same randomness as a build without the
+        # feature, so every pinned golden trace stays valid.
+        program = standard_program()
+        machine = standard_machine()
+        plain = simulate(program, CilkDScheduler(), machine, seed=_SEED)
+        explicit_none = simulate(
+            program, CilkDScheduler(), machine, seed=_SEED, faults=None
+        )
+        inactive = simulate(
+            program, CilkDScheduler(), machine, seed=_SEED, faults=FaultSpec()
+        )
+        assert trace_fingerprint(plain) == trace_fingerprint(explicit_none)
+        assert trace_fingerprint(plain) == trace_fingerprint(inactive)
+        assert plain.total_joules == inactive.total_joules
+
+    def test_active_faults_disable_fast_forward(self):
+        # Fault draws are per-event; delta replay cannot reproduce them, so
+        # an active spec must force full event-by-event simulation.
+        result = simulate(
+            standard_program(6),
+            CilkScheduler(),
+            standard_machine(),
+            seed=_SEED,
+            faults=FaultSpec(stall_rate=0.05, stall_duration_s=1e-3),
+        )
+        assert result.batches_fast_forwarded == 0
+        assert result.batches_simulated == result.batches_executed
+
+
+class TestDvfsDenial:
+    def test_denial_notifies_policy_and_run_completes(self):
+        result = simulate(
+            standard_program(4),
+            EEWAScheduler(),
+            standard_machine(),
+            seed=_SEED,
+            faults=FaultSpec(dvfs_deny_rate=1.0, dvfs_deny_penalty_s=2e-4),
+        )
+        assert result.tasks_executed == _expected_tasks(4)
+        assert result.policy_stats.get("dvfs_denied", 0.0) > 0
+
+
+class TestCoreStalls:
+    def test_stalled_cores_recover_and_nothing_is_lost(self):
+        sim = Simulator(
+            standard_machine(),
+            CilkScheduler(),
+            seed=_SEED,
+            faults=FaultSpec(stall_rate=0.1, stall_duration_s=2e-3),
+        )
+        result = sim.run(standard_program(4))
+        assert sim._injector.counts["stalls"] > 0
+        assert not sim._stalled, "a stall window never ended"
+        assert result.tasks_executed == _expected_tasks(4)
+
+
+class TestDvfsDelay:
+    def test_delayed_transitions_fire_and_run_completes(self):
+        sim = Simulator(
+            standard_machine(),
+            EEWAScheduler(),
+            seed=_SEED,
+            faults=FaultSpec(dvfs_delay_rate=1.0, dvfs_delay_s=5e-4),
+        )
+        result = sim.run(standard_program(4))
+        assert sim._injector.counts["dvfs_delayed"] > 0
+        assert result.tasks_executed == _expected_tasks(4)
+
+
+class TestCounterCorruption:
+    def test_corruption_perturbs_the_profiling_signal(self):
+        # Heavy spurious cache misses push the batch-0 classifier over the
+        # memory-bound threshold, so EEWA takes its F_0 fallback — exactly
+        # the degradation path noisy PMUs trigger on real hardware.
+        sim = Simulator(
+            standard_machine(),
+            EEWAScheduler(),
+            seed=_SEED,
+            faults=FaultSpec(counter_noise_rate=1.0, counter_noise_intensity=0.5),
+        )
+        result = sim.run(standard_program(4))
+        assert sim._injector.counts["counters_corrupted"] > 0
+        assert result.policy_stats.get("fallback_memory_bound") == 1.0
+        assert result.tasks_executed == _expected_tasks(4)

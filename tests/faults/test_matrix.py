@@ -1,0 +1,49 @@
+"""The standard fault matrix and the resilience gate built on it."""
+
+from repro.faults.matrix import (
+    STANDARD_FAULT_MATRIX,
+    ResilienceRow,
+    format_resilience,
+    policy_resilience,
+    standard_program,
+)
+from repro.runtime.cilk import CilkScheduler
+
+
+class TestMatrixShape:
+    def test_names_are_unique(self):
+        names = [name for name, _ in STANDARD_FAULT_MATRIX]
+        assert len(set(names)) == len(names)
+
+    def test_every_mix_is_active(self):
+        # An inactive mix would silently test nothing.
+        assert all(spec.active for _, spec in STANDARD_FAULT_MATRIX)
+
+    def test_standard_program_tasks_carry_counters(self):
+        # Counter corruption needs PMU readings to corrupt.
+        for batch in standard_program(1):
+            assert all(spec.counters is not None for spec in batch.specs)
+
+
+class TestPolicyResilience:
+    def test_cilk_survives_the_whole_matrix(self):
+        rows = policy_resilience(lambda: CilkScheduler())
+        assert [row.fault for row in rows] == [
+            name for name, _ in STANDARD_FAULT_MATRIX
+        ]
+        for row in rows:
+            assert row.policy == "cilk"
+            assert row.completed, f"lost tasks under {row.fault}"
+            assert row.time_ratio > 0 and row.energy_ratio > 0
+
+
+class TestReport:
+    def test_format_flags_incomplete_rows(self):
+        rows = [
+            ResilienceRow("eewa", "core-stall", 30, 30, 1.1, 1.2),
+            ResilienceRow("eewa", "combined", 29, 30, 1.1, 1.2),
+        ]
+        text = format_resilience(rows)
+        lines = text.splitlines()
+        assert "FAIL" not in lines[1]
+        assert "FAIL" in lines[2]

@@ -1,0 +1,109 @@
+"""FaultSpec validation and JSON round-trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ScenarioError
+from repro.faults import FAULT_SCHEMA_VERSION, FaultSpec
+
+
+class TestValidation:
+    def test_default_spec_is_inactive(self):
+        spec = FaultSpec()
+        assert not spec.active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dvfs_deny_rate": 0.5},
+            {"dvfs_delay_rate": 1.0, "dvfs_delay_s": 1e-4},
+            {"stall_rate": 0.1, "stall_duration_s": 1e-3},
+            {"counter_noise_rate": 0.2, "counter_noise_intensity": 0.1},
+        ],
+    )
+    def test_any_positive_rate_is_active(self, kwargs):
+        assert FaultSpec(**kwargs).active
+
+    @pytest.mark.parametrize(
+        "field", ["dvfs_deny_rate", "dvfs_delay_rate", "stall_rate", "counter_noise_rate"]
+    )
+    def test_rates_outside_unit_interval_rejected(self, field):
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            FaultSpec(**{field: 1.5})
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            FaultSpec(**{field: -0.1})
+
+    def test_negative_magnitudes_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            FaultSpec(stall_duration_s=-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"dvfs_deny_rate": 0.5, "dvfs_deny_penalty_s": 0.0}, "penalty"),
+            ({"dvfs_delay_rate": 0.5}, "dvfs_delay_s"),
+            ({"stall_rate": 0.5}, "stall_duration_s"),
+            ({"counter_noise_rate": 0.5}, "intensity"),
+        ],
+    )
+    def test_rate_without_magnitude_rejected(self, kwargs, match):
+        # A rate with no magnitude would be a silent no-op (or a zero-delay
+        # retry storm for denial) — the inconsistent combination must raise.
+        with pytest.raises(ConfigurationError, match=match):
+            FaultSpec(**kwargs)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            dvfs_deny_rate=0.3,
+            dvfs_deny_penalty_s=2e-4,
+            stall_rate=0.05,
+            stall_duration_s=1e-3,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = FaultSpec(counter_noise_rate=0.5, counter_noise_intensity=0.2)
+        assert FaultSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load(self, tmp_path):
+        spec = FaultSpec(dvfs_delay_rate=1.0, dvfs_delay_s=5e-4)
+        path = tmp_path / "faults.json"
+        spec.save(path)
+        assert FaultSpec.load(path) == spec
+
+    def test_to_dict_is_sparse(self):
+        # Only the schema tag and non-default fields are written, so specs
+        # stay readable and digests don't churn when defaults gain fields.
+        data = FaultSpec(stall_rate=0.1, stall_duration_s=1e-3).to_dict()
+        assert data == {
+            "schema": FAULT_SCHEMA_VERSION,
+            "stall_rate": 0.1,
+            "stall_duration_s": 1e-3,
+        }
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fault fields"):
+            FaultSpec.from_dict({"stall_rat": 0.1})
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ScenarioError, match="unsupported fault schema"):
+            FaultSpec.from_dict({"schema": FAULT_SCHEMA_VERSION + 1})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ScenarioError, match="JSON object"):
+            FaultSpec.from_dict([0.5])
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ScenarioError, match="invalid fault JSON"):
+            FaultSpec.from_json("{not json")
+
+    def test_invalid_values_surface_as_scenario_errors(self):
+        # CLI callers catch ScenarioError for bad input files; semantic
+        # errors inside an otherwise well-formed spec must map onto it.
+        with pytest.raises(ScenarioError, match="invalid fault spec"):
+            FaultSpec.from_dict({"dvfs_deny_rate": 2.0})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot load fault spec"):
+            FaultSpec.load(tmp_path / "absent.json")

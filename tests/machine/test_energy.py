@@ -115,3 +115,17 @@ class TestGuards:
         meter.observe(1.0)
         meter.finalize(1.0)
         assert meter.elapsed == pytest.approx(1.0)
+
+    def test_float_jitter_does_not_rewind_the_clock(self, setup):
+        # A tiny negative dt within tolerance is float noise, not time
+        # travel; rewinding to it would stretch the *next* interval and
+        # over-bill by the jitter. The later instant must be kept.
+        cores, power, meter = setup
+        meter.observe(1.0)
+        cores[0].spin()
+        meter.observe(1.0 - 1e-13)
+        assert meter.elapsed == 1.0
+        meter.finalize(2.0)
+        assert meter.accounts[0].joules == pytest.approx(
+            1.0 * power.idle_power() + 1.0 * power.busy_power(cores[0].frequency)
+        )

@@ -18,7 +18,12 @@ class TestShippedPolicies:
     def test_cilk_conforms(self):
         report = check_policy(CilkScheduler)
         assert report.ok, report.failures
-        assert report.checks_run == 7
+        assert report.checks_run == 8
+        # The fault-matrix check reports degradation per standard mix.
+        from repro.faults.matrix import STANDARD_FAULT_MATRIX
+        assert set(report.fault_degradation) == {
+            name for name, _ in STANDARD_FAULT_MATRIX
+        }
 
     def test_cilk_d_conforms(self):
         report = check_policy(CilkDScheduler)
@@ -76,7 +81,7 @@ class TestBrokenPolicies:
         report = check_policy(OnlyCoreZero)
         # Completes all work (not a correctness failure) but may trip the
         # serialisation bound; either way it must not crash the harness.
-        assert report.checks_run == 7
+        assert report.checks_run == 8
 
     def test_spawnless_policy_with_flag(self):
         class NoSpawns(SchedulerPolicy):
@@ -113,11 +118,11 @@ class TestBrokenPolicies:
 
 
 class TestDeepMode:
-    def test_shallow_runs_seven_checks_deep_runs_eight(self):
+    def test_shallow_runs_eight_checks_deep_runs_nine(self):
         shallow = check_policy(CilkScheduler)
         deep = check_policy(CilkScheduler, deep=True)
-        assert shallow.checks_run == 7
-        assert deep.checks_run == 8
+        assert shallow.checks_run == 8
+        assert deep.checks_run == 9
         assert deep.ok, deep.failures
 
     def test_eewa_is_race_free_in_deep_mode(self):

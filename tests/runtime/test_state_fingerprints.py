@@ -124,6 +124,38 @@ class TestRngPins:
         assert a.state_fingerprint() == b.state_fingerprint()
 
 
+class TestProfilerFingerprintCollisions:
+    @staticmethod
+    def _profiler(classes):
+        from repro.core.profiler import OnlineProfiler, TaskClassStats
+        from repro.machine.frequency import opteron_8380_scale
+
+        profiler = OnlineProfiler(scale=opteron_8380_scale())
+        for name, count in classes:
+            profiler._classes[name] = TaskClassStats(function=name, count=count)
+        profiler._tasks_seen = 1
+        return profiler
+
+    def test_class_name_field_is_length_prefixed(self):
+        # Without the length prefix these two states serialise to the same
+        # string: the classes {"a", "b"} joined by "\x1f" vs one class
+        # whose *name* embeds the join byte and a forged "a" record
+        # ("a:1:0.0:0:0:0\x1fb" + ":1:0.0:0:0:0"). A collision here would
+        # let fast-forward replay across genuinely different profiler
+        # states.
+        split = self._profiler([("a", 1), ("b", 1)])
+        forged = self._profiler([("a:1:0.0:0:0:0\x1fb", 1)])
+        assert split.state_fingerprint() != forged.state_fingerprint()
+
+    def test_colon_in_name_cannot_shift_fields(self):
+        # "a:1" with count 2 vs "a" with count 1 must stay distinct even
+        # though the un-prefixed renderings both start with "a:1:".
+        assert (
+            self._profiler([("a:1", 2)]).state_fingerprint()
+            != self._profiler([("a", 1)]).state_fingerprint()
+        )
+
+
 class TestMutationSensitivity:
     def test_policy_fingerprint_sees_residual_pooled_task(self):
         policy = run_policy("eewa")

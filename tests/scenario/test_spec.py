@@ -65,6 +65,26 @@ class TestRoundTrip:
         )
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
 
+    def test_faults_round_trip(self):
+        from repro.faults import FaultSpec
+
+        spec = ScenarioSpec(
+            workload="SHA-1",
+            policy="eewa",
+            faults=FaultSpec(dvfs_deny_rate=0.25),
+        )
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.faults.dvfs_deny_rate == 0.25
+
+    def test_schema_v1_documents_still_read(self):
+        # v1 scenarios (written before the faults axis) are a strict subset
+        # of v2 and must keep loading.
+        data = ScenarioSpec(workload="SHA-1", policy="cilk").to_dict()
+        data["schema"] = 1
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.faults is None
+
 
 class TestValidation:
     def test_unknown_scenario_field_rejected(self):
@@ -151,10 +171,10 @@ class TestDerivation:
 #: means every existing result-cache entry is orphaned — that must be a
 #: deliberate, schema-version-bumping decision, never a side effect.
 PINNED_DIGESTS = {
-    "cilk": "1606a55b33b3d6cc47daf753fa2c0cb5156c9cf253ef56df9259308423c2134d",
-    "cilk-d": "43a484351b0307b1308fd051afbb7091495b70610009a5773ee6bfa79b6365b8",
-    "wats": "1a25707c975ce8c761e7ee40662c38b2c5547abd86b71fef9bbb4671ddecbdc5",
-    "eewa": "f7db178829abf9604236e77fd20d5d40ca9c38e1d789eb4144a43c8de53ffe21",
+    "cilk": "6f98e4968223ea7a04adddeb8de29c28568b9590cd880e8f671528f8255cb727",
+    "cilk-d": "a878046b73dcd6a200ffc58b19209a210c799bbf1320d6704574a3a791465210",
+    "wats": "aac0e216ff046cfe74886c0c208dbdbeb50fcfb46b7a7f5b29f76ae05a843d90",
+    "eewa": "65e29d873a47d177b2f8dc811145cfaa1344af7fb53e2b2087620aedd68d78e2",
 }
 
 
@@ -204,6 +224,13 @@ class TestDigest:
     def test_any_field_change_changes_the_digest(self, change):
         base = _pinned_scenario("cilk")
         assert change(base).digest() != base.digest()
+
+    def test_faults_change_the_digest(self):
+        from repro.faults import FaultSpec
+
+        base = _pinned_scenario("cilk")
+        faulted = base.with_faults(FaultSpec(stall_rate=0.1, stall_duration_s=1e-3))
+        assert faulted.digest() != base.digest()
 
     def test_policy_params_change_the_digest(self):
         base = ScenarioSpec(workload="SHA-1", policy=PolicySpec("eewa"))
