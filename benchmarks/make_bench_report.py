@@ -35,6 +35,8 @@ SHORT_NAMES = {
     "test_bench_engine_eewa_100batch_ff": "eewa_100batch_ff",
     "test_bench_engine_eewa_100batch_full": "eewa_100batch_full",
     "test_bench_event_queue": "event_queue",
+    "test_bench_sweep_cold": "sweep_cold",
+    "test_bench_sweep_warm": "sweep_warm",
 }
 
 
@@ -74,6 +76,12 @@ def main(argv: list[str] | None = None) -> int:
             entry["speedup_vs_baseline"] = baseline[name] / seconds
         for key, value in bench.get("extra_info", {}).items():
             entry[key] = value
+        # Sweep-engine rows carry their submission accounting in
+        # extra_info; derive the duplicate-absorption rate from it.
+        if entry.get("submissions"):
+            entry["dedup_hit_rate"] = (
+                entry.get("dedup_hits", 0) / entry["submissions"]
+            )
         report["benchmarks"][name] = entry
 
     # Paired fast-forward rows: "<cell>_ff" vs "<cell>_full" measure the
@@ -86,6 +94,17 @@ def main(argv: list[str] | None = None) -> int:
         if full and entry["seconds_per_op"] > 0:
             entry["speedup_vs_full"] = (
                 full["seconds_per_op"] / entry["seconds_per_op"]
+            )
+
+    # Paired cache-temperature rows: "<load>_warm" vs "<load>_cold" run
+    # the same duplicate-heavy load against a packed cache vs from scratch.
+    for name, entry in benches.items():
+        if not name.endswith("_warm"):
+            continue
+        cold = benches.get(name[: -len("_warm")] + "_cold")
+        if cold and entry["seconds_per_op"] > 0:
+            entry["speedup_warm_vs_cold"] = (
+                cold["seconds_per_op"] / entry["seconds_per_op"]
             )
 
     if args.extra:

@@ -11,6 +11,11 @@
   (:class:`repro.scenario.ScenarioSpec`) or a bare workload spec;
 * ``bench`` — parallel cached sweep over (workload × policy × seed) cells
   (see :mod:`repro.experiments.parallel`);
+* ``sweep`` — the same grid through the persistent
+  :class:`~repro.experiments.sweep.SweepEngine`, streaming per-cell
+  results as they complete (duplicate-heavy loads coalesce in flight);
+* ``cache`` — result-cache maintenance: ``stats``, ``prune``, ``migrate``
+  (see :mod:`repro.experiments.cachectl`);
 * ``calibrate`` — re-measure the real kernels behind the workload costs;
 * ``check`` — determinism lint, invariant model checking, race detection
   (see :mod:`repro.checks`).
@@ -167,6 +172,73 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault-injection spec JSON; runs each cell fault-free AND "
         "faulted and prints a resilience (degradation) report",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="streaming sweep through the persistent work-queue engine",
+    )
+    sweep.add_argument(
+        "--benchmarks", nargs="+", default=list(workload_names(table2_only=True)),
+        choices=workload_names(), metavar="NAME",
+    )
+    sweep.add_argument(
+        "--policies", nargs="+", default=list(baseline_policy_names()),
+        choices=POLICIES.names(), metavar="POLICY",
+    )
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
+    sweep.add_argument("--batches", type=int, default=None)
+    sweep.add_argument("--cores", type=int, default=16)
+    sweep.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="submit the whole grid N times (duplicates coalesce in flight "
+        "or hit the cache — a dedup demonstration and load generator)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker process count (default: cpu count; 0/1 runs in-process)",
+    )
+    sweep.add_argument("--cache-dir", default=".repro-cache")
+    sweep.add_argument("--no-cache", action="store_true")
+    sweep.add_argument("--no-fast-forward", action="store_true")
+    sweep.add_argument(
+        "--chunk-target", type=float, default=0.25, metavar="SECONDS",
+        help="per-IPC-round-trip budget for the adaptive chunk sizer",
+    )
+    sweep.add_argument(
+        "--max-pending", type=int, default=10_000,
+        help="backpressure bound on queued-but-undispatched cells",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell streaming lines (summary only)",
+    )
+    sweep.add_argument("--json", metavar="PATH", help="write sweep results as JSON")
+
+    cache = sub.add_parser(
+        "cache", help="result-cache maintenance (stats, prune, migrate)"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser(
+        "stats", help="entry/byte counts and shard distribution"
+    )
+    cache_prune_p = cache_sub.add_parser(
+        "prune", help="evict old and/or excess entries (oldest first)"
+    )
+    cache_prune_p.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="evict entries older than this many days",
+    )
+    cache_prune_p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest entries until the cache fits this many bytes",
+    )
+    cache_migrate_p = cache_sub.add_parser(
+        "migrate",
+        help="flat→sharded layout migration + pack loose entries into "
+        "per-shard indexes",
+    )
+    for sub_p in (cache_stats_p, cache_prune_p, cache_migrate_p):
+        sub_p.add_argument("--cache-dir", default=".repro-cache")
 
     cal = sub.add_parser("calibrate", help="re-measure real kernel costs")
     cal.add_argument("--repeats", type=int, default=3)
@@ -586,6 +658,138 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    session = Session(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        fast_forward=not args.no_fast_forward,
+    )
+    engine = session.engine.configure(
+        chunk_target_seconds=args.chunk_target, max_pending=args.max_pending
+    )
+    machine = MachineSpec(num_cores=args.cores)
+    scenarios = [
+        _resolve_levels(
+            session,
+            ScenarioSpec(
+                workload=name, policy=policy, machine=machine,
+                seeds=tuple(args.seeds), batches=args.batches,
+            ),
+            None,
+        )
+        for name in args.benchmarks
+        for policy in args.policies
+    ]
+    from repro.experiments.parallel import CellSpec
+
+    cells = [
+        CellSpec.from_scenario(scenario, seed)
+        for _ in range(args.repeat)
+        for scenario in scenarios
+        for seed in scenario.seeds
+    ]
+    started = time.perf_counter()
+    tickets = engine.submit_many(cells)
+    submitted = time.perf_counter() - started
+    streamed = []
+    for ticket in engine.as_completed(tickets):
+        outcome = ticket.result()
+        latency = time.perf_counter() - started
+        streamed.append((ticket, outcome, latency))
+        if not args.quiet:
+            spec = ticket.spec
+            source = "cached" if outcome.from_cache else "simulated"
+            print(
+                f"  done {spec.benchmark}/{spec.policy} seed {spec.seed}: "
+                f"{outcome.result.total_time*1e3:.1f} ms sim, "
+                f"{outcome.result.total_joules:.2f} J [{source}]"
+            )
+    wall = time.perf_counter() - started
+    stats = engine.stats
+    dedup_rate = stats.deduplicated / stats.cells if stats.cells else 0.0
+    print(
+        f"  {stats.cells} submissions in {wall:.2f} s "
+        f"({stats.cells / wall:.0f}/s): {stats.executed} simulated in "
+        f"{stats.chunks} chunks, {stats.cache_hits} from cache "
+        f"({stats.memo_hits} memo), {stats.deduplicated} coalesced in flight "
+        f"(dedup rate {dedup_rate:.1%}), {stats.cancelled} cancelled"
+    )
+    if args.json:
+        import json
+
+        latencies = sorted(lat for _, _, lat in streamed)
+
+        def _pct(p: float) -> float:
+            if not latencies:
+                return 0.0
+            idx = min(len(latencies) - 1, int(p * (len(latencies) - 1)))
+            return latencies[idx]
+
+        payload = {
+            "machine_cores": args.cores,
+            "seeds": list(args.seeds),
+            "repeat": args.repeat,
+            "wall_seconds": wall,
+            "submit_seconds": submitted,
+            "fast_forward": not args.no_fast_forward,
+            "stats": {
+                "submissions": stats.cells,
+                "executed": stats.executed,
+                "cache_hits": stats.cache_hits,
+                "memo_hits": stats.memo_hits,
+                "deduplicated": stats.deduplicated,
+                "cancelled": stats.cancelled,
+                "chunks": stats.chunks,
+                "dedup_hit_rate": dedup_rate,
+                "throughput_per_sec": stats.cells / wall if wall > 0 else 0.0,
+                "latency_p50_s": _pct(0.50),
+                "latency_p99_s": _pct(0.99),
+            },
+            "cells": [
+                {
+                    "benchmark": t.spec.benchmark,
+                    "policy": t.spec.policy,
+                    "seed": t.spec.seed,
+                    "from_cache": o.from_cache,
+                    "total_time": o.result.total_time,
+                    "total_joules": o.result.total_joules,
+                    "latency_s": lat,
+                }
+                for t, o, lat in streamed
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"  wrote {args.json}")
+    session.close()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments import cachectl
+
+    if args.cache_command == "stats":
+        print(cachectl.cache_stats(args.cache_dir).summary())
+        return 0
+    if args.cache_command == "prune":
+        if args.max_age_days is None and args.max_bytes is None:
+            raise ScenarioError(
+                "cache prune needs --max-age-days and/or --max-bytes"
+            )
+        result = cachectl.prune(
+            args.cache_dir,
+            max_age_days=args.max_age_days,
+            max_bytes=args.max_bytes,
+        )
+        print(result.summary())
+        return 0
+    result = cachectl.migrate(args.cache_dir)
+    print(result.summary())
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.kernels.profile import REFERENCE_COSTS, measure_kernel_costs
 
@@ -626,6 +830,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run_spec(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "calibrate":
             return _cmd_calibrate(args)
     except ScenarioError as exc:

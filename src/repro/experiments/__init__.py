@@ -1,4 +1,6 @@
-"""One module per paper exhibit: Fig. 1, 6, 7, 8, 9 and Table III."""
+"""One module per paper exhibit: Fig. 1, 6, 7, 8, 9 and Table III —
+plus the sweep-execution layer they all run on (cell model, sharded
+result cache, persistent sweep engine)."""
 
 from repro.experiments.fig1 import analytic_schedules, fig1_machine, fig1_rows, run_fig1
 from repro.experiments.fig6 import Fig6Result, Fig6Row, run_fig6
@@ -20,10 +22,25 @@ from repro.experiments.runner import (
     modal_eewa_levels,
     run_benchmark,
 )
+from repro.experiments.parallel import (
+    CellOutcome,
+    CellSpec,
+    ParallelRunner,
+    ResultCache,
+    SweepStats,
+)
+from repro.experiments.sweep import SweepEngine, SweepTicket
 from repro.experiments.table3 import Table3Result, Table3Row, run_table3
 
 __all__ = [
+    "CellOutcome",
+    "CellSpec",
     "DEFAULT_SEEDS",
+    "ParallelRunner",
+    "ResultCache",
+    "SweepEngine",
+    "SweepStats",
+    "SweepTicket",
     "bar_chart",
     "frequency_timeline",
     "grouped_bar_chart",

@@ -1,0 +1,181 @@
+"""Maintenance tooling for the sharded result cache (``repro cache``).
+
+Three operations over a :class:`~repro.experiments.parallel.ResultCache`
+root, none of which ever touch simulation semantics (cache keys are
+content-addressed, so removal can only cause re-simulation, never wrong
+results):
+
+* :func:`cache_stats` — entry/byte counts, shard distribution, and how
+  much of the cache is packed vs loose;
+* :func:`prune` — evict entries older than ``max_age_days`` and/or the
+  oldest entries beyond ``max_bytes``;
+* :func:`migrate` — fold a flat pre-shard layout into the sharded one and
+  compact every shard's loose entries into its packed index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Optional
+
+from repro.experiments.parallel import ResultCache
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """One snapshot of a cache root."""
+
+    root: str
+    entries: int
+    loose_entries: int
+    packed_entries: int
+    total_bytes: int
+    shards: int
+    min_shard_entries: int
+    max_shard_entries: int
+    mean_shard_entries: float
+
+    def summary(self) -> str:
+        lines = [
+            f"cache {self.root}",
+            f"  entries: {self.entries} "
+            f"({self.packed_entries} packed, {self.loose_entries} loose)",
+            f"  bytes:   {self.total_bytes}",
+            f"  shards:  {self.shards}",
+        ]
+        if self.shards:
+            lines.append(
+                "  entries/shard: "
+                f"min {self.min_shard_entries}, "
+                f"max {self.max_shard_entries}, "
+                f"mean {self.mean_shard_entries:.1f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneResult:
+    removed: int
+    kept: int
+    bytes_freed: int
+
+    def summary(self) -> str:
+        return (
+            f"pruned {self.removed} entries ({self.bytes_freed} bytes), "
+            f"{self.kept} kept"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrateResult:
+    moved_flat: int
+    packed: int
+
+    def summary(self) -> str:
+        return (
+            f"migrated {self.moved_flat} flat entries into shards, "
+            f"packed {self.packed} loose entries into shard indexes"
+        )
+
+
+def _entry_map(cache: ResultCache) -> dict[str, tuple[float, int]]:
+    """Distinct keys → (newest mtime, bytes). Loose overrides pack."""
+    entries: dict[str, tuple[float, int]] = {}
+    for info in cache.iter_entries():
+        seen = entries.get(info.key)
+        if seen is None or info.mtime >= seen[0]:
+            entries[info.key] = (info.mtime, info.nbytes)
+    return entries
+
+
+def cache_stats(root: str | os.PathLike[str]) -> CacheStats:
+    cache = ResultCache(root)
+    loose = 0
+    packed = 0
+    per_shard: dict[str, int] = {}
+    keys: dict[str, tuple[float, int]] = {}
+    for info in cache.iter_entries():
+        if info.key not in keys:
+            per_shard[info.key[:2]] = per_shard.get(info.key[:2], 0) + 1
+            if info.source == "pack":
+                packed += 1
+            else:
+                loose += 1
+        seen = keys.get(info.key)
+        if seen is None or info.mtime >= seen[0]:
+            keys[info.key] = (info.mtime, info.nbytes)
+    counts = list(per_shard.values())
+    return CacheStats(
+        root=str(root),
+        entries=len(keys),
+        loose_entries=loose,
+        packed_entries=packed,
+        total_bytes=sum(nbytes for _, nbytes in keys.values()),
+        shards=len(counts),
+        min_shard_entries=min(counts) if counts else 0,
+        max_shard_entries=max(counts) if counts else 0,
+        mean_shard_entries=(sum(counts) / len(counts)) if counts else 0.0,
+    )
+
+
+def prune(
+    root: str | os.PathLike[str],
+    *,
+    max_age_days: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    now: Optional[float] = None,
+) -> PruneResult:
+    """Evict stale and/or excess entries, oldest first.
+
+    ``max_age_days`` removes entries whose newest copy is older than the
+    cutoff; ``max_bytes`` then evicts the oldest remaining entries until
+    the cache fits. Either bound may be given alone.
+    """
+    cache = ResultCache(root)
+    entries = _entry_map(cache)
+    now = time.time() if now is None else now
+
+    victims: set[str] = set()
+    if max_age_days is not None:
+        cutoff = now - max_age_days * 86400.0
+        victims.update(k for k, (mtime, _) in entries.items() if mtime < cutoff)
+    if max_bytes is not None:
+        kept = [
+            (mtime, key, nbytes)
+            for key, (mtime, nbytes) in entries.items()
+            if key not in victims
+        ]
+        total = sum(nbytes for _, _, nbytes in kept)
+        for mtime, key, nbytes in sorted(kept):
+            if total <= max_bytes:
+                break
+            victims.add(key)
+            total -= nbytes
+
+    bytes_freed = sum(entries[k][1] for k in victims)
+    cache.remove_keys(victims)
+    return PruneResult(
+        removed=len(victims),
+        kept=len(entries) - len(victims),
+        bytes_freed=bytes_freed,
+    )
+
+
+def migrate(root: str | os.PathLike[str]) -> MigrateResult:
+    """Flat→sharded layout migration plus shard compaction, idempotent."""
+    cache = ResultCache(root)  # __init__ already moves flat entries
+    moved = cache.migrated_flat + cache.migrate_flat()  # + any stragglers
+    packed = cache.compact()
+    return MigrateResult(moved_flat=moved, packed=packed)
+
+
+__all__ = [
+    "CacheStats",
+    "MigrateResult",
+    "PruneResult",
+    "cache_stats",
+    "migrate",
+    "prune",
+]

@@ -1,23 +1,32 @@
-"""Parallel, cached experiment execution.
+"""Parallel, cached experiment execution — cell model, cache, and shim.
 
 The paper's evaluation repeats every (benchmark × policy) pair ~100 times;
 our exhibits repeat each cell over seeds. The cells are embarrassingly
 parallel — every simulation is a pure function of *(program, policy config,
-machine, seed, engine version)* — so this module provides the two scaling
-levers every figure module shares:
+machine, seed, engine version)* — so this module provides the shared
+vocabulary every figure module and the sweep engine build on:
 
-* **fan-out** — a :class:`ParallelRunner` dispatches cells to a
-  ``ProcessPoolExecutor`` (one simulation per task, results pickled back);
+* **cell model** — :class:`CellSpec` / :class:`CellOutcome` /
+  :func:`cell_key`, the content-addressed identity of one simulation;
 * **content-addressed caching** — each cell's inputs are canonically
   encoded (:mod:`repro.sim.fingerprint`) and SHA-256 hashed into a cache
   key; finished :class:`~repro.sim.engine.SimResult` objects are pickled
-  under that key. A repeated sweep with unchanged inputs executes zero
-  simulations; changing *any* input — a task spec, a policy tunable, the
-  machine, the seed, the engine version tag
-  (:data:`repro.sim.engine.ENGINE_VERSION`), or the scenario schema
-  version (:data:`repro.scenario.spec.SCENARIO_SCHEMA_VERSION`, which
-  versions the key layout itself) — changes the key and misses. Entries
-  written under an older schema version are therefore never served.
+  under that key in a :class:`ResultCache` sharded by two-hex digest
+  prefix, with an optional *packed per-shard index* so a warm sweep costs
+  one index read per shard instead of one stat+open per cell. A repeated
+  sweep with unchanged inputs executes zero simulations; changing *any*
+  input — a task spec, a policy tunable, the machine, the seed, the engine
+  version tag (:data:`repro.sim.engine.ENGINE_VERSION`), or the scenario
+  schema version (:data:`repro.scenario.spec.SCENARIO_SCHEMA_VERSION`,
+  which versions the key layout itself) — changes the key and misses.
+  Entries written under an older schema version are therefore never
+  served.
+* **fan-out** — :class:`ParallelRunner`, the stable API the exhibits call.
+  Since the sweep-engine refactor it is a thin shim over
+  :class:`repro.experiments.sweep.SweepEngine`: a persistent priority
+  work-queue with a long-lived warm worker pool, chunked dispatch, and
+  in-flight deduplication. ``run_cells`` / ``run_many`` /
+  ``run_benchmark`` keep their exact pre-engine semantics.
 
 Determinism note: results are byte-identical whether a cell is computed
 in-process, in a worker, or served from cache — the simulation itself is
@@ -35,15 +44,14 @@ import functools
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from repro.core.eewa import EEWAConfig
 from repro.errors import ConfigurationError
 from repro.experiments.outcome import RunOutcome, modal_levels_from_result
 from repro.faults.spec import FaultSpec
-from repro.machine.topology import MachineConfig, opteron_8380_machine
+from repro.machine.topology import MachineConfig
 from repro.runtime.task import Batch
 from repro.scenario.registry import POLICIES
 from repro.scenario.spec import (
@@ -226,28 +234,193 @@ class BenchRequest:
 # on-disk cache
 # ----------------------------------------------------------------------
 
+#: Per-shard packed index filename (lives inside each two-hex shard dir).
+PACK_FILENAME = "shard.pack"
+
+#: Bump when the pack file's internal structure changes; mismatched packs
+#: are discarded (the loose entries remain the source of truth).
+_PACK_FORMAT = 1
+
+_UNPICKLE_ERRORS = (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError, KeyError, TypeError, ValueError)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntryInfo:
+    """One cache entry as seen by the maintenance tooling."""
+
+    key: str
+    source: str  # "loose" | "pack"
+    nbytes: int
+    mtime: float
+
 
 class ResultCache:
-    """Content-addressed pickle store: one file per cell key."""
+    """Sharded content-addressed pickle store with a packed per-shard index.
+
+    On-disk layout (``root`` is the cache directory)::
+
+        root/<2-hex prefix>/<64-hex key>.pkl   # loose entry (atomic write)
+        root/<2-hex prefix>/shard.pack         # packed index of the shard
+
+    *Loose entries* are the write path: each ``put`` pickles the payload to
+    a temp file in the shard directory and ``os.replace``\\ s it into place,
+    so concurrent workers racing on one key both land a complete entry and
+    a crashed writer can never leave a torn file under the final name. A
+    torn or unreadable entry found by ``get`` is treated as a miss *and
+    deleted*, so it cannot poison later warm runs.
+
+    The *pack* is the read path: :meth:`compact` folds a shard's loose
+    entries into one pickle mapping ``key → (mtime, raw entry bytes)``,
+    written atomically. A warm sweep then costs one pack read per touched
+    shard (cached in memory for the life of this object) instead of one
+    ``stat`` + ``open`` per cell; keys missing from the pack fall back to
+    the loose files, so packs are never required for correctness and may
+    be stale while writers are active.
+
+    Instantiating the cache transparently migrates any *flat* pre-shard
+    layout (``root/<key>.pkl``) into the sharded one; the migration is a
+    no-op rename per entry and idempotent.
+    """
 
     def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
+        self._packs: dict[str, dict[str, tuple[float, bytes]]] = {}
+        #: Flat-layout entries transparently moved into shards at open time.
+        self.migrated_flat = self.migrate_flat()
+
+    # -- layout ---------------------------------------------------------
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[dict[str, Any]]:
-        path = self._path(key)
+    def _pack_path(self, prefix: str) -> Path:
+        return self.root / prefix / PACK_FILENAME
+
+    @staticmethod
+    def _is_entry_name(name: str) -> bool:
+        stem = name[: -len(".pkl")]
+        return (
+            name.endswith(".pkl")
+            and len(stem) == 64
+            and all(c in "0123456789abcdef" for c in stem)
+        )
+
+    def shard_prefixes(self) -> list[str]:
+        """Two-hex prefixes of the shard directories that exist on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and len(p.name) == 2
+            and all(c in "0123456789abcdef" for c in p.name)
+        )
+
+    def migrate_flat(self) -> int:
+        """Move flat-layout entries (``root/<key>.pkl``) into their shards.
+
+        Returns the number of entries moved. Idempotent and cheap when the
+        layout is already sharded (one directory scan, no renames).
+        """
+        if not self.root.is_dir():
+            return 0
+        moved = 0
+        for entry in list(self.root.iterdir()):
+            if not entry.is_file() or not self._is_entry_name(entry.name):
+                continue
+            dest = self._path(entry.name[: -len(".pkl")])
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            with contextlib.suppress(OSError):
+                os.replace(entry, dest)
+                moved += 1
+        return moved
+
+    # -- reads ----------------------------------------------------------
+
+    def _load_pack(self, prefix: str) -> dict[str, tuple[float, bytes]]:
+        cached = self._packs.get(prefix)
+        if cached is not None:
+            return cached
+        entries: dict[str, tuple[float, bytes]] = {}
+        path = self._pack_path(prefix)
+        payload: Any = None
         try:
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
+            payload = None  # no pack yet: the shard is all-loose
+        except _UNPICKLE_ERRORS:
+            with contextlib.suppress(OSError):
+                path.unlink()  # unreadable pack: discard, loose files remain
+        if (
+            isinstance(payload, dict)
+            and payload.get("format") == _PACK_FORMAT
+            and isinstance(payload.get("entries"), dict)
+        ):
+            entries = payload["entries"]
+        elif payload is not None:  # readable but unknown structure
+            with contextlib.suppress(OSError):
+                path.unlink()
+        self._packs[prefix] = entries
+        return entries
+
+    @staticmethod
+    def _decode(blob: bytes) -> Optional[dict[str, Any]]:
+        try:
+            payload = pickle.loads(blob)
+        except _UNPICKLE_ERRORS:
+            return None
+        if not isinstance(payload, dict):
             return None
         if payload.get("engine_version") != ENGINE_VERSION:
             return None  # belt-and-braces; the key already encodes it
         return payload
 
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        packed = self._load_pack(key[:2]).get(key)
+        if packed is not None:
+            payload = self._decode(packed[1])
+            if payload is not None:
+                return payload
+        return self._get_loose(key)
+
+    def _get_loose(self, key: str) -> Optional[dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except _UNPICKLE_ERRORS:
+            # Torn or unreadable entry (e.g. a crashed pre-atomic writer):
+            # delete it so it can be re-simulated instead of poisoning
+            # every later warm run.
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None
+        if not isinstance(payload, dict) or payload.get("engine_version") != ENGINE_VERSION:
+            return None
+        return payload
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict[str, Any]]:
+        """Batch lookup: one pack read per touched shard, loose fallback."""
+        found: dict[str, dict[str, Any]] = {}
+        for key in keys:
+            payload = self.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    # -- writes ---------------------------------------------------------
+
     def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist one entry (temp file + ``os.replace``).
+
+        Safe under concurrent writers racing on the same key: each writes
+        a private temp file and the rename is atomic, so whichever
+        ``os.replace`` lands last wins with a complete entry either way.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -259,6 +432,105 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
             raise
+
+    def _write_pack(
+        self, prefix: str, entries: dict[str, tuple[float, bytes]]
+    ) -> None:
+        shard = self.root / prefix
+        shard.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=shard, suffix=".packtmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    {"format": _PACK_FORMAT, "entries": entries},
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, self._pack_path(prefix))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self._packs[prefix] = entries
+
+    def compact(self) -> int:
+        """Fold every shard's loose entries into its packed index.
+
+        Returns the number of loose entries absorbed. Valid entries are
+        merged into the pack (newest mtime wins over a stale packed copy)
+        and their loose files removed; torn entries are deleted. Safe to
+        run while writers are active — a loose entry that appears after
+        the pack is rewritten is still found by the fallback path.
+        """
+        absorbed = 0
+        for prefix in self.shard_prefixes():
+            entries = dict(self._load_pack(prefix))
+            merged: list[Path] = []
+            shard = self.root / prefix
+            for path in sorted(shard.glob("*.pkl")):
+                if not self._is_entry_name(path.name):
+                    continue
+                key = path.name[: -len(".pkl")]
+                try:
+                    blob = path.read_bytes()
+                    mtime = path.stat().st_mtime
+                except OSError:
+                    continue
+                if self._decode(blob) is None:
+                    with contextlib.suppress(OSError):
+                        path.unlink()  # torn entry: drop it
+                    continue
+                entries[key] = (mtime, blob)
+                merged.append(path)
+            if merged:
+                self._write_pack(prefix, entries)
+                for path in merged:
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                absorbed += len(merged)
+        return absorbed
+
+    # -- maintenance (repro cache) --------------------------------------
+
+    def iter_entries(self) -> Iterator[CacheEntryInfo]:
+        """Every entry with its size and mtime (packed and loose)."""
+        for prefix in self.shard_prefixes():
+            for key, (mtime, blob) in self._load_pack(prefix).items():
+                yield CacheEntryInfo(key, "pack", len(blob), mtime)
+            shard = self.root / prefix
+            for path in sorted(shard.glob("*.pkl")):
+                if not self._is_entry_name(path.name):
+                    continue
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                yield CacheEntryInfo(
+                    path.name[: -len(".pkl")], "loose", st.st_size, st.st_mtime
+                )
+
+    def remove_keys(self, keys: Iterable[str]) -> int:
+        """Delete entries by key from both the loose files and the packs."""
+        removed = 0
+        by_prefix: dict[str, set[str]] = {}
+        for key in keys:
+            by_prefix.setdefault(key[:2], set()).add(key)
+        for prefix, shard_keys in sorted(by_prefix.items()):
+            pack = self._load_pack(prefix)
+            packed_victims = shard_keys & set(pack)
+            if packed_victims:
+                remaining = {
+                    k: v for k, v in pack.items() if k not in packed_victims
+                }
+                self._write_pack(prefix, remaining)
+                removed += len(packed_victims)
+            for key in sorted(shard_keys):
+                path = self._path(key)
+                if path.exists():
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                        removed += 1
+        return removed
 
 
 # ----------------------------------------------------------------------
@@ -332,16 +604,35 @@ def _simulate_cell(
 
 @dataclasses.dataclass
 class SweepStats:
-    """Cumulative accounting of one :class:`ParallelRunner`'s work."""
+    """Cumulative accounting of one sweep engine's (or runner's) work.
+
+    ``cells`` counts submissions; every submission is exactly one of
+    ``executed`` (simulated), ``cache_hits`` (served from the on-disk
+    cache or its in-memory memo), ``deduplicated`` (coalesced onto an
+    in-flight identical cell), or ``cancelled``. ``memo_hits`` is the
+    subset of ``cache_hits`` served without touching disk; ``chunks`` is
+    the number of dispatch round-trips the executed cells were batched
+    into.
+    """
 
     cells: int = 0
     executed: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
+    cancelled: int = 0
+    memo_hits: int = 0
+    chunks: int = 0
 
 
 class ParallelRunner:
-    """Fans (benchmark × policy × seed) cells across processes, cached.
+    """Fans (benchmark × policy × seed) cells out, deduplicated and cached.
+
+    Since the sweep-engine refactor this is a compatibility shim: all four
+    public entry points (``run_cells``, ``run_many``, ``run_benchmark``,
+    ``modal_eewa_levels``) submit through one persistent
+    :class:`repro.experiments.sweep.SweepEngine` owned by the runner
+    (exposed as :attr:`engine` for streaming/priority/cancellation use).
+    Ordering, statistics, and bit-identical results are preserved.
 
     Parameters
     ----------
@@ -367,13 +658,32 @@ class ParallelRunner:
         cache_dir: str | os.PathLike[str] | None = DEFAULT_CACHE_DIR,
         fast_forward: bool = True,
     ) -> None:
-        self._machine = machine if machine is not None else opteron_8380_machine()
-        if workers is not None and workers < 0:
-            raise ConfigurationError("workers must be non-negative")
+        from repro.experiments.sweep import SweepEngine  # circular-import guard
+
+        self.engine = SweepEngine(
+            machine=machine,
+            workers=workers,
+            cache_dir=cache_dir,
+            fast_forward=fast_forward,
+        )
+        self._machine = self.engine.machine
         self._workers = workers
-        self._cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self._cache = self.engine.cache
         self._fast_forward = fast_forward
-        self.stats = SweepStats()
+
+    @property
+    def stats(self) -> SweepStats:
+        return self.engine.stats
+
+    def close(self) -> None:
+        """Shut down the engine's queue and worker pool (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- core fan-out ---------------------------------------------------
 
@@ -383,71 +693,7 @@ class ParallelRunner:
         Cells with identical content keys are simulated once; cached cells
         are never submitted to the pool at all.
         """
-        self.stats.cells += len(specs)
-        jobs: list[tuple[CellSpec, str, tuple]] = []
-        payloads: dict[str, dict[str, Any]] = {}
-        hit_keys: set[str] = set()
-        for spec in specs:
-            machine = spec.machine if spec.machine is not None else self._machine
-            program = _resolve_program(spec)
-            key = cell_key(
-                program, spec.policy, machine, spec.seed,
-                core_levels=spec.core_levels, eewa_config=spec.eewa_config,
-                policy_params=spec.policy_params,
-                fast_forward=self._fast_forward,
-                faults=spec.faults,
-            )
-            if key in payloads:
-                self.stats.deduplicated += 1
-                jobs.append((spec, key, ()))
-                continue
-            cached = self._cache.get(key) if self._cache is not None else None
-            if cached is not None:
-                self.stats.cache_hits += 1
-                hit_keys.add(key)
-                payloads[key] = cached
-                jobs.append((spec, key, ()))
-                continue
-            args = (
-                program, spec.policy, machine, spec.seed,
-                spec.core_levels, spec.eewa_config, spec.policy_params,
-                self._fast_forward, spec.faults,
-            )
-            payloads[key] = {}  # claimed; filled below
-            jobs.append((spec, key, args))
-
-        pending = [(key, args) for _, key, args in jobs if args]
-        self.stats.executed += len(pending)
-        for key, payload in zip(
-            [k for k, _ in pending], self._execute([a for _, a in pending])
-        ):
-            payloads[key] = payload
-            if self._cache is not None:
-                self._cache.put(key, payload)
-
-        return [
-            CellOutcome(
-                spec=spec,
-                key=key,
-                result=payloads[key]["result"],
-                from_cache=key in hit_keys,
-                adjuster_wallclock_s=payloads[key]["adjuster_wallclock_s"],
-                adjuster_decisions=payloads[key]["adjuster_decisions"],
-            )
-            for spec, key, _ in jobs
-        ]
-
-    def _execute(self, argsets: list[tuple]) -> list[dict[str, Any]]:
-        if not argsets:
-            return []
-        workers = self._workers
-        if workers is None:
-            workers = os.cpu_count() or 1
-        workers = min(workers, len(argsets))
-        if workers <= 1:
-            return [_simulate_cell(*args) for args in argsets]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_simulate_cell, *zip(*argsets)))
+        return self.engine.run_cells(specs)
 
     # -- run_benchmark-shaped conveniences ------------------------------
 

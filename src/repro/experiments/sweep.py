@@ -1,0 +1,632 @@
+"""Persistent work-queue sweep engine.
+
+:class:`SweepEngine` replaces the one-shot ``ProcessPoolExecutor`` fan-out
+the exhibits used through PR 5 with the scheduling shape the ROADMAP's
+sweep service needs — and that Berg/Dorsman/Harchol-Balter frame in
+"Towards Optimality in Parallel Scheduling": many parallelizable jobs
+arriving over time, one fixed worker pool, response time as the metric.
+Four mechanisms carry the load:
+
+* **priority work-queue** — submissions enter a heap keyed by
+  ``(priority, arrival)``; lower priority values dispatch first, ties are
+  FIFO. Queued cells can be *cancelled* before dispatch, and a bounded
+  queue applies **backpressure**: past ``max_pending`` queued cells, a
+  pooled submit blocks until the dispatcher drains, and an in-process
+  submit pays for its own backlog by draining a chunk inline.
+* **persistent warm workers** — one long-lived ``ProcessPoolExecutor``
+  per engine, created lazily and reused across every ``run_cells`` /
+  ``submit`` for the engine's lifetime. Workers pre-import the scenario
+  registries, kernels, and the simulation engine once (the pool
+  initializer), so spawn + import cost is amortized over the whole sweep
+  instead of paid per call.
+* **chunked dispatch** — cells are batched per IPC round-trip. The chunk
+  size adapts to the observed per-cell simulation cost (an exponential
+  moving average fed back from the workers): expensive cells ship one at
+  a time for latency, cheap cells ship ``chunk_target_seconds`` worth at
+  once so the pickling round-trip is amortized.
+* **in-flight dedup + memo** — a submission whose ``cell_key`` matches a
+  queued or running cell coalesces onto the same job (one simulation,
+  many tickets); a submission matching an already-finished cell is served
+  from a bounded in-memory memo of decoded cache payloads before the
+  sharded on-disk :class:`~repro.experiments.parallel.ResultCache` is
+  consulted at all.
+
+Results stream: :meth:`SweepEngine.submit` returns a :class:`SweepTicket`
+immediately, :meth:`SweepEngine.iter_cells` yields outcomes in submission
+order as they resolve, and :meth:`SweepEngine.as_completed` yields them in
+completion order. :meth:`SweepEngine.run_cells` keeps the classic
+list-in-submission-order contract of ``ParallelRunner.run_cells``.
+
+Determinism contract: the engine changes *where and when* cells run,
+never *what* they compute — every simulation remains a pure seeded
+function of its ``cell_key`` inputs, so results are bit-identical
+in-process, pooled, chunked, or cached (gated by
+``tests/experiments/test_sweep_golden.py`` over the golden cells).
+
+With ``workers`` ≤ 1 the engine is fully synchronous and thread-free:
+queued work executes lazily, in priority order, inside whichever caller
+first waits on a ticket. This keeps single-CPU hosts and the test suite
+deterministic while exercising the identical queue/chunk/dedup code
+paths as the pooled mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import (
+    DEFAULT_CACHE_DIR,
+    CellOutcome,
+    CellSpec,
+    ResultCache,
+    SweepStats,
+    _resolve_program,
+    _simulate_cell,
+    cell_key,
+)
+from repro.machine.topology import MachineConfig, opteron_8380_machine
+
+#: Job lifecycle states.
+_QUEUED, _DISPATCHED, _DONE, _CANCELLED = range(4)
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the heavy modules once per worker.
+
+    Importing the scenario registries pulls in every shipped policy,
+    machine preset, and workload; the kernels package is the cost model's
+    backing data. Paying this once per *worker* instead of once per
+    *pickled callable invocation* is what makes the pool "warm".
+    """
+    import repro.kernels  # noqa: F401
+    import repro.scenario.registry  # noqa: F401
+    import repro.sim.engine  # noqa: F401
+    import repro.workloads.benchmarks  # noqa: F401
+
+
+def _simulate_chunk(
+    argsets: Sequence[tuple],
+) -> list[tuple[dict[str, Any], float]]:
+    """Run a chunk of cells in one IPC round-trip.
+
+    Returns ``(payload, seconds)`` per cell; the wall seconds feed the
+    dispatcher's chunk-size estimator only and never enter a payload.
+    """
+    out: list[tuple[dict[str, Any], float]] = []
+    for args in argsets:
+        started = time.perf_counter()
+        payload = _simulate_cell(*args)
+        out.append((payload, time.perf_counter() - started))
+    return out
+
+
+class _Job:
+    """One unique in-flight cell; many tickets may share it."""
+
+    __slots__ = ("key", "args", "priority", "seq", "state", "tickets")
+
+    def __init__(self, key: str, args: tuple, priority: int, seq: int) -> None:
+        self.key = key
+        self.args = args
+        self.priority = priority
+        self.seq = seq
+        self.state = _QUEUED
+        self.tickets: list[SweepTicket] = []
+
+
+class SweepTicket:
+    """Handle for one submitted cell: await, poll, or cancel it.
+
+    Tickets coalesced onto one in-flight job each resolve to their own
+    :class:`~repro.experiments.parallel.CellOutcome` (same result object,
+    per-ticket spec). ``result()`` raises ``CancelledError`` for a
+    successfully cancelled ticket.
+    """
+
+    __slots__ = ("spec", "key", "future", "_engine", "_job")
+
+    def __init__(
+        self,
+        engine: "SweepEngine",
+        spec: CellSpec,
+        key: str,
+        job: Optional[_Job] = None,
+    ) -> None:
+        self.spec = spec
+        self.key = key
+        self.future: Future = Future()
+        self._engine = engine
+        self._job = job
+
+    def result(self, timeout: Optional[float] = None) -> CellOutcome:
+        """Block until this cell resolves (driving the queue if in-process)."""
+        return self._engine._wait(self, timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def cancelled(self) -> bool:
+        return self.future.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; ``False`` once dispatched or resolved."""
+        return self._engine.cancel(self)
+
+
+class SweepEngine:
+    """Priority work-queue over a persistent warm worker pool.
+
+    Parameters
+    ----------
+    machine:
+        Default machine for cells that do not carry their own.
+    workers:
+        Worker process count; ``0``/``1`` runs in-process (synchronous,
+        thread-free), ``None`` uses ``os.cpu_count()``.
+    cache_dir:
+        Sharded result-cache root; ``None`` disables the on-disk cache
+        *and* the in-memory memo (every distinct cell then simulates).
+    fast_forward:
+        Engine steady-state fast-forward (part of every cell key).
+    max_pending:
+        Backpressure bound on queued-but-undispatched cells.
+    chunk_target_seconds:
+        Per-IPC-round-trip budget the adaptive chunk sizer aims for.
+    max_chunk:
+        Hard cap on cells per dispatch chunk.
+    memo_entries:
+        Size of the in-memory LRU of decoded cache payloads.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: Optional[MachineConfig] = None,
+        workers: Optional[int] = None,
+        cache_dir: str | os.PathLike[str] | None = DEFAULT_CACHE_DIR,
+        fast_forward: bool = True,
+        max_pending: int = 10_000,
+        chunk_target_seconds: float = 0.25,
+        max_chunk: int = 32,
+        memo_entries: int = 1024,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        if max_pending < 1:
+            raise ConfigurationError("max_pending must be positive")
+        if max_chunk < 1:
+            raise ConfigurationError("max_chunk must be positive")
+        self.machine = machine if machine is not None else opteron_8380_machine()
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = SweepStats()
+        self._fast_forward = fast_forward
+        self._max_pending = max_pending
+        self._chunk_target = chunk_target_seconds
+        self._max_chunk = max_chunk
+        self._memo_entries = memo_entries
+        self._pool_workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._pooled = self._pool_workers > 1
+
+        self._lock = threading.RLock()
+        self._not_full = threading.Condition(self._lock)
+        self._work = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, _Job]] = []
+        self._queued = 0  # live queued (not dispatched/cancelled) jobs
+        self._inflight: dict[str, _Job] = {}
+        self._memo: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._seq = itertools.count()
+        self._ema_cell_seconds: Optional[float] = None
+        self._submit_gate = 0  # >0: a batch submit is enqueueing; hold dispatch
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_inflight = 0  # chunks currently at the pool
+        self._dispatcher: Optional[threading.Thread] = None
+        self._closed = False
+
+    def configure(
+        self,
+        *,
+        chunk_target_seconds: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        max_chunk: Optional[int] = None,
+    ) -> "SweepEngine":
+        """Adjust queue/chunk tunables on a live engine; returns ``self``."""
+        with self._lock:
+            if chunk_target_seconds is not None:
+                self._chunk_target = chunk_target_seconds
+            if max_pending is not None:
+                if max_pending < 1:
+                    raise ConfigurationError("max_pending must be positive")
+                self._max_pending = max_pending
+            if max_chunk is not None:
+                if max_chunk < 1:
+                    raise ConfigurationError("max_chunk must be positive")
+                self._max_chunk = max_chunk
+        return self
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, spec: CellSpec, *, priority: int = 0) -> SweepTicket:
+        """Enqueue one cell; returns immediately with a ticket.
+
+        A submission coalesces onto an identical in-flight cell, resolves
+        instantly from the memo/disk cache, or joins the priority queue.
+        """
+        machine = spec.machine if spec.machine is not None else self.machine
+        program = _resolve_program(spec)
+        key = cell_key(
+            program, spec.policy, machine, spec.seed,
+            core_levels=spec.core_levels, eewa_config=spec.eewa_config,
+            policy_params=spec.policy_params,
+            fast_forward=self._fast_forward,
+            faults=spec.faults,
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SweepEngine is closed")
+            self.stats.cells += 1
+
+            job = self._inflight.get(key)
+            if job is not None:
+                ticket = SweepTicket(self, spec, key, job)
+                job.tickets.append(ticket)
+                self.stats.deduplicated += 1
+                return ticket
+
+            payload = self._lookup_cached(key)
+            if payload is not None:
+                self.stats.cache_hits += 1
+                ticket = SweepTicket(self, spec, key)
+                ticket.future.set_result(
+                    self._outcome(spec, key, payload, from_cache=True)
+                )
+                return ticket
+
+            self._apply_backpressure()
+            args = (
+                program, spec.policy, machine, spec.seed,
+                spec.core_levels, spec.eewa_config, spec.policy_params,
+                self._fast_forward, spec.faults,
+            )
+            job = _Job(key, args, priority, next(self._seq))
+            ticket = SweepTicket(self, spec, key, job)
+            job.tickets.append(ticket)
+            self._inflight[key] = job
+            heapq.heappush(self._heap, (priority, job.seq, job))
+            self._queued += 1
+            if self._pooled:
+                self._ensure_dispatcher()
+                self._work.notify()
+            return ticket
+
+    def submit_many(
+        self, specs: Sequence[CellSpec], *, priority: int = 0
+    ) -> list[SweepTicket]:
+        """Submit a batch atomically with respect to dispatch.
+
+        The dispatcher holds off until the whole batch is enqueued, so
+        duplicates *within* the batch always coalesce — the accounting a
+        grid sweep's dedup statistics rely on.
+        """
+        with self._lock:
+            self._submit_gate += 1
+        try:
+            return [self.submit(spec, priority=priority) for spec in specs]
+        finally:
+            with self._lock:
+                self._submit_gate -= 1
+                self._work.notify_all()
+
+    def cancel(self, ticket: SweepTicket) -> bool:
+        """Cancel a queued ticket; its future moves to ``CancelledError``.
+
+        Coalesced tickets cancel independently — the underlying cell is
+        only withdrawn from the queue when its last ticket cancels. A
+        dispatched or resolved ticket cannot be cancelled.
+        """
+        with self._lock:
+            job = ticket._job
+            if job is None or job.state != _QUEUED:
+                return False
+            if not ticket.future.cancel():
+                return False
+            self.stats.cancelled += 1
+            job.tickets.remove(ticket)
+            if not job.tickets:
+                job.state = _CANCELLED  # heap entry is dropped lazily
+                self._inflight.pop(job.key, None)
+                self._queued -= 1
+                self._not_full.notify_all()
+            return True
+
+    # -- retrieval -------------------------------------------------------
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> list[CellOutcome]:
+        """All cells, results in submission order (the classic contract)."""
+        tickets = self.submit_many(specs)
+        return [ticket.result() for ticket in tickets]
+
+    def iter_cells(
+        self, specs: Sequence[CellSpec], *, priority: int = 0
+    ) -> Iterator[CellOutcome]:
+        """Generator over outcomes in *submission* order.
+
+        Streaming: each outcome is yielded as soon as that cell (and every
+        earlier one) has resolved, without barriering on the full grid.
+        """
+        tickets = self.submit_many(specs, priority=priority)
+        for ticket in tickets:
+            yield ticket.result()
+
+    def as_completed(
+        self, tickets: Sequence[SweepTicket]
+    ) -> Iterator[SweepTicket]:
+        """Yield tickets in *completion* order (cache hits first)."""
+        pending = {ticket.future: ticket for ticket in tickets}
+        while pending:
+            done_now = [f for f in list(pending) if f.done()]
+            if done_now:
+                for future in done_now:
+                    yield pending.pop(future)
+                continue
+            if self._pooled:
+                _futures_wait(list(pending), return_when=FIRST_COMPLETED)
+            else:
+                with self._lock:
+                    if not self._run_one_chunk_locked():
+                        # Nothing runnable is left; whatever remains must
+                        # already be resolved (or cancelled) — drain it.
+                        for future in list(pending):
+                            yield pending.pop(future)
+                        return
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, *, wait: bool = True) -> None:
+        """Cancel queued work and shut the pool down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _, _, job in self._heap:
+                if job.state != _QUEUED:
+                    continue
+                job.state = _CANCELLED
+                self._inflight.pop(job.key, None)
+                for ticket in job.tickets:
+                    if ticket.future.cancel():
+                        self.stats.cancelled += 1
+            self._heap.clear()
+            self._queued = 0
+            self._work.notify_all()
+            self._not_full.notify_all()
+            pool, self._pool = self._pool, None
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.join(timeout=5.0)
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Cells queued but not yet dispatched."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def chunk_size(self) -> int:
+        """Cells the next dispatch round-trip would carry."""
+        with self._lock:
+            return self._chunk_size_locked()
+
+    @property
+    def ema_cell_seconds(self) -> Optional[float]:
+        """Smoothed observed per-cell simulation cost (``None`` until fed)."""
+        with self._lock:
+            return self._ema_cell_seconds
+
+    # -- internals: cache/memo ------------------------------------------
+
+    def _lookup_cached(self, key: str) -> Optional[dict[str, Any]]:
+        if self.cache is None:
+            return None
+        payload = self._memo.get(key)
+        if payload is not None:
+            self._memo.move_to_end(key)
+            self.stats.memo_hits += 1
+            return payload
+        payload = self.cache.get(key)
+        if payload is not None:
+            self._memo_put(key, payload)
+        return payload
+
+    def _memo_put(self, key: str, payload: dict[str, Any]) -> None:
+        self._memo[key] = payload
+        self._memo.move_to_end(key)
+        while len(self._memo) > self._memo_entries:
+            self._memo.popitem(last=False)
+
+    @staticmethod
+    def _outcome(
+        spec: CellSpec, key: str, payload: dict[str, Any], *, from_cache: bool
+    ) -> CellOutcome:
+        return CellOutcome(
+            spec=spec,
+            key=key,
+            result=payload["result"],
+            from_cache=from_cache,
+            adjuster_wallclock_s=payload["adjuster_wallclock_s"],
+            adjuster_decisions=payload["adjuster_decisions"],
+        )
+
+    # -- internals: queue/backpressure ----------------------------------
+
+    def _apply_backpressure(self) -> None:
+        # Called with the lock held, before enqueueing a new job.
+        while self._queued >= self._max_pending:
+            if self._pooled:
+                self._not_full.wait()
+            else:
+                # In-process there is no one else to drain the queue: the
+                # submitter pays for its own backlog.
+                if not self._run_one_chunk_locked():
+                    break
+
+    def _chunk_size_locked(self) -> int:
+        ema = self._ema_cell_seconds
+        if ema is None or ema <= 0:
+            return 1  # no cost estimate yet: smallest chunk, fast feedback
+        return max(1, min(self._max_chunk, int(self._chunk_target / ema)))
+
+    def _pop_chunk_locked(self) -> list[_Job]:
+        size = self._chunk_size_locked()
+        chunk: list[_Job] = []
+        while self._heap and len(chunk) < size:
+            _, _, job = heapq.heappop(self._heap)
+            if job.state != _QUEUED:
+                continue  # cancelled entry, dropped lazily
+            job.state = _DISPATCHED
+            self._queued -= 1
+            chunk.append(job)
+        if chunk:
+            self._not_full.notify_all()
+        return chunk
+
+    def _observe_cell_seconds(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        if self._ema_cell_seconds is None:
+            self._ema_cell_seconds = seconds
+        else:
+            self._ema_cell_seconds = 0.7 * self._ema_cell_seconds + 0.3 * seconds
+
+    def _complete_chunk(
+        self,
+        chunk: Sequence[_Job],
+        results: Sequence[tuple[dict[str, Any], float]],
+    ) -> None:
+        # Called with the lock held.
+        for job, (payload, seconds) in zip(chunk, results):
+            self._observe_cell_seconds(seconds)
+            self.stats.executed += 1
+            if self.cache is not None:
+                self.cache.put(job.key, payload)
+                self._memo_put(job.key, payload)
+            job.state = _DONE
+            self._inflight.pop(job.key, None)
+            for ticket in job.tickets:
+                if not ticket.future.cancelled():
+                    ticket.future.set_result(
+                        self._outcome(
+                            ticket.spec, job.key, payload, from_cache=False
+                        )
+                    )
+        self.stats.chunks += 1
+
+    def _fail_chunk(self, chunk: Sequence[_Job], exc: BaseException) -> None:
+        # Called with the lock held.
+        for job in chunk:
+            job.state = _DONE
+            self._inflight.pop(job.key, None)
+            for ticket in job.tickets:
+                if not ticket.future.cancelled():
+                    ticket.future.set_exception(exc)
+
+    # -- internals: in-process execution --------------------------------
+
+    def _run_one_chunk_locked(self) -> bool:
+        chunk = self._pop_chunk_locked()
+        if not chunk:
+            return False
+        try:
+            results = _simulate_chunk([job.args for job in chunk])
+        except BaseException as exc:
+            self._fail_chunk(chunk, exc)
+            return True
+        self._complete_chunk(chunk, results)
+        return True
+
+    def _wait(
+        self, ticket: SweepTicket, timeout: Optional[float] = None
+    ) -> CellOutcome:
+        if not self._pooled:
+            with self._lock:
+                while not ticket.future.done():
+                    if not self._run_one_chunk_locked():
+                        break  # cancelled, or resolved by another waiter
+        return ticket.future.result(timeout)
+
+    # -- internals: pooled execution ------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._pool_workers, initializer=_warm_worker
+            )
+        return self._pool
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="sweep-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        max_inflight = 2 * self._pool_workers
+        while True:
+            with self._lock:
+                while not self._closed and (
+                    self._queued == 0
+                    or self._submit_gate > 0
+                    or self._pool_inflight >= max_inflight
+                ):
+                    self._work.wait(timeout=0.1)
+                if self._closed:
+                    return
+                chunk = self._pop_chunk_locked()
+                if not chunk:
+                    continue
+                self._pool_inflight += 1
+                try:
+                    pool = self._ensure_pool()
+                    future = pool.submit(
+                        _simulate_chunk, [job.args for job in chunk]
+                    )
+                except BaseException as exc:  # pool spawn/submit failure
+                    self._pool_inflight -= 1
+                    self._fail_chunk(chunk, exc)
+                    continue
+            future.add_done_callback(
+                lambda f, chunk=chunk: self._on_chunk_done(chunk, f)
+            )
+
+    def _on_chunk_done(self, chunk: list[_Job], future: Future) -> None:
+        with self._lock:
+            self._pool_inflight -= 1
+            try:
+                results = future.result()
+            except BaseException as exc:
+                self._fail_chunk(chunk, exc)
+            else:
+                self._complete_chunk(chunk, results)
+            self._work.notify_all()
+
+
+__all__ = ["SweepEngine", "SweepTicket"]

@@ -10,9 +10,14 @@ modules, and ad-hoc API use — runs simulations the same way::
 
 Sweeps go through :meth:`Session.run_grid`, which fans every (scenario ×
 seed) cell through one :class:`~repro.experiments.parallel.ParallelRunner`
-— deduplicated, optionally cached on disk and spread over worker
-processes. Results are bit-identical whether a session runs in-process,
-pooled, or from cache.
+— since the sweep-engine refactor a persistent
+:class:`~repro.experiments.sweep.SweepEngine` work-queue: deduplicated
+in-flight, optionally cached on disk (sharded, with packed per-shard
+indexes) and spread over a long-lived warm worker pool. Results are
+bit-identical whether a session runs in-process, pooled, or from cache.
+:meth:`Session.iter_grid_cells` streams per-cell outcomes as they
+complete instead of barriering on the full grid; the engine itself is
+reachable as :attr:`Session.engine` for priority/cancellation use.
 """
 
 from __future__ import annotations
@@ -106,6 +111,23 @@ class Session:
             fast_forward=fast_forward,
         )
 
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The session's :class:`~repro.experiments.sweep.SweepEngine`."""
+        return self._runner.engine
+
+    def close(self) -> None:
+        """Shut down the engine's queue and worker pool (idempotent)."""
+        self._runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- execution -------------------------------------------------------
 
     def _bound(self, spec: Optional[ScenarioSpec]) -> ScenarioSpec:
@@ -166,6 +188,24 @@ class Session:
             grouped.append(outcomes[pos : pos + count])
             pos += count
         return grouped
+
+    def iter_grid_cells(self, specs: Sequence[ScenarioSpec]):
+        """Stream ``(scenario, CellOutcome)`` pairs for a whole grid.
+
+        All cells are submitted up front (one dedup/cache pass over the
+        full grid, exactly like :meth:`run_grid`), then yielded in
+        submission order as each resolves — no barrier on the grid.
+        """
+        cell_spec = _parallel().CellSpec
+        owners: list[ScenarioSpec] = []
+        cells = []
+        for spec in specs:
+            for seed in spec.seeds:
+                owners.append(spec)
+                cells.append(cell_spec.from_scenario(spec, seed))
+        tickets = self.engine.submit_many(cells)
+        for owner, ticket in zip(owners, tickets):
+            yield owner, ticket.result()
 
     def run_single(
         self,

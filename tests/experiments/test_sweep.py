@@ -1,0 +1,306 @@
+"""Tests for the persistent sweep engine and the cache maintenance tooling.
+
+Covers the queue semantics the exhibits rely on (in-flight dedup,
+priority, cancellation, backpressure, streaming order), the cache's
+crash-safety contract (atomic writes, torn-entry recovery, flat-layout
+migration, pack compaction), and the ``repro cache`` backing functions.
+"""
+
+import pickle
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import cachectl
+from repro.experiments.parallel import (
+    PACK_FILENAME,
+    CellSpec,
+    ResultCache,
+)
+from repro.experiments.sweep import SweepEngine
+from repro.sim.engine import ENGINE_VERSION
+from repro.sim.fingerprint import trace_fingerprint
+
+BATCHES = 2
+
+
+def spec(policy="cilk", seed=11, benchmark="SHA-1"):
+    return CellSpec(benchmark=benchmark, policy=policy, seed=seed, batches=BATCHES)
+
+
+@pytest.fixture()
+def engine(tmp_path):
+    with SweepEngine(workers=0, cache_dir=tmp_path / "cache") as eng:
+        yield eng
+
+
+class TestInflightDedup:
+    def test_duplicates_coalesce_onto_one_simulation(self, engine):
+        tickets = engine.submit_many([spec(), spec(), spec()])
+        outcomes = [t.result() for t in tickets]
+        assert engine.stats.executed == 1
+        assert engine.stats.deduplicated == 2
+        # One simulation, one payload: every ticket sees the same result.
+        assert outcomes[0].result is outcomes[1].result is outcomes[2].result
+        assert not any(o.from_cache for o in outcomes)
+
+    def test_duplicate_after_completion_served_from_memo(self, engine):
+        engine.submit(spec()).result()
+        outcome = engine.submit(spec()).result()
+        assert outcome.from_cache
+        assert engine.stats.executed == 1
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.memo_hits == 1  # no disk read for the repeat
+
+    def test_dedup_works_without_cache(self, tmp_path):
+        with SweepEngine(workers=0, cache_dir=None) as eng:
+            outcomes = [t.result() for t in eng.submit_many([spec(), spec()])]
+            assert eng.stats.executed == 1
+            assert eng.stats.deduplicated == 1
+            assert outcomes[0].result is outcomes[1].result
+
+    def test_distinct_cells_do_not_coalesce(self, engine):
+        engine.run_cells([spec(seed=11), spec(seed=23)])
+        assert engine.stats.executed == 2
+        assert engine.stats.deduplicated == 0
+
+
+class TestCancellation:
+    def test_cancel_mid_queue(self, engine):
+        tickets = engine.submit_many([spec(seed=s) for s in (11, 23, 37)])
+        assert tickets[1].cancel()
+        assert tickets[1].cancelled()
+        with pytest.raises(CancelledError):
+            tickets[1].result()
+        # The rest of the queue is unaffected.
+        assert tickets[0].result().result.tasks_executed > 0
+        assert tickets[2].result().result.tasks_executed > 0
+        assert engine.stats.cancelled == 1
+        assert engine.stats.executed == 2
+
+    def test_cancel_one_coalesced_ticket_keeps_the_cell(self, engine):
+        keep, drop = engine.submit_many([spec(), spec()])
+        assert drop.cancel()
+        assert keep.result().result.tasks_executed > 0
+        assert engine.stats.executed == 1
+        assert engine.stats.cancelled == 1
+
+    def test_cancel_after_resolution_fails(self, engine):
+        ticket = engine.submit(spec())
+        ticket.result()
+        assert not ticket.cancel()
+
+    def test_close_cancels_queued_work_and_rejects_submits(self, tmp_path):
+        eng = SweepEngine(workers=0, cache_dir=tmp_path / "cache")
+        ticket = eng.submit(spec())
+        eng.close()
+        assert ticket.cancelled()
+        assert eng.stats.cancelled == 1
+        with pytest.raises(RuntimeError):
+            eng.submit(spec())
+
+
+class TestOrdering:
+    def test_lower_priority_value_executes_first(self, engine):
+        late = engine.submit(spec(seed=11), priority=5)
+        early = engine.submit(spec(seed=23), priority=0)
+        order = [t is early for t in engine.as_completed([late, early])]
+        assert order == [True, False]
+
+    def test_as_completed_yields_cache_hits_first(self, engine):
+        engine.submit(spec(seed=11)).result()
+        tickets = engine.submit_many([spec(seed=37), spec(seed=11)])
+        first = next(iter(engine.as_completed(tickets)))
+        assert first.spec.seed == 11  # already cached: resolved instantly
+
+    def test_iter_cells_streams_in_submission_order(self, engine):
+        cells = [spec(seed=s, policy=p) for s in (11, 23) for p in ("cilk", "eewa")]
+        streamed = list(engine.iter_cells(cells, priority=1))
+        assert [o.spec for o in streamed] == cells
+
+    def test_streaming_order_is_deterministic(self, tmp_path):
+        cells = [spec(seed=s, policy=p) for s in (37, 11) for p in ("eewa", "cilk")]
+        runs = []
+        for attempt in range(2):
+            with SweepEngine(workers=0, cache_dir=tmp_path / f"c{attempt}") as eng:
+                runs.append(
+                    [trace_fingerprint(o.result) for o in eng.iter_cells(cells)]
+                )
+        assert runs[0] == runs[1]
+
+
+class TestBackpressureAndChunking:
+    def test_inprocess_backpressure_bounds_the_queue(self, tmp_path):
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path / "cache", max_pending=4
+        ) as eng:
+            tickets = [eng.submit(spec(seed=s)) for s in range(1, 11)]
+            # Submissions past the bound drained chunks inline.
+            assert eng.queue_depth <= 4
+            assert all(t.result().result.tasks_executed > 0 for t in tickets)
+            assert eng.stats.executed == 10
+
+    def test_chunk_size_adapts_to_observed_cost(self, engine):
+        assert engine.chunk_size == 1  # no cost estimate yet
+        engine.submit(spec()).result()
+        assert engine.ema_cell_seconds > 0
+        # A huge per-trip budget lifts the chunk to its configured cap.
+        engine.configure(chunk_target_seconds=1e9, max_chunk=4)
+        assert engine.chunk_size == 4
+
+    def test_chunked_dispatch_batches_cells(self, engine):
+        engine.configure(chunk_target_seconds=1e9)
+        engine.submit(spec(seed=1)).result()  # feed the cost estimator
+        engine.run_cells([spec(seed=s) for s in range(2, 8)])
+        # 6 queued cells, chunk cap 32: one more dispatch round-trip.
+        assert engine.stats.executed == 7
+        assert engine.stats.chunks == 2
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(workers=-1)
+        with pytest.raises(ConfigurationError):
+            SweepEngine(max_pending=0)
+        with pytest.raises(ConfigurationError):
+            SweepEngine(max_chunk=0)
+        with SweepEngine(workers=0, cache_dir=None) as eng:
+            with pytest.raises(ConfigurationError):
+                eng.configure(max_pending=0)
+            with pytest.raises(ConfigurationError):
+                eng.configure(max_chunk=-3)
+
+
+class TestTornEntryRecovery:
+    def test_torn_loose_entry_is_deleted_and_resimulated(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with SweepEngine(workers=0, cache_dir=cache_dir) as eng:
+            good = eng.submit(spec()).result()
+        cache = ResultCache(cache_dir)
+        path = cache._path(good.key)
+        path.write_bytes(path.read_bytes()[:10])  # simulate a torn write
+        with SweepEngine(workers=0, cache_dir=cache_dir) as eng:
+            again = eng.submit(spec()).result()
+            assert eng.stats.executed == 1  # miss: recovered by re-running
+            assert not again.from_cache
+        assert trace_fingerprint(again.result) == trace_fingerprint(good.result)
+
+    def test_torn_entry_removed_on_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, {"engine_version": ENGINE_VERSION, "result": 1})
+        cache._path(key).write_bytes(b"\x80garbage")
+        assert cache.get(key) is None
+        assert not cache._path(key).exists()
+
+    def test_corrupt_pack_discarded_loose_survives(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        payload = {"engine_version": ENGINE_VERSION, "result": 2}
+        cache.put(key, payload)
+        pack = tmp_path / key[:2] / PACK_FILENAME
+        pack.write_bytes(b"not a pack")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == payload  # loose fallback
+        assert not pack.exists()  # corrupt pack dropped
+
+
+def _flat_entry(root, key):
+    root.mkdir(parents=True, exist_ok=True)
+    (root / f"{key}.pkl").write_bytes(
+        pickle.dumps({"engine_version": ENGINE_VERSION, "result": key})
+    )
+
+
+class TestFlatMigration:
+    KEYS = ["ab" + "0" * 62, "ab" + "1" * 62, "cd" + "2" * 62]
+
+    def test_migration_moves_and_serves_flat_entries(self, tmp_path):
+        for key in self.KEYS:
+            _flat_entry(tmp_path, key)
+        cache = ResultCache(tmp_path)
+        assert cache.migrated_flat == 3
+        for key in self.KEYS:
+            assert cache.get(key) == {
+                "engine_version": ENGINE_VERSION, "result": key,
+            }
+            assert not (tmp_path / f"{key}.pkl").exists()
+            assert cache._path(key).exists()
+
+    def test_migration_is_idempotent(self, tmp_path):
+        for key in self.KEYS:
+            _flat_entry(tmp_path, key)
+        assert ResultCache(tmp_path).migrated_flat == 3
+        assert ResultCache(tmp_path).migrated_flat == 0
+        result = cachectl.migrate(tmp_path)
+        assert result.moved_flat == 0
+        assert result.packed == 3
+        # A second migrate finds nothing left to move or pack.
+        again = cachectl.migrate(tmp_path)
+        assert (again.moved_flat, again.packed) == (0, 0)
+
+
+class TestCompaction:
+    def test_compact_packs_loose_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with SweepEngine(workers=0, cache_dir=cache_dir) as eng:
+            cold = eng.run_cells([spec(seed=s) for s in (11, 23)])
+        assert ResultCache(cache_dir).compact() == 2
+        loose = [
+            p for p in cache_dir.rglob("*.pkl")
+            if ResultCache._is_entry_name(p.name)
+        ]
+        assert loose == []
+        with SweepEngine(workers=0, cache_dir=cache_dir) as eng:
+            warm = eng.run_cells([spec(seed=s) for s in (11, 23)])
+            assert eng.stats.executed == 0  # served from the packs
+        assert [trace_fingerprint(o.result) for o in warm] == [
+            trace_fingerprint(o.result) for o in cold
+        ]
+
+
+class TestCachectl:
+    def _warm(self, cache_dir, seeds=(11, 23)):
+        with SweepEngine(workers=0, cache_dir=cache_dir) as eng:
+            eng.run_cells([spec(seed=s) for s in seeds])
+
+    def test_stats_counts_loose_and_packed(self, tmp_path):
+        self._warm(tmp_path)
+        stats = cachectl.cache_stats(tmp_path)
+        assert stats.entries == 2
+        assert stats.loose_entries == 2
+        assert stats.packed_entries == 0
+        assert stats.total_bytes > 0
+        cachectl.migrate(tmp_path)
+        stats = cachectl.cache_stats(tmp_path)
+        assert (stats.entries, stats.loose_entries, stats.packed_entries) == (2, 0, 2)
+
+    def test_prune_by_age(self, tmp_path):
+        self._warm(tmp_path)
+        entries = cachectl._entry_map(ResultCache(tmp_path))
+        newest = max(mtime for mtime, _ in entries.values())
+        # "Now" far in the future: everything is stale.
+        result = cachectl.prune(
+            tmp_path, max_age_days=1, now=newest + 2 * 86400
+        )
+        assert (result.removed, result.kept) == (2, 0)
+        assert cachectl.cache_stats(tmp_path).entries == 0
+
+    def test_prune_by_bytes_evicts_oldest_first(self, tmp_path):
+        self._warm(tmp_path, seeds=(11, 23, 37))
+        cache = ResultCache(tmp_path)
+        entries = cachectl._entry_map(cache)
+        oldest = min(entries, key=lambda k: entries[k][0])
+        largest_two = sum(
+            sorted((n for _, n in entries.values()), reverse=True)[:2]
+        )
+        result = cachectl.prune(tmp_path, max_bytes=largest_two)
+        assert result.removed == 1
+        assert cache.get(oldest) is None  # oldest evicted first
+
+    def test_prune_removes_packed_entries(self, tmp_path):
+        self._warm(tmp_path)
+        cachectl.migrate(tmp_path)
+        result = cachectl.prune(tmp_path, max_bytes=0)
+        assert result.removed == 2
+        assert cachectl.cache_stats(tmp_path).entries == 0

@@ -155,3 +155,69 @@ class TestRunSpecScenario:
     def test_missing_file_exits_2(self, capsys):
         assert main(["run-spec", "/no/such/file.json"]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+def _sweep_args(cache_dir, *extra):
+    return [
+        "sweep", "--benchmarks", "SHA-1", "--policies", "cilk",
+        "--seeds", "11", "--batches", "2", "--cache-dir", str(cache_dir),
+        *extra,
+    ]
+
+
+class TestSweepCli:
+    def test_sweep_streams_cells_and_reports_dedup(self, tmp_path, capsys):
+        assert main(_sweep_args(tmp_path / "c", "--repeat", "3")) == 0
+        out = capsys.readouterr().out
+        assert out.count("done SHA-1/cilk seed 11") == 3
+        assert "1 simulated" in out
+        assert "2 coalesced in flight" in out
+        assert "dedup rate 66.7%" in out
+
+    def test_sweep_warm_run_writes_json(self, tmp_path, capsys):
+        cache = tmp_path / "c"
+        assert main(_sweep_args(cache, "--quiet")) == 0
+        capsys.readouterr()
+        json_path = tmp_path / "sweep.json"
+        assert main(_sweep_args(cache, "--quiet", "--json", str(json_path))) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["stats"]["submissions"] == 1
+        assert payload["stats"]["executed"] == 0
+        assert payload["stats"]["cache_hits"] == 1
+        assert payload["stats"]["latency_p99_s"] >= payload["stats"]["latency_p50_s"]
+        (cell,) = payload["cells"]
+        assert cell["from_cache"] is True
+
+    def test_sweep_no_cache_simulates_every_distinct_cell(self, tmp_path, capsys):
+        assert main(_sweep_args(tmp_path / "c", "--no-cache", "--quiet")) == 0
+        assert "1 simulated" in capsys.readouterr().out
+        assert not (tmp_path / "c").exists()
+
+
+class TestCacheCli:
+    def test_stats_migrate_prune_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        assert main(_sweep_args(cache, "--quiet")) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1 (0 packed, 1 loose)" in out
+
+        assert main(["cache", "migrate", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "packed 1 loose entries" in out
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "entries: 1 (1 packed, 0 loose)" in capsys.readouterr().out
+
+        assert main(["cache", "prune", "--cache-dir", cache,
+                     "--max-bytes", "0"]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_prune_without_bounds_exits_2(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "needs --max-age-days and/or --max-bytes" in capsys.readouterr().err

@@ -51,6 +51,8 @@ WORKLOADS = {
 EXPERIMENTS = {
     "run_fig6", "run_fig7", "run_fig8", "run_fig9", "run_table3",
     "format_table", "bar_chart", "frequency_timeline",
+    "CellOutcome", "CellSpec", "ParallelRunner", "ResultCache",
+    "SweepEngine", "SweepStats", "SweepTicket",
 }
 
 ANALYSIS = {
