@@ -518,144 +518,145 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         fast_forward=not args.no_fast_forward,
     )
-    machine = MachineSpec(num_cores=args.cores)
-    faults = _load_faults(args.faults)
-    scenarios = [
-        _resolve_levels(
-            session,
-            ScenarioSpec(
-                workload=name, policy=policy, machine=machine,
-                seeds=tuple(args.seeds), batches=args.batches,
-            ),
-            None,
-        )
-        for name in args.benchmarks
-        for policy in args.policies
-    ]
-    # With --faults, the faulted twins ride in the SAME fan-out as the
-    # fault-free baselines, so the pool and cache see one sweep.
-    faulted_scenarios = (
-        [s.with_faults(faults) for s in scenarios] if faults is not None else []
-    )
-    started = time.perf_counter()
-    all_outcomes = session.run_grid(scenarios + faulted_scenarios)
-    outcomes = all_outcomes[: len(scenarios)]
-    faulted = all_outcomes[len(scenarios):]
-    wall = time.perf_counter() - started
-    rows = [
-        (
-            o.benchmark,
-            o.policy,
-            o.time_mean * 1e3,
-            o.energy_mean,
-        )
-        for o in outcomes
-    ]
-    print(
-        format_table(
-            ["benchmark", "policy", "time (ms)", "energy (J)"],
-            rows,
-            title=(
-                f"bench sweep — {len(args.benchmarks)} benchmarks x "
-                f"{len(args.policies)} policies x {len(args.seeds)} seeds"
-            ),
-        )
-    )
-    resilience_rows = []
-    if faulted:
-        for clean, dirty in zip(outcomes, faulted):
-            clean_tasks = sum(r.tasks_executed for r in clean.results)
-            dirty_tasks = sum(r.tasks_executed for r in dirty.results)
-            resilience_rows.append(
-                (
-                    clean.benchmark,
-                    clean.policy,
-                    "ok" if dirty_tasks == clean_tasks else
-                    f"LOST {clean_tasks - dirty_tasks}",
-                    dirty.time_mean / clean.time_mean,
-                    dirty.energy_mean / clean.energy_mean,
-                )
+    with session:
+        machine = MachineSpec(num_cores=args.cores)
+        faults = _load_faults(args.faults)
+        scenarios = [
+            _resolve_levels(
+                session,
+                ScenarioSpec(
+                    workload=name, policy=policy, machine=machine,
+                    seeds=tuple(args.seeds), batches=args.batches,
+                ),
+                None,
             )
-        print()
+            for name in args.benchmarks
+            for policy in args.policies
+        ]
+        # With --faults, the faulted twins ride in the SAME fan-out as the
+        # fault-free baselines, so the pool and cache see one sweep.
+        faulted_scenarios = (
+            [s.with_faults(faults) for s in scenarios] if faults is not None else []
+        )
+        started = time.perf_counter()
+        all_outcomes = session.run_grid(scenarios + faulted_scenarios)
+        outcomes = all_outcomes[: len(scenarios)]
+        faulted = all_outcomes[len(scenarios):]
+        wall = time.perf_counter() - started
+        rows = [
+            (
+                o.benchmark,
+                o.policy,
+                o.time_mean * 1e3,
+                o.energy_mean,
+            )
+            for o in outcomes
+        ]
         print(
             format_table(
-                ["benchmark", "policy", "tasks", "time x", "energy x"],
-                resilience_rows,
-                title=f"resilience report — degradation under {args.faults}",
-                float_fmt="{:.3f}",
+                ["benchmark", "policy", "time (ms)", "energy (J)"],
+                rows,
+                title=(
+                    f"bench sweep — {len(args.benchmarks)} benchmarks x "
+                    f"{len(args.policies)} policies x {len(args.seeds)} seeds"
+                ),
             )
         )
-    stats = session.stats
-    simulated = sum(r.batches_simulated for o in outcomes for r in o.results)
-    fast_forwarded = sum(
-        r.batches_fast_forwarded for o in outcomes for r in o.results
-    )
-    print(
-        f"  {stats.cells} cells in {wall:.2f} s: {stats.executed} simulated, "
-        f"{stats.cache_hits} from cache, {stats.deduplicated} deduplicated"
-    )
-    print(
-        f"  batches: {simulated} simulated, {fast_forwarded} fast-forwarded"
-    )
-    if args.json:
-        import json
-        import os as _os
-        import platform
-
-        payload = {
-            "machine_cores": args.cores,
-            "seeds": list(args.seeds),
-            "wall_seconds": wall,
-            "fast_forward": not args.no_fast_forward,
-            "machine_info": {
-                "cpu_count": _os.cpu_count(),
-                "python": platform.python_version(),
-            },
-            "stats": {
-                "cells": stats.cells,
-                "executed": stats.executed,
-                "cache_hits": stats.cache_hits,
-                "deduplicated": stats.deduplicated,
-                "batches_simulated": simulated,
-                "batches_fast_forwarded": fast_forwarded,
-            },
-            "cells": [
-                {
-                    "benchmark": o.benchmark,
-                    "policy": o.policy,
-                    "time_mean_s": o.time_mean,
-                    "energy_mean_j": o.energy_mean,
-                    "per_seed": [
-                        {
-                            "total_time": r.total_time,
-                            "total_joules": r.total_joules,
-                            "tasks_executed": r.tasks_executed,
-                            "batches_simulated": r.batches_simulated,
-                            "batches_fast_forwarded": r.batches_fast_forwarded,
-                        }
-                        for r in o.results
-                    ],
-                }
-                for o in outcomes
-            ],
-        }
+        resilience_rows = []
         if faulted:
-            payload["faults"] = faults.to_dict()
-            payload["resilience"] = [
-                {
-                    "benchmark": benchmark,
-                    "policy": policy,
-                    "completed": status == "ok",
-                    "time_ratio": time_ratio,
-                    "energy_ratio": energy_ratio,
-                }
-                for benchmark, policy, status, time_ratio, energy_ratio
-                in resilience_rows
-            ]
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"  wrote {args.json}")
-    return 0
+            for clean, dirty in zip(outcomes, faulted):
+                clean_tasks = sum(r.tasks_executed for r in clean.results)
+                dirty_tasks = sum(r.tasks_executed for r in dirty.results)
+                resilience_rows.append(
+                    (
+                        clean.benchmark,
+                        clean.policy,
+                        "ok" if dirty_tasks == clean_tasks else
+                        f"LOST {clean_tasks - dirty_tasks}",
+                        dirty.time_mean / clean.time_mean,
+                        dirty.energy_mean / clean.energy_mean,
+                    )
+                )
+            print()
+            print(
+                format_table(
+                    ["benchmark", "policy", "tasks", "time x", "energy x"],
+                    resilience_rows,
+                    title=f"resilience report — degradation under {args.faults}",
+                    float_fmt="{:.3f}",
+                )
+            )
+        stats = session.stats
+        simulated = sum(r.batches_simulated for o in outcomes for r in o.results)
+        fast_forwarded = sum(
+            r.batches_fast_forwarded for o in outcomes for r in o.results
+        )
+        print(
+            f"  {stats.cells} cells in {wall:.2f} s: {stats.executed} simulated, "
+            f"{stats.cache_hits} from cache, {stats.deduplicated} deduplicated"
+        )
+        print(
+            f"  batches: {simulated} simulated, {fast_forwarded} fast-forwarded"
+        )
+        if args.json:
+            import json
+            import os as _os
+            import platform
+
+            payload = {
+                "machine_cores": args.cores,
+                "seeds": list(args.seeds),
+                "wall_seconds": wall,
+                "fast_forward": not args.no_fast_forward,
+                "machine_info": {
+                    "cpu_count": _os.cpu_count(),
+                    "python": platform.python_version(),
+                },
+                "stats": {
+                    "cells": stats.cells,
+                    "executed": stats.executed,
+                    "cache_hits": stats.cache_hits,
+                    "deduplicated": stats.deduplicated,
+                    "batches_simulated": simulated,
+                    "batches_fast_forwarded": fast_forwarded,
+                },
+                "cells": [
+                    {
+                        "benchmark": o.benchmark,
+                        "policy": o.policy,
+                        "time_mean_s": o.time_mean,
+                        "energy_mean_j": o.energy_mean,
+                        "per_seed": [
+                            {
+                                "total_time": r.total_time,
+                                "total_joules": r.total_joules,
+                                "tasks_executed": r.tasks_executed,
+                                "batches_simulated": r.batches_simulated,
+                                "batches_fast_forwarded": r.batches_fast_forwarded,
+                            }
+                            for r in o.results
+                        ],
+                    }
+                    for o in outcomes
+                ],
+            }
+            if faulted:
+                payload["faults"] = faults.to_dict()
+                payload["resilience"] = [
+                    {
+                        "benchmark": benchmark,
+                        "policy": policy,
+                        "completed": status == "ok",
+                        "time_ratio": time_ratio,
+                        "energy_ratio": energy_ratio,
+                    }
+                    for benchmark, policy, status, time_ratio, energy_ratio
+                    in resilience_rows
+                ]
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"  wrote {args.json}")
+        return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -666,105 +667,105 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         fast_forward=not args.no_fast_forward,
     )
-    engine = session.engine.configure(
-        chunk_target_seconds=args.chunk_target, max_pending=args.max_pending
-    )
-    machine = MachineSpec(num_cores=args.cores)
-    scenarios = [
-        _resolve_levels(
-            session,
-            ScenarioSpec(
-                workload=name, policy=policy, machine=machine,
-                seeds=tuple(args.seeds), batches=args.batches,
-            ),
-            None,
+    with session:
+        engine = session.engine.configure(
+            chunk_target_seconds=args.chunk_target, max_pending=args.max_pending
         )
-        for name in args.benchmarks
-        for policy in args.policies
-    ]
-    from repro.experiments.parallel import CellSpec
-
-    cells = [
-        CellSpec.from_scenario(scenario, seed)
-        for _ in range(args.repeat)
-        for scenario in scenarios
-        for seed in scenario.seeds
-    ]
-    started = time.perf_counter()
-    tickets = engine.submit_many(cells)
-    submitted = time.perf_counter() - started
-    streamed = []
-    for ticket in engine.as_completed(tickets):
-        outcome = ticket.result()
-        latency = time.perf_counter() - started
-        streamed.append((ticket, outcome, latency))
-        if not args.quiet:
-            spec = ticket.spec
-            source = "cached" if outcome.from_cache else "simulated"
-            print(
-                f"  done {spec.benchmark}/{spec.policy} seed {spec.seed}: "
-                f"{outcome.result.total_time*1e3:.1f} ms sim, "
-                f"{outcome.result.total_joules:.2f} J [{source}]"
+        machine = MachineSpec(num_cores=args.cores)
+        scenarios = [
+            _resolve_levels(
+                session,
+                ScenarioSpec(
+                    workload=name, policy=policy, machine=machine,
+                    seeds=tuple(args.seeds), batches=args.batches,
+                ),
+                None,
             )
-    wall = time.perf_counter() - started
-    stats = engine.stats
-    dedup_rate = stats.deduplicated / stats.cells if stats.cells else 0.0
-    print(
-        f"  {stats.cells} submissions in {wall:.2f} s "
-        f"({stats.cells / wall:.0f}/s): {stats.executed} simulated in "
-        f"{stats.chunks} chunks, {stats.cache_hits} from cache "
-        f"({stats.memo_hits} memo), {stats.deduplicated} coalesced in flight "
-        f"(dedup rate {dedup_rate:.1%}), {stats.cancelled} cancelled"
-    )
-    if args.json:
-        import json
+            for name in args.benchmarks
+            for policy in args.policies
+        ]
+        from repro.experiments.parallel import CellSpec
 
-        latencies = sorted(lat for _, _, lat in streamed)
+        cells = [
+            CellSpec.from_scenario(scenario, seed)
+            for _ in range(args.repeat)
+            for scenario in scenarios
+            for seed in scenario.seeds
+        ]
+        started = time.perf_counter()
+        tickets = engine.submit_many(cells)
+        submitted = time.perf_counter() - started
+        streamed = []
+        for ticket in engine.as_completed(tickets):
+            outcome = ticket.result()
+            latency = time.perf_counter() - started
+            streamed.append((ticket, outcome, latency))
+            if not args.quiet:
+                spec = ticket.spec
+                source = "cached" if outcome.from_cache else "simulated"
+                print(
+                    f"  done {spec.benchmark}/{spec.policy} seed {spec.seed}: "
+                    f"{outcome.result.total_time*1e3:.1f} ms sim, "
+                    f"{outcome.result.total_joules:.2f} J [{source}]"
+                )
+        wall = time.perf_counter() - started
+        stats = engine.stats
+        dedup_rate = stats.deduplicated / stats.cells if stats.cells else 0.0
+        print(
+            f"  {stats.cells} submissions in {wall:.2f} s "
+            f"({stats.cells / wall:.0f}/s): {stats.executed} simulated in "
+            f"{stats.chunks} chunks, {stats.cache_hits} from cache "
+            f"({stats.memo_hits} memo), {stats.deduplicated} coalesced in flight "
+            f"(dedup rate {dedup_rate:.1%}), {stats.cancelled} cancelled"
+        )
+        if args.json:
+            import json
 
-        def _pct(p: float) -> float:
-            if not latencies:
-                return 0.0
-            idx = min(len(latencies) - 1, int(p * (len(latencies) - 1)))
-            return latencies[idx]
+            latencies = sorted(lat for _, _, lat in streamed)
 
-        payload = {
-            "machine_cores": args.cores,
-            "seeds": list(args.seeds),
-            "repeat": args.repeat,
-            "wall_seconds": wall,
-            "submit_seconds": submitted,
-            "fast_forward": not args.no_fast_forward,
-            "stats": {
-                "submissions": stats.cells,
-                "executed": stats.executed,
-                "cache_hits": stats.cache_hits,
-                "memo_hits": stats.memo_hits,
-                "deduplicated": stats.deduplicated,
-                "cancelled": stats.cancelled,
-                "chunks": stats.chunks,
-                "dedup_hit_rate": dedup_rate,
-                "throughput_per_sec": stats.cells / wall if wall > 0 else 0.0,
-                "latency_p50_s": _pct(0.50),
-                "latency_p99_s": _pct(0.99),
-            },
-            "cells": [
-                {
-                    "benchmark": t.spec.benchmark,
-                    "policy": t.spec.policy,
-                    "seed": t.spec.seed,
-                    "from_cache": o.from_cache,
-                    "total_time": o.result.total_time,
-                    "total_joules": o.result.total_joules,
-                    "latency_s": lat,
-                }
-                for t, o, lat in streamed
-            ],
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"  wrote {args.json}")
-    session.close()
-    return 0
+            def _pct(p: float) -> float:
+                if not latencies:
+                    return 0.0
+                idx = min(len(latencies) - 1, int(p * (len(latencies) - 1)))
+                return latencies[idx]
+
+            payload = {
+                "machine_cores": args.cores,
+                "seeds": list(args.seeds),
+                "repeat": args.repeat,
+                "wall_seconds": wall,
+                "submit_seconds": submitted,
+                "fast_forward": not args.no_fast_forward,
+                "stats": {
+                    "submissions": stats.cells,
+                    "executed": stats.executed,
+                    "cache_hits": stats.cache_hits,
+                    "memo_hits": stats.memo_hits,
+                    "deduplicated": stats.deduplicated,
+                    "cancelled": stats.cancelled,
+                    "chunks": stats.chunks,
+                    "dedup_hit_rate": dedup_rate,
+                    "throughput_per_sec": stats.cells / wall if wall > 0 else 0.0,
+                    "latency_p50_s": _pct(0.50),
+                    "latency_p99_s": _pct(0.99),
+                },
+                "cells": [
+                    {
+                        "benchmark": t.spec.benchmark,
+                        "policy": t.spec.policy,
+                        "seed": t.spec.seed,
+                        "from_cache": o.from_cache,
+                        "total_time": o.result.total_time,
+                        "total_joules": o.result.total_joules,
+                        "latency_s": lat,
+                    }
+                    for t, o, lat in streamed
+                ],
+            }
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"  wrote {args.json}")
+        return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

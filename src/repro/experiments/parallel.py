@@ -44,6 +44,7 @@ import functools
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
@@ -77,16 +78,23 @@ _CACHE_FORMAT = 1
 #: Sub-digests of immutable inputs, memoised by object identity — a sweep
 #: hashes the same program once per (program, policy-count) instead of
 #: re-walking thousands of task specs per cell. Identity keying is sound
-#: because the keyed objects are frozen dataclasses.
-_blob_memo: dict[int, tuple[Any, str]] = {}
+#: because an entry holds a strong reference to its keyed object (so its
+#: id cannot be recycled while the entry lives) and every hit re-verifies
+#: identity. The memo is a bounded LRU: a long-lived session sweeping many
+#: distinct programs evicts the oldest instead of pinning them all.
+_BLOB_MEMO_ENTRIES = 4096
+_blob_memo: OrderedDict[int, tuple[Any, str]] = OrderedDict()
 
 
 def _memo_digest(value: Any) -> str:
     cached = _blob_memo.get(id(value))
     if cached is not None and cached[0] is value:
+        _blob_memo.move_to_end(id(value))
         return cached[1]
     d = digest([_canonical(value)])
     _blob_memo[id(value)] = (value, d)
+    while len(_blob_memo) > _BLOB_MEMO_ENTRIES:
+        _blob_memo.popitem(last=False)
     return d
 
 
@@ -112,12 +120,18 @@ def cell_key(
     not float-exact a fast-forwarded result may differ from a full one in
     last-ulp positions, so the two modes must never share cache entries.
     """
+    if isinstance(program, tuple):
+        program_digest = _memo_digest(program)
+    else:
+        # A tuple built here has a one-shot id — memoising it would only
+        # fill the memo with entries no later call can ever hit.
+        program_digest = digest([_canonical(tuple(program))])
     return digest(
         [
             "schema", SCENARIO_SCHEMA_VERSION,
             "engine", ENGINE_VERSION, _CACHE_FORMAT,
             "machine", _memo_digest(machine),
-            "program", _memo_digest(tuple(program) if not isinstance(program, tuple) else program),
+            "program", program_digest,
             "policy", POLICIES.canonical(policy),
             "core_levels", _canonical(None if core_levels is None else tuple(core_levels)),
             "eewa_config", _canonical(eewa_config),

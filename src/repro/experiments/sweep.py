@@ -148,7 +148,13 @@ class SweepTicket:
         self._job = job
 
     def result(self, timeout: Optional[float] = None) -> CellOutcome:
-        """Block until this cell resolves (driving the queue if in-process)."""
+        """Block until this cell resolves (driving the queue if in-process).
+
+        ``timeout`` raises ``TimeoutError`` when exceeded. In-process the
+        deadline is checked between chunks (a running chunk is never
+        interrupted), so the wait can overshoot by one chunk's runtime;
+        ``timeout=0`` is a pure non-blocking poll.
+        """
         return self._engine._wait(self, timeout)
 
     def done(self) -> bool:
@@ -313,8 +319,12 @@ class SweepEngine:
         """Submit a batch atomically with respect to dispatch.
 
         The dispatcher holds off until the whole batch is enqueued, so
-        duplicates *within* the batch always coalesce — the accounting a
-        grid sweep's dedup statistics rely on.
+        duplicates *within* the batch coalesce — the accounting a grid
+        sweep's dedup statistics rely on. One exception keeps batches
+        bigger than ``max_pending`` from deadlocking against their own
+        backpressure: at the bound the dispatcher drains even mid-batch.
+        Duplicates still resolve to one simulation (a dispatched job
+        coalesces until it completes, after which the memo serves it).
         """
         with self._lock:
             self._submit_gate += 1
@@ -479,14 +489,23 @@ class SweepEngine:
 
     def _apply_backpressure(self) -> None:
         # Called with the lock held, before enqueueing a new job.
-        while self._queued >= self._max_pending:
+        while not self._closed and self._queued >= self._max_pending:
             if self._pooled:
+                # Wake the dispatcher: once the queue is at the bound it
+                # dispatches even while a batch submit holds the gate
+                # (see _dispatch_loop) — that drain is what makes room
+                # for this submit to proceed.
+                self._work.notify()
                 self._not_full.wait()
             else:
                 # In-process there is no one else to drain the queue: the
                 # submitter pays for its own backlog.
                 if not self._run_one_chunk_locked():
                     break
+        if self._closed:
+            # close() raced us while we were parked above; enqueueing now
+            # would create a job no dispatcher will ever resolve.
+            raise RuntimeError("SweepEngine is closed")
 
     def _chunk_size_locked(self) -> int:
         ema = self._ema_cell_seconds
@@ -566,10 +585,23 @@ class SweepEngine:
         self, ticket: SweepTicket, timeout: Optional[float] = None
     ) -> CellOutcome:
         if not self._pooled:
+            # In-process, queued work executes inside this call, so the
+            # timeout is honoured *between* chunks: a chunk already
+            # running is never interrupted, and a wait can overshoot the
+            # deadline by up to one chunk's runtime.
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             with self._lock:
                 while not ticket.future.done():
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"cell {ticket.key} unresolved after {timeout} s"
+                        )
                     if not self._run_one_chunk_locked():
                         break  # cancelled, or resolved by another waiter
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
         return ticket.future.result(timeout)
 
     # -- internals: pooled execution ------------------------------------
@@ -592,9 +624,19 @@ class SweepEngine:
         max_inflight = 2 * self._pool_workers
         while True:
             with self._lock:
+                # The submit gate holds dispatch only while the queue is
+                # below the backpressure bound: a batch bigger than
+                # max_pending parks its own submit on _not_full, so the
+                # gate must yield there or batch and dispatcher deadlock
+                # waiting on each other. Dispatched jobs stay in
+                # _inflight until they resolve, so later duplicates in
+                # the batch still coalesce.
                 while not self._closed and (
                     self._queued == 0
-                    or self._submit_gate > 0
+                    or (
+                        self._submit_gate > 0
+                        and self._queued < self._max_pending
+                    )
                     or self._pool_inflight >= max_inflight
                 ):
                     self._work.wait(timeout=0.1)

@@ -75,6 +75,37 @@ class TestCellKey:
             par.ENGINE_VERSION = original
 
 
+class TestBlobMemo:
+    def test_memo_is_a_bounded_lru(self):
+        from repro.experiments.parallel import (
+            _BLOB_MEMO_ENTRIES,
+            _blob_memo,
+            _memo_digest,
+        )
+
+        held = [("blob-memo-probe", i) for i in range(_BLOB_MEMO_ENTRIES + 64)]
+        digests = [_memo_digest(value) for value in held]
+        assert len(_blob_memo) <= _BLOB_MEMO_ENTRIES
+        # A live entry is still an identity-verified hit...
+        assert _memo_digest(held[-1]) == digests[-1]
+        # ...and recomputing an evicted one agrees with the original.
+        assert _memo_digest(held[0]) == digests[0]
+
+    def test_list_program_does_not_grow_the_memo(self):
+        from repro.experiments import parallel
+
+        machine = opteron_8380_machine()
+        program = list(benchmark_program("SHA-1", batches=BATCHES, seed=11))
+        key = cell_key(program, "cilk", machine, 11)  # warm machine digest
+        before = len(parallel._blob_memo)
+        for _ in range(5):
+            assert cell_key(program, "cilk", machine, 11) == key
+        # The tuple built per call has a one-shot id: it must not be
+        # memoised, and the key must match the pre-built-tuple path.
+        assert len(parallel._blob_memo) == before
+        assert cell_key(tuple(program), "cilk", machine, 11) == key
+
+
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -7,7 +7,9 @@ migration, pack compaction), and the ``repro cache`` backing functions.
 """
 
 import pickle
-from concurrent.futures import CancelledError
+import threading
+import time
+from concurrent.futures import CancelledError, Future
 
 import pytest
 
@@ -157,6 +159,37 @@ class TestBackpressureAndChunking:
         assert engine.stats.executed == 7
         assert engine.stats.chunks == 2
 
+    def test_pooled_batch_larger_than_max_pending_completes(self, tmp_path):
+        # Regression: the submit_many dispatch gate must yield at the
+        # backpressure bound, or a pooled batch bigger than max_pending
+        # deadlocks — the parked submit waits on the dispatcher to drain
+        # while the dispatcher waits on the gate the submit holds.
+        with SweepEngine(
+            workers=2, cache_dir=tmp_path / "cache", max_pending=3
+        ) as eng:
+            done = {}
+            run = threading.Thread(
+                target=lambda: done.setdefault(
+                    "outcomes",
+                    eng.run_cells([spec(seed=s) for s in range(1, 9)]),
+                ),
+                daemon=True,
+            )
+            run.start()
+            run.join(timeout=180)
+            assert "outcomes" in done, "pooled submit_many deadlocked"
+            assert len(done["outcomes"]) == 8
+            assert all(o.result.tasks_executed > 0 for o in done["outcomes"])
+            assert eng.stats.executed == 8
+
+    def test_result_timeout_honoured_in_process(self, engine):
+        first, second = engine.submit_many([spec(seed=11), spec(seed=23)])
+        with pytest.raises(TimeoutError):
+            second.result(timeout=0)
+        assert engine.stats.executed == 0  # a zero wait runs no chunks
+        assert second.result().result.tasks_executed > 0
+        assert first.result().result.tasks_executed > 0
+
     def test_invalid_parameters_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             SweepEngine(workers=-1)
@@ -169,6 +202,51 @@ class TestBackpressureAndChunking:
                 eng.configure(max_pending=0)
             with pytest.raises(ConfigurationError):
                 eng.configure(max_chunk=-3)
+
+
+class _StalledPool:
+    """Pool stub whose chunks never complete — parks the dispatcher."""
+
+    def __init__(self):
+        self.futures = []
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        self.futures.append(future)
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestCloseRaces:
+    def test_submit_parked_on_backpressure_raises_on_close(self):
+        # A submit parked in backpressure when close() lands must raise,
+        # not enqueue a job no dispatcher will ever resolve (which would
+        # hang the caller on result() forever).
+        eng = SweepEngine(workers=2, cache_dir=None, max_pending=1)
+        stalled = _StalledPool()
+        eng._ensure_pool = lambda: stalled
+        failures = []
+
+        def feed():
+            try:
+                eng.submit_many([spec(seed=s) for s in range(1, 9)])
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        feeder = threading.Thread(target=feed, daemon=True)
+        feeder.start()
+        # 2 workers → the dispatcher stops after 4 in-flight chunks; the
+        # feeder then fills the queue and parks in backpressure.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and len(stalled.futures) < 4:
+            time.sleep(0.01)
+        assert len(stalled.futures) == 4
+        eng.close()
+        feeder.join(timeout=30)
+        assert not feeder.is_alive()
+        assert failures and "closed" in str(failures[0])
 
 
 class TestTornEntryRecovery:
