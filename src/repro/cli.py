@@ -6,7 +6,8 @@
 * ``run`` — one benchmark under one policy, with timing/energy and traces;
 * ``compare`` — one benchmark under several policies, normalised to the
   first (``--policies`` defaults to the Cilk-normalised baseline set);
-* ``figure`` — regenerate one paper exhibit (fig1/fig6/fig7/fig8/fig9/table3);
+* ``figure`` — regenerate one exhibit (fig1/fig6/fig7/fig8/fig9/table3,
+  plus the heterogeneous extension ``fig_hetero``);
 * ``run-spec`` — run a JSON file: either a full scenario spec
   (:class:`repro.scenario.ScenarioSpec`) or a bare workload spec;
 * ``bench`` — parallel cached sweep over (workload × policy × seed) cells
@@ -40,6 +41,7 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
     run_fig9,
+    run_fig_hetero,
     run_table3,
 )
 from repro.scenario.registry import (
@@ -52,7 +54,14 @@ from repro.scenario.registry import (
 from repro.scenario.session import Session
 from repro.scenario.spec import MachineSpec, PolicySpec, ScenarioSpec
 
-EXHIBITS = ("fig1", "fig6", "fig7", "fig8", "fig9", "table3")
+EXHIBITS = ("fig1", "fig6", "fig7", "fig8", "fig9", "fig_hetero", "table3")
+
+
+def _add_machine_arg(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--machine", choices=MACHINES.names(), default=None, metavar="PRESET",
+        help="machine preset (default: opteron-8380; see `repro list`)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,8 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("benchmark", choices=workload_names())
     run.add_argument("policy", choices=POLICIES.names())
     run.add_argument("--batches", type=int, default=None)
-    run.add_argument("--cores", type=int, default=16)
+    run.add_argument(
+        "--cores", type=int, default=None,
+        help="core count override (default: the preset's own default)",
+    )
     run.add_argument("--seed", type=int, default=11)
+    _add_machine_arg(run)
     run.add_argument(
         "--core-levels", nargs="+", type=int, metavar="LEVEL",
         help="fixed per-core frequency levels (policies like wats need one; "
@@ -105,8 +118,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: EEWA's modal configuration, Fig. 7 style)",
     )
     cmp_.add_argument("--batches", type=int, default=None)
-    cmp_.add_argument("--cores", type=int, default=16)
+    cmp_.add_argument(
+        "--cores", type=int, default=None,
+        help="core count override (default: the preset's own default)",
+    )
     cmp_.add_argument("--seed", type=int, default=11)
+    _add_machine_arg(cmp_)
     cmp_.add_argument(
         "--faults", metavar="PATH",
         help="fault-injection spec JSON applied to every policy",
@@ -150,7 +167,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
     bench.add_argument("--batches", type=int, default=None)
-    bench.add_argument("--cores", type=int, default=16)
+    bench.add_argument("--cores", type=int, default=None)
+    _add_machine_arg(bench)
     bench.add_argument(
         "--workers", type=int, default=None,
         help="process count (default: cpu count; 0/1 runs in-process)",
@@ -187,7 +205,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
     sweep.add_argument("--batches", type=int, default=None)
-    sweep.add_argument("--cores", type=int, default=16)
+    sweep.add_argument("--cores", type=int, default=None)
+    _add_machine_arg(sweep)
     sweep.add_argument(
         "--repeat", type=int, default=1, metavar="N",
         help="submit the whole grid N times (duplicates coalesce in flight "
@@ -270,9 +289,19 @@ def _cmd_list() -> int:
     return 0
 
 
-def _machine_spec(cores: int, *, per_socket_dvfs: bool = False) -> MachineSpec:
-    preset = "opteron-8380-socket" if per_socket_dvfs else "opteron-8380"
-    return MachineSpec(preset=preset, num_cores=cores)
+def _machine_spec(
+    cores: Optional[int],
+    *,
+    preset: Optional[str] = None,
+    per_socket_dvfs: bool = False,
+) -> MachineSpec:
+    if per_socket_dvfs:
+        if preset not in (None, "opteron-8380"):
+            raise ScenarioError(
+                "--per-socket-dvfs applies to the opteron-8380 preset only"
+            )
+        preset = "opteron-8380-socket"
+    return MachineSpec(preset=preset or "opteron-8380", num_cores=cores)
 
 
 def _load_faults(path: Optional[str]):
@@ -319,15 +348,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scenario = ScenarioSpec(
         workload=args.benchmark,
         policy=args.policy,
-        machine=_machine_spec(args.cores, per_socket_dvfs=args.per_socket_dvfs),
+        machine=_machine_spec(
+            args.cores, preset=args.machine,
+            per_socket_dvfs=args.per_socket_dvfs,
+        ),
         seeds=(args.seed,),
         batches=args.batches,
         faults=faults,
     )
     scenario = _resolve_levels(session, scenario, args.core_levels)
+    cores = scenario.build_machine().num_cores
     result = session.run_single(scenario, record_power_series=args.thermal)
     print(
-        f"{args.benchmark} / {args.policy} on {args.cores} cores: "
+        f"{args.benchmark} / {args.policy} on {cores} cores: "
         f"{result.total_time*1e3:.1f} ms, {result.total_joules:.2f} J "
         f"(avg {result.average_power:.0f} W), {result.tasks_executed} tasks"
     )
@@ -375,7 +408,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     session = Session()
-    machine = _machine_spec(args.cores)
+    machine = _machine_spec(args.cores, preset=args.machine)
+    cores = machine.build().num_cores
     faults = _load_faults(args.faults)
     scenarios = [
         _resolve_levels(
@@ -405,7 +439,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         format_table(
             ["policy", "time (ms)", "energy (J)", f"t/{base.policy}", f"E/{base.policy}"],
             rows,
-            title=f"{args.benchmark} on {args.cores} cores (seed {args.seed}{suffix})",
+            title=f"{args.benchmark} on {cores} cores (seed {args.seed}{suffix})",
         )
     )
     return 0
@@ -429,6 +463,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(run_fig8(seed=args.seed).table())
     elif args.exhibit == "fig9":
         print(run_fig9(seeds=seeds).table())
+    elif args.exhibit == "fig_hetero":
+        print(run_fig_hetero(seeds=seeds).table())
     elif args.exhibit == "table3":
         print(run_table3(seed=args.seed).table())
     return 0
@@ -519,7 +555,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fast_forward=not args.no_fast_forward,
     )
     with session:
-        machine = MachineSpec(num_cores=args.cores)
+        machine = _machine_spec(args.cores, preset=args.machine)
+        cores = machine.build().num_cores
         faults = _load_faults(args.faults)
         scenarios = [
             _resolve_levels(
@@ -604,7 +641,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             import platform
 
             payload = {
-                "machine_cores": args.cores,
+                "machine_cores": cores,
                 "seeds": list(args.seeds),
                 "wall_seconds": wall,
                 "fast_forward": not args.no_fast_forward,
@@ -671,7 +708,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         engine = session.engine.configure(
             chunk_target_seconds=args.chunk_target, max_pending=args.max_pending
         )
-        machine = MachineSpec(num_cores=args.cores)
+        machine = _machine_spec(args.cores, preset=args.machine)
+        cores = machine.build().num_cores
         scenarios = [
             _resolve_levels(
                 session,
@@ -730,7 +768,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 return latencies[idx]
 
             payload = {
-                "machine_cores": args.cores,
+                "machine_cores": cores,
                 "seeds": list(args.seeds),
                 "repeat": args.repeat,
                 "wall_seconds": wall,

@@ -27,10 +27,15 @@ from typing import Callable, Optional
 
 from repro.core.cc_table import CC_MODES, DEFAULT_HEADROOM, CCTable, build_cc_table
 from repro.core.cgroups import CGroupPlan, build_cgroup_plan, uniform_plan
-from repro.core.ktuple import KTupleSolution, exhaustive_search, search_ktuple
+from repro.core.ktuple import (
+    Capacities,
+    KTupleSolution,
+    exhaustive_search,
+    search_ktuple,
+)
 from repro.core.profiler import OnlineProfiler
 from repro.errors import SearchError
-from repro.machine.frequency import FrequencyScale
+from repro.machine.operating_point import OperatingPointSpace
 
 
 @dataclass(frozen=True)
@@ -60,7 +65,8 @@ class AdjusterDecision:
         return self.fallback_reason is not None
 
 
-SearchFn = Callable[[CCTable, int], Optional[KTupleSolution]]
+#: Search entry point: ``fn(table, num_cores, capacities=...)``.
+SearchFn = Callable[..., Optional[KTupleSolution]]
 
 SEARCH_ALGORITHMS: dict[str, SearchFn] = {
     "backtracking": search_ktuple,
@@ -75,9 +81,15 @@ class WorkloadAwareFrequencyAdjuster:
     Parameters
     ----------
     scale:
-        Machine frequency ladder.
+        Machine operating-point space (the frequency ladder on
+        homogeneous machines).
     num_cores:
         Total cores ``m``.
+    capacities:
+        Ordered per-type core counts on heterogeneous machines
+        (:meth:`repro.machine.topology.MachineConfig.capacities`); the
+        search and the c-group builder then budget each core type
+        separately. ``None`` keeps the machine-wide single budget.
     search:
         ``"backtracking"`` (Algorithm 1, the default) or ``"exhaustive"``
         (the costlier yardstick used in the ablation).
@@ -92,12 +104,13 @@ class WorkloadAwareFrequencyAdjuster:
         Simulated decision-cost model.
     """
 
-    scale: FrequencyScale
+    scale: OperatingPointSpace
     num_cores: int
     search: str = "backtracking"
     cc_mode: str = "discrete"
     headroom: float = DEFAULT_HEADROOM
     leftover_policy: str = "slowest"
+    capacities: Optional[Capacities] = None
     overhead_model: OverheadModel = field(default_factory=OverheadModel)
     decisions: list[AdjusterDecision] = field(default_factory=list)
 
@@ -131,14 +144,18 @@ class WorkloadAwareFrequencyAdjuster:
             mode=self.cc_mode,
             headroom=self.headroom,
         )
-        solution = search_fn(table, self.num_cores)
+        solution = search_fn(table, self.num_cores, capacities=self.capacities)
         if solution is None:
             decision = self._fallback(t0, table, "no feasible k-tuple")
             self.decisions.append(decision)
             return decision
 
         plan = build_cgroup_plan(
-            solution, table, self.num_cores, leftover_policy=self.leftover_policy
+            solution,
+            table,
+            self.num_cores,
+            leftover_policy=self.leftover_policy,
+            capacities=self.capacities,
         )
         wall = time.perf_counter() - t0
         decision = AdjusterDecision(

@@ -1,11 +1,18 @@
 """Core-Count (CC) table construction — Table I of the paper.
 
-For ``k`` task classes (heaviest first) and ``r`` frequencies (fastest
-first), ``CC[j][i]`` is the number of cores at frequency ``F_j`` needed to
-finish every task of class ``TC_i`` within the ideal iteration time ``T``:
+For ``k`` task classes (heaviest first) and ``r`` operating points (fastest
+first), ``CC[j][i]`` is the number of cores at operating point ``j`` needed
+to finish every task of class ``TC_i`` within the ideal iteration time
+``T``:
 
-``CC[0][i] = n_i * w_i / T``      (cores at the fastest frequency)
-``CC[j][i] = (F_0 / F_j) * CC[0][i]``   (slower cores, proportionally more)
+``CC[0][i] = n_i * w_i / T``      (cores at the fastest operating point)
+``CC[j][i] = (S_0 / S_j) * CC[0][i]``   (slower cores, proportionally more)
+
+where ``S_j`` is the operating point's effective speed. On a homogeneous
+machine the operating points are exactly the frequency ladder and this is
+the paper's ``CC[j][i] = (F_0 / F_j) * CC[0][i]`` verbatim; on a
+heterogeneous machine the rows cover the merged per-type ladders, so the
+shape is ``|OP| x k`` rather than ``r x k``.
 
 Entries are real-valued; integer rounding happens later when cores are
 actually allocated to c-groups (:mod:`repro.core.cgroups`), mirroring the
@@ -21,14 +28,14 @@ import numpy as np
 
 from repro.errors import SearchError
 from repro.core.profiler import TaskClassStats
-from repro.machine.frequency import FrequencyScale
+from repro.machine.operating_point import OperatingPointSpace
 
 
 @dataclass(frozen=True)
 class CCTable:
-    """An ``r x k`` core-count table bound to its classes and scale."""
+    """An ``|OP| x k`` core-count table bound to its classes and scale."""
 
-    scale: FrequencyScale
+    scale: OperatingPointSpace
     class_names: tuple[str, ...]
     values: np.ndarray  # shape (r, k), float64
     ideal_time: float
@@ -93,7 +100,7 @@ DEFAULT_HEADROOM = 0.10
 
 def build_cc_table(
     classes: Sequence[TaskClassStats],
-    scale: FrequencyScale,
+    scale: OperatingPointSpace,
     ideal_time: float,
     *,
     mode: str = "fluid",
@@ -162,7 +169,7 @@ def build_cc_table(
 
 def cc_table_from_values(
     values: Sequence[Sequence[float]],
-    scale: FrequencyScale,
+    scale: OperatingPointSpace,
     *,
     class_names: Sequence[str] | None = None,
     ideal_time: float = 1.0,

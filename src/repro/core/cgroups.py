@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.cc_table import CCTable
-from repro.core.ktuple import KTupleSolution
+from repro.core.ktuple import Capacities, KTupleSolution
 from repro.errors import SearchError
 
 LEFTOVER_POLICIES = ("slowest", "join_slowest_group", "fastest")
@@ -32,14 +33,29 @@ LEFTOVER_POLICIES = ("slowest", "join_slowest_group", "fastest")
 
 @dataclass(frozen=True)
 class CGroup:
-    """One c-group: a frequency level and the cores pinned to it."""
+    """One c-group: an operating point and the cores pinned to it.
+
+    ``level`` is the DVFS level *local to the group's cores* — on
+    homogeneous machines that is the machine frequency index, on
+    heterogeneous ones the index into the core type's own ladder (what the
+    engine validates per core). ``op_index`` is the group's global
+    operating-point index when the plan was built against per-type
+    capacities; it is what makes groups comparable across core types
+    (faster/slower) and stays ``None`` on plans built the flat-ladder way.
+    """
 
     index: int  # position among used groups, 0 = fastest
-    level: int  # frequency level in the machine scale
+    level: int  # DVFS level local to this group's cores
     core_ids: tuple[int, ...]
+    op_index: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.core_ids)
+
+    @property
+    def rank(self) -> int:
+        """Global speed rank for cross-group comparisons (lower = faster)."""
+        return self.op_index if self.op_index is not None else self.level
 
 
 @dataclass(frozen=True)
@@ -83,13 +99,47 @@ def build_cgroup_plan(
     num_cores: int,
     *,
     leftover_policy: str = "slowest",
+    capacities: Optional[Capacities] = None,
 ) -> CGroupPlan:
-    """Realise a k-tuple as an integral c-group plan."""
+    """Realise a k-tuple as an integral c-group plan.
+
+    Without ``capacities`` the table rows are the machine's flat frequency
+    ladder and the whole machine is one core pool (the paper's setting).
+    With per-type ``capacities`` every step — rounding overflow merges, the
+    single-level clamp, leftover parking, and the core-id layout — runs
+    *per core type*, because cores of one type cannot realise another
+    type's operating points. A one-type capacity declaration reduces to
+    the flat-ladder arithmetic exactly.
+    """
     if leftover_policy not in LEFTOVER_POLICIES:
         raise SearchError(f"unknown leftover policy {leftover_policy!r}")
     if len(solution.assignment) != table.k:
         raise SearchError("solution and table disagree on class count")
     r = table.r
+    scale = table.scale
+
+    # Capacity buckets: (rows, core budget, first core id). Levels here are
+    # global operating-point indices (== machine levels when flat).
+    if capacities is None:
+        buckets: list[tuple[tuple[int, ...], int, int]] = [
+            (tuple(range(r)), num_cores, 0)
+        ]
+    else:
+        names = [name for name, _ in capacities]
+        if sorted(names) != sorted(scale.types):
+            raise SearchError(
+                f"capacities declare types {names} but the scale has {list(scale.types)}"
+            )
+        if sum(count for _, count in capacities) != num_cores:
+            raise SearchError("capacities do not sum to the machine's core count")
+        rows_of: dict[str, list[int]] = {name: [] for name in names}
+        for j in range(r):
+            rows_of[scale.core_type_of(j)].append(j)
+        buckets = []
+        offset = 0
+        for name, count in capacities:
+            buckets.append((tuple(rows_of[name]), count, offset))
+            offset += count
 
     # Aggregate demand per selected level, then round up.
     demand = solution.demand_by_level()
@@ -100,62 +150,85 @@ def build_cgroup_plan(
     # the tuple chose, or any selected one. Map them after group assembly.
     class_level = {i: solution.assignment[i] for i in range(table.k)}
 
-    # Merge slowest levels into faster ones while the rounding overflows m.
-    while sum(counts.values()) > num_cores and len(counts) > 1:
-        levels_sorted = sorted(counts)  # ascending index = fastest..slowest
-        slowest = levels_sorted[-1]
-        target = levels_sorted[-2]
-        counts[target] = counts[target] + counts[slowest] - 1
-        del counts[slowest]
-        for i, lvl in class_level.items():
-            if lvl == slowest:
-                class_level[i] = target
-    if sum(counts.values()) > num_cores:
-        # Single level still overflowing: clamp (performance will degrade,
-        # but the plan stays valid — the search should have prevented this).
-        only = next(iter(counts))
-        counts[only] = num_cores
+    for rows, budget, _ in buckets:
+        # Merge the bucket's slowest levels into faster ones while the
+        # rounding overflows its core budget.
+        def used(rows=rows) -> list[int]:
+            return [lvl for lvl in rows if lvl in counts]
 
-    # Park leftover cores.
-    leftover = num_cores - sum(counts.values())
-    if leftover > 0:
-        if leftover_policy == "slowest":
-            park_level = r - 1
-        elif leftover_policy == "join_slowest_group":
-            park_level = max(counts)
-        else:  # "fastest"
-            park_level = 0
-        counts[park_level] = counts.get(park_level, 0) + leftover
+        while sum(counts[lvl] for lvl in used()) > budget and len(used()) > 1:
+            levels_sorted = used()  # rows ascend fastest..slowest already
+            slowest = levels_sorted[-1]
+            target = levels_sorted[-2]
+            counts[target] = counts[target] + counts[slowest] - 1
+            del counts[slowest]
+            for i, lvl in class_level.items():
+                if lvl == slowest:
+                    class_level[i] = target
+        remaining = used()
+        if sum(counts[lvl] for lvl in remaining) > budget:
+            # Single level still overflowing: clamp (performance will
+            # degrade, but the plan stays valid — the search should have
+            # prevented this).
+            counts[remaining[0]] = budget
 
-    # Lay cores out deterministically: fastest group gets the lowest ids.
-    used_levels = sorted(counts)
-    core_levels: list[int] = []
+        # Park the bucket's leftover cores.
+        leftover = budget - sum(counts[lvl] for lvl in used())
+        if leftover > 0:
+            if leftover_policy == "slowest":
+                park_level = rows[-1]
+            elif leftover_policy == "join_slowest_group":
+                park_level = max(used(), default=rows[-1])
+            else:  # "fastest"
+                park_level = rows[0]
+            counts[park_level] = counts.get(park_level, 0) + leftover
+
+    # Lay cores out deterministically: each type owns a contiguous core-id
+    # range (declaration order), and within it faster groups get the lowest
+    # ids. Groups themselves are ordered by global operating-point index.
+    alloc: dict[int, tuple[int, ...]] = {}
+    for rows, budget, offset in buckets:
+        next_core = offset
+        for level in rows:
+            if level not in counts:
+                continue
+            alloc[level] = tuple(range(next_core, next_core + counts[level]))
+            next_core += counts[level]
+        if next_core != offset + budget:
+            raise SearchError(
+                f"core allocation mismatch: placed {next_core - offset} of {budget}"
+            )
+
+    used_levels = sorted(alloc)
+    core_levels: list[int] = [0] * num_cores
     groups: list[CGroup] = []
     group_of_core: list[int] = [0] * num_cores
-    next_core = 0
     for gidx, level in enumerate(used_levels):
-        ids = tuple(range(next_core, next_core + counts[level]))
-        next_core += counts[level]
-        groups.append(CGroup(index=gidx, level=level, core_ids=ids))
+        ids = alloc[level]
+        local = scale.type_level_of(level) if capacities is not None else level
+        groups.append(
+            CGroup(
+                index=gidx,
+                level=local,
+                core_ids=ids,
+                op_index=level if capacities is not None else None,
+            )
+        )
         for cid in ids:
             group_of_core[cid] = gidx
-        core_levels.extend([level] * counts[level])
-
-    if next_core != num_cores:
-        raise SearchError(
-            f"core allocation mismatch: placed {next_core} of {num_cores}"
-        )
+            core_levels[cid] = local
 
     # Map classes to groups. A class whose level was merged/unselected goes
-    # to the nearest *faster-or-equal* used level so it still meets T.
-    level_to_group = {g.level: g.index for g in groups}
+    # to the nearest *faster-or-equal* used operating point so it still
+    # meets T (cross-type: comparisons use the global index).
+    level_to_group = {level: gidx for gidx, level in enumerate(used_levels)}
     class_to_group: dict[str, int] = {}
     for i, name in enumerate(table.class_names):
         lvl = class_level[i]
         if lvl in level_to_group:
             class_to_group[name] = level_to_group[lvl]
         else:
-            faster = [g.index for g in groups if g.level <= lvl]
+            faster = [gidx for gidx, level in enumerate(used_levels) if level <= lvl]
             class_to_group[name] = faster[-1] if faster else 0
 
     return CGroupPlan(

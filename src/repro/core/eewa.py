@@ -111,6 +111,7 @@ class EEWAScheduler(GroupedStealingPolicy):
             cc_mode=self.config.cc_mode,
             headroom=self.config.headroom,
             leftover_policy=self.config.leftover_policy,
+            capacities=ctx.machine.capacities(),
             overhead_model=self.config.overhead_model,
         )
         # Batch 0 runs all-fast in a single c-group (paper: "in the first
@@ -130,10 +131,14 @@ class EEWAScheduler(GroupedStealingPolicy):
         assert self.profiler is not None and self.regression is not None
         level = task.executed_level
         assert level is not None
-        self.profiler.observe(
-            task.function, task.elapsed, level, task.spec.counters
+        machine = self._require_ctx().machine
+        core_type = (
+            machine.core_type_of(core_id) if machine.is_heterogeneous else None
         )
-        self.regression.observe(task.function, task.elapsed, level)
+        self.profiler.observe(
+            task.function, task.elapsed, level, task.spec.counters, core_type
+        )
+        self.regression.observe(task.function, task.elapsed, level, core_type)
 
     def on_dvfs_denied(self, core_id: int, level: int) -> None:
         super().on_dvfs_denied(core_id, level)
@@ -325,7 +330,7 @@ class EEWAScheduler(GroupedStealingPolicy):
             slow = max(1, m // 3)
             from repro.runtime.wats import plan_from_levels
 
-            base = plan_from_levels([0] * (m - slow) + [1] * slow)
+            base = plan_from_levels([0] * (m - slow) + [1] * slow, machine=ctx.machine)
             plan = CGroupPlan(
                 core_levels=base.core_levels,
                 groups=base.groups,
@@ -354,12 +359,15 @@ class EEWAScheduler(GroupedStealingPolicy):
             )
         except Exception:
             return self.adjuster.decide(self.profiler)
-        solution = search_ktuple(table, ctx.machine.num_cores)
+        solution = search_ktuple(
+            table, ctx.machine.num_cores, capacities=ctx.machine.capacities()
+        )
         if solution is None:
             return self.adjuster.decide(self.profiler)
         plan = build_cgroup_plan(
             solution, table, ctx.machine.num_cores,
             leftover_policy=self.config.leftover_policy,
+            capacities=ctx.machine.capacities(),
         )
         wall = _time.perf_counter() - t0
         decision = AdjusterDecision(

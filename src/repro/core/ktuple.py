@@ -23,11 +23,44 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.cc_table import CCTable
 from repro.errors import SearchError
 from repro.machine.power import PowerModel
+
+#: Per-core-type capacity declaration: ordered ``(type name, core count)``
+#: pairs, as produced by :meth:`repro.machine.topology.MachineConfig.capacities`.
+Capacities = Sequence[tuple[str, int]]
+
+
+def _capacity_layout(
+    table: CCTable, num_cores: int, capacities: Optional[Capacities]
+) -> tuple[list[int], list[float]]:
+    """Map each CC row (operating point) to a capacity bucket.
+
+    Returns ``(bucket_of_row, budgets)``. With ``capacities=None`` every
+    row charges one machine-wide bucket of ``num_cores`` — the paper's
+    homogeneous setting. With per-type capacities each row charges its
+    core type's bucket, because a core of one type can never realise an
+    operating point of another.
+    """
+    if capacities is None:
+        return [0] * table.r, [float(num_cores)]
+    names = [name for name, _ in capacities]
+    if sorted(names) != sorted(table.scale.types):
+        raise SearchError(
+            f"capacities declare types {names} but the scale has {list(table.scale.types)}"
+        )
+    total = sum(count for _, count in capacities)
+    if total != num_cores:
+        raise SearchError(
+            f"capacities sum to {total} cores but the machine has {num_cores}"
+        )
+    bucket = {name: i for i, name in enumerate(names)}
+    bucket_of_row = [bucket[table.scale.core_type_of(j)] for j in range(table.r)]
+    budgets = [float(count) for _, count in capacities]
+    return bucket_of_row, budgets
 
 
 @dataclass(frozen=True)
@@ -62,24 +95,33 @@ class KTupleSolution:
         return all(a <= b for a, b in zip(self.assignment, self.assignment[1:]))
 
 
-def search_ktuple(table: CCTable, num_cores: int) -> Optional[KTupleSolution]:
+def search_ktuple(
+    table: CCTable, num_cores: int, *, capacities: Optional[Capacities] = None
+) -> Optional[KTupleSolution]:
     """Algorithm 1: backtracking search for the first feasible k-tuple.
 
-    Returns ``None`` when even the all-fastest assignment does not fit in
-    ``num_cores`` (the adjuster then falls back to running everything at
-    ``F_0``, i.e. plain work-stealing behaviour).
+    Returns ``None`` when even the all-fastest assignment does not fit
+    (the adjuster then falls back to running everything at the fastest
+    operating point, i.e. plain work-stealing behaviour).
+
+    With ``capacities`` given (heterogeneous machines) the capacity
+    constraint is enforced per core type: each operating point charges
+    only its own type's core budget. With one bucket the arithmetic is
+    the paper's single running sum, operation for operation.
     """
     if num_cores < 1:
         raise SearchError("num_cores must be >= 1")
     r, k = table.r, table.k
     cc = table.values
+    bucket_of_row, budgets = _capacity_layout(table, num_cores, capacities)
     a = [0] * k
-    state = {"c_n": 0.0}
+    used = [0.0] * len(budgets)
 
     def select(i: int, j: int) -> bool:
-        if cc[j, i] + state["c_n"] <= num_cores + 1e-9:
+        b = bucket_of_row[j]
+        if cc[j, i] + used[b] <= budgets[b] + 1e-9:
             a[i] = j
-            state["c_n"] += cc[j, i]
+            used[b] += cc[j, i]
             return True
         return False
 
@@ -91,7 +133,7 @@ def search_ktuple(table: CCTable, num_cores: int) -> Optional[KTupleSolution]:
             if select(i, j):
                 if search(i + 1):
                     return True
-                state["c_n"] -= cc[a[i], i]
+                used[bucket_of_row[a[i]]] -= cc[a[i], i]
         return False
 
     if not search(0):
@@ -102,7 +144,10 @@ def search_ktuple(table: CCTable, num_cores: int) -> Optional[KTupleSolution]:
 
 
 def default_power_estimate(
-    table: CCTable, num_cores: Optional[int] = None
+    table: CCTable,
+    num_cores: Optional[int] = None,
+    *,
+    capacities: Optional[Capacities] = None,
 ) -> Callable[[KTupleSolution], float]:
     """Cubic-in-frequency power proxy: ``P(F_j) ~ (F_j / F_0)^3``.
 
@@ -112,8 +157,32 @@ def default_power_estimate(
     class are charged at the slowest level's power — they spin there under
     the default leftover policy, and their count differs between candidate
     tuples, so omitting them would bias the comparison toward fast tuples.
+    On heterogeneous machines (``capacities`` given) leftover cores park at
+    *their own type's* slowest operating point, so each type's leftover is
+    charged at that point's power.
     """
     scale = table.scale
+
+    if num_cores is not None and capacities is not None:
+        bucket_of_row, budgets = _capacity_layout(table, num_cores, capacities)
+        slowest_of_bucket: dict[int, int] = {}
+        for j in range(table.r):  # rows ascend slow-ward, so the last wins
+            slowest_of_bucket[bucket_of_row[j]] = j
+
+        def estimate_typed(solution: KTupleSolution) -> float:
+            total = sum(
+                cores * scale.relative_speed(level) ** 3
+                for level, cores in zip(solution.assignment, solution.core_demand)
+            )
+            used = [0.0] * len(budgets)
+            for level, cores in zip(solution.assignment, solution.core_demand):
+                used[bucket_of_row[level]] += cores
+            for b, budget in enumerate(budgets):
+                leftover = max(0.0, budget - used[b])
+                total += leftover * scale.relative_speed(slowest_of_bucket[b]) ** 3
+            return total
+
+        return estimate_typed
 
     def estimate(solution: KTupleSolution) -> float:
         total = sum(
@@ -157,17 +226,20 @@ def exhaustive_search(
     num_cores: int,
     *,
     estimate: Optional[Callable[[KTupleSolution], float]] = None,
+    capacities: Optional[Capacities] = None,
 ) -> Optional[KTupleSolution]:
     """Enumerate all monotone k-tuples; return the feasible minimum-power one.
 
     Complexity is ``C(k + r - 1, r - 1)`` candidates — fine for the small
     tables of real machines, and the yardstick the ablation benchmark
-    compares Algorithm 1 against.
+    compares Algorithm 1 against. Feasibility, like the backtracking
+    search's, is per core-type bucket when ``capacities`` is given.
     """
     if num_cores < 1:
         raise SearchError("num_cores must be >= 1")
+    bucket_of_row, budgets = _capacity_layout(table, num_cores, capacities)
     if estimate is None:
-        estimate = default_power_estimate(table, num_cores)
+        estimate = default_power_estimate(table, num_cores, capacities=capacities)
     r, k = table.r, table.k
     cc = table.values
 
@@ -176,7 +248,10 @@ def exhaustive_search(
     # Monotone non-decreasing assignments == combinations with repetition.
     for combo in itertools.combinations_with_replacement(range(r), k):
         demand = [float(cc[j, i]) for i, j in enumerate(combo)]
-        if sum(demand) > num_cores + 1e-9:
+        used = [0.0] * len(budgets)
+        for j, d in zip(combo, demand):
+            used[bucket_of_row[j]] += d
+        if any(u > b + 1e-9 for u, b in zip(used, budgets)):
             continue
         candidate = KTupleSolution(assignment=combo, core_demand=tuple(demand))
         score = estimate(candidate)

@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.errors import ProfilingError
 from repro.machine.counters import PerfCounters
-from repro.machine.frequency import FrequencyScale
+from repro.machine.operating_point import OperatingPointSpace
 
 
 @dataclass
@@ -30,7 +30,9 @@ class TaskClassStats:
 
     ``function`` is the class identity, ``count`` the number of observed
     tasks ``n``, ``mean_workload`` the running average normalised workload
-    ``w`` in seconds-at-``F_0``.
+    ``w`` in seconds-at-the-fastest-operating-point. On heterogeneous
+    machines ``counts_by_type`` additionally splits ``n`` by the core type
+    that executed each task; on homogeneous machines it stays empty.
     """
 
     function: str
@@ -39,8 +41,15 @@ class TaskClassStats:
     instructions: int = 0
     cache_misses: int = 0
     memory_bound_tasks: int = 0
+    counts_by_type: dict[str, int] = field(default_factory=dict)
 
-    def update(self, workload: float, counters: Optional[PerfCounters], is_mem: bool) -> None:
+    def update(
+        self,
+        workload: float,
+        counters: Optional[PerfCounters],
+        is_mem: bool,
+        core_type: Optional[str] = None,
+    ) -> None:
         """Apply the paper's incremental mean update for one retired task."""
         self.mean_workload = (self.count * self.mean_workload + workload) / (self.count + 1)
         self.count += 1
@@ -49,6 +58,8 @@ class TaskClassStats:
             self.cache_misses += counters.cache_misses
         if is_mem:
             self.memory_bound_tasks += 1
+        if core_type is not None:
+            self.counts_by_type[core_type] = self.counts_by_type.get(core_type, 0) + 1
 
     @property
     def total_workload(self) -> float:
@@ -72,7 +83,7 @@ DEFAULT_MISS_THRESHOLD = 0.01
 class OnlineProfiler:
     """Collects per-batch workload information for the frequency adjuster."""
 
-    scale: FrequencyScale
+    scale: OperatingPointSpace
     miss_threshold: float = DEFAULT_MISS_THRESHOLD
     ideal_time: Optional[float] = None
     _classes: dict[str, TaskClassStats] = field(default_factory=dict)
@@ -81,11 +92,25 @@ class OnlineProfiler:
 
     # -- observation ----------------------------------------------------------
 
-    def normalized_workload(self, elapsed: float, level: int) -> float:
-        """Eq. 1: ``w = t * F_level / F_0``."""
+    def normalized_workload(
+        self, elapsed: float, level: int, core_type: Optional[str] = None
+    ) -> float:
+        """Eq. 1 against the fastest operating point: ``w = t * S_i / S_0``.
+
+        ``S_i`` is the effective speed of the operating point the task ran
+        at: on homogeneous machines (``core_type=None``) ``level`` is the
+        global frequency index and this is the paper's ``w = t * F_i / F_0``
+        verbatim; on heterogeneous machines ``level`` is local to
+        ``core_type``'s ladder and is first resolved to its global
+        operating-point index.
+        """
         if elapsed < 0:
             raise ProfilingError("elapsed time must be non-negative")
-        return elapsed * self.scale.relative_speed(self.scale.validate_index(level))
+        if core_type is None:
+            index = self.scale.validate_index(level)
+        else:
+            index = self.scale.index_for(core_type, level)
+        return elapsed * self.scale.relative_speed(index)
 
     def observe(
         self,
@@ -93,15 +118,16 @@ class OnlineProfiler:
         elapsed: float,
         level: int,
         counters: Optional[PerfCounters] = None,
+        core_type: Optional[str] = None,
     ) -> TaskClassStats:
         """Record one retired task; returns its (updated) class record."""
-        workload = self.normalized_workload(elapsed, level)
+        workload = self.normalized_workload(elapsed, level, core_type)
         is_mem = counters is not None and counters.miss_intensity > self.miss_threshold
         stats = self._classes.get(function)
         if stats is None:
             stats = TaskClassStats(function=function)
             self._classes[function] = stats
-        stats.update(workload, counters, is_mem)
+        stats.update(workload, counters, is_mem, core_type)
         self._tasks_seen += 1
         if is_mem:
             self._memory_bound_seen += 1
@@ -164,10 +190,16 @@ class OnlineProfiler:
             # contain ":" or the "\x1f" join byte, and without the prefix
             # two distinct states could serialize identically (e.g. a class
             # named "a:1" vs a class "a" with count 1).
-            parts.append(
+            entry = (
                 f"{len(name)}:{name}:{c.count}:{c.mean_workload!r}:{c.instructions}:"
                 f"{c.cache_misses}:{c.memory_bound_tasks}"
             )
+            # Per-type counts exist only on heterogeneous machines, so
+            # appending them conditionally leaves every homogeneous
+            # fingerprint string byte-identical to the flat-ladder era.
+            if c.counts_by_type:
+                entry += f":types={sorted(c.counts_by_type.items())}"
+            parts.append(entry)
         return "\x1f".join(parts)
 
     # -- memory-boundness (Section IV-D) -----------------------------------------

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.cc_table import CCTable
 from repro.errors import ProfilingError
-from repro.machine.frequency import FrequencyScale
+from repro.machine.operating_point import OperatingPointSpace
 
 
 @dataclass(frozen=True)
@@ -91,13 +91,25 @@ def fit_frequency_time_model(
 
 @dataclass
 class RegressionProfiler:
-    """Accumulates per-class ``(frequency, elapsed)`` observations."""
+    """Accumulates per-class ``(effective speed, elapsed)`` observations.
 
-    scale: FrequencyScale
+    Samples are keyed by the operating point's *effective* hertz (frequency
+    times IPC scale): two operating points of different core types sharing
+    an electrical frequency retire cycles at different rates, and the model
+    ``t(f) = a/f + b`` cares about the retire rate. On homogeneous machines
+    the effective speed is bitwise the frequency.
+    """
+
+    scale: OperatingPointSpace
     _samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
 
-    def observe(self, function: str, elapsed: float, level: int) -> None:
-        freq = self.scale[self.scale.validate_index(level)]
+    def observe(
+        self, function: str, elapsed: float, level: int, core_type: str | None = None
+    ) -> None:
+        if core_type is None:
+            freq = self.scale[self.scale.validate_index(level)]
+        else:
+            freq = self.scale.effective(self.scale.index_for(core_type, level))
         self._samples.setdefault(function, []).append((freq, elapsed))
 
     def sample_count(self, function: str) -> int:
@@ -117,7 +129,7 @@ class RegressionProfiler:
 def build_regression_cc_table(
     profiler: RegressionProfiler,
     class_counts: dict[str, int],
-    scale: FrequencyScale,
+    scale: OperatingPointSpace,
     ideal_time: float,
     *,
     headroom: float = 0.10,
@@ -143,14 +155,16 @@ def build_regression_cc_table(
         raise ProfilingError("no overlapping classes between profiler and counts")
 
     models = {fn: profiler.fit(fn) for fn in names}
-    names.sort(key=lambda fn: (-models[fn].predict(scale.fastest), fn))
+    # Predictions evaluate the model at each operating point's *effective*
+    # speed — bitwise the electrical frequency on homogeneous machines.
+    names.sort(key=lambda fn: (-models[fn].predict(scale.effective(0)), fn))
 
     r = scale.r
     values = np.zeros((r, len(names)), dtype=np.float64)
     for i, fn in enumerate(names):
         n = class_counts[fn]
         for j in range(r):
-            t_pred = models[fn].predict(scale[j]) * (1.0 + headroom)
+            t_pred = models[fn].predict(scale.effective(j)) * (1.0 + headroom)
             if t_pred <= 0:
                 values[j, i] = 0.0
             elif t_pred > ideal_time:
@@ -159,7 +173,7 @@ def build_regression_cc_table(
                 per_core = int(ideal_time / t_pred)
                 values[j, i] = np.ceil(n / per_core)
         if not np.isfinite(values[0, i]):
-            fluid = n * models[fn].predict(scale.fastest) / ideal_time
+            fluid = n * models[fn].predict(scale.effective(0)) / ideal_time
             values[0, i] = min(float(np.ceil(fluid)), float(max(1, n)))
 
     return CCTable(

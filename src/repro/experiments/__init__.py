@@ -7,6 +7,11 @@ from repro.experiments.fig6 import Fig6Result, Fig6Row, run_fig6
 from repro.experiments.fig7 import Fig7Result, Fig7Row, run_fig7
 from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Point, Fig9Result, run_fig9
+from repro.experiments.fig_hetero import (
+    HeteroResult,
+    HeteroRow,
+    run_fig_hetero,
+)
 from repro.experiments.report import (
     bar_chart,
     format_percent,
@@ -51,6 +56,8 @@ __all__ = [
     "Fig8Result",
     "Fig9Point",
     "Fig9Result",
+    "HeteroResult",
+    "HeteroRow",
     "RunOutcome",
     "Table3Result",
     "Table3Row",
@@ -68,5 +75,6 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_fig_hetero",
     "run_table3",
 ]

@@ -782,4 +782,6 @@ class ParallelRunner:
             ]
         )
         resolved = machine if machine is not None else self._machine
-        return modal_levels_from_result(outcome.result, resolved.num_cores)
+        return modal_levels_from_result(
+            outcome.result, resolved.num_cores, resolved
+        )

@@ -103,4 +103,4 @@ def modal_eewa_levels(
     result = simulate(
         program, EEWAScheduler(eewa_config), machine, seed=seed
     )
-    return modal_levels_from_result(result, machine.num_cores)
+    return modal_levels_from_result(result, machine.num_cores, machine)

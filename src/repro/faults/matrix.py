@@ -124,17 +124,13 @@ def registered_resilience(*, machine=None) -> list[ResilienceRow]:
     """The full gate: every registered policy through the matrix."""
     # Imported here: the scenario layer imports runtime modules, so a
     # module-level import would be circular.
-    from repro.scenario.registry import POLICIES, spread_levels
+    from repro.scenario.registry import POLICIES, spread_levels_for
 
     if machine is None:
         machine = standard_machine()
     rows: list[ResilienceRow] = []
     for entry in POLICIES:
-        levels = (
-            spread_levels(machine.num_cores, machine.r)
-            if entry.needs_core_levels
-            else None
-        )
+        levels = spread_levels_for(machine) if entry.needs_core_levels else None
 
         def factory(entry=entry, levels=levels):
             return entry.build(core_levels=levels)

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.machine.frequency import FrequencyScale
+from repro.machine.operating_point import DEFAULT_CORE_TYPE, OperatingPointSpace
 
 
 class CoreState(enum.Enum):
@@ -62,29 +62,49 @@ class SimCore:
     core_id:
         Dense index in ``[0, m)``.
     scale:
-        The machine's frequency scale; the core's ``level`` indexes into it.
+        The core's (one-type) ladder; the core's ``level`` indexes into
+        it. On homogeneous machines this is the machine's scale itself.
     level:
-        Current DVFS level (0 = fastest).
+        Current DVFS level (0 = fastest), local to this core's ladder.
+    core_type:
+        Name of this core's type ("core" on homogeneous machines).
+    ipc_scale:
+        Relative IPC of this core's type: reference cycles retire at
+        ``ipc_scale * frequency`` per second.
     """
 
     core_id: int
-    scale: FrequencyScale
+    scale: OperatingPointSpace
     level: int = 0
     state: CoreState = CoreState.PARKED
     running_task_id: Optional[int] = None
+    core_type: str = DEFAULT_CORE_TYPE
+    ipc_scale: float = 1.0
     pending_level: Optional[int] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.core_id < 0:
             raise ConfigurationError("core_id must be non-negative")
+        if self.ipc_scale <= 0.0:
+            raise ConfigurationError("ipc_scale must be positive")
         self.scale.validate_index(self.level)
 
     # -- views -------------------------------------------------------------
 
     @property
     def frequency(self) -> float:
-        """Current operating frequency in hertz."""
+        """Current electrical frequency in hertz (drives power draw)."""
         return self.scale[self.level]
+
+    @property
+    def effective_hz(self) -> float:
+        """Reference cycles retired per second at the current level.
+
+        Equal to ``frequency`` on homogeneous machines — multiplying by
+        an ``ipc_scale`` of 1.0 is an IEEE-754 identity, so every duration
+        derived from it is bit-identical to the pre-operating-point code.
+        """
+        return self.scale[self.level] * self.ipc_scale
 
     @property
     def is_busy(self) -> bool:
@@ -141,10 +161,11 @@ class SimCore:
     def exec_seconds(self, cpu_cycles: float, mem_stall_seconds: float = 0.0) -> float:
         """Wall time this core needs for a task of the given cost.
 
-        CPU work scales with frequency; memory stalls do not (Section IV-D:
-        memory-bound execution time "does not have a simple model related to
-        CPU frequencies" — we model it as a frequency-independent component).
+        CPU work scales with the core's effective speed (frequency times
+        IPC scale); memory stalls do not (Section IV-D: memory-bound
+        execution time "does not have a simple model related to CPU
+        frequencies" — we model it as a frequency-independent component).
         """
         if cpu_cycles < 0 or mem_stall_seconds < 0:
             raise SimulationError("task costs must be non-negative")
-        return cpu_cycles / self.frequency + mem_stall_seconds
+        return cpu_cycles / self.effective_hz + mem_stall_seconds

@@ -52,18 +52,34 @@ class EnergyMeter:
         cores: list[SimCore],
         power: PowerModel,
         *,
+        type_powers: dict[str, PowerModel] | None = None,
         record_series: bool = False,
     ) -> None:
         self._cores = cores
         self._power = power
         self._last_time = 0.0
         self._finalized = False
-        # busy_power(f) is a pure function of frequency; memoising it per
-        # distinct frequency returns the *identical* float the direct call
-        # would, so billing is unchanged bit-for-bit while the hot observe
-        # loop skips the voltage-curve arithmetic.
-        self._busy_watts: dict[float, float] = {}
-        self._idle_watts = power.idle_power()
+        # busy_power(f) is a pure function of the power model and the
+        # electrical frequency; tabulating it eagerly per (core, level) —
+        # i.e. per *operating point* — returns the identical floats the
+        # direct calls would, so billing is unchanged bit-for-bit while
+        # the hot observe loop skips the voltage-curve arithmetic. A
+        # single per-frequency memo would be wrong here: on heterogeneous
+        # machines two core types can share an electrical frequency at
+        # different wattages (different kappa / voltage curve), so the
+        # table is keyed by operating point, never by bare frequency.
+        def model_of(core: SimCore) -> PowerModel:
+            if type_powers is not None and core.core_type in type_powers:
+                return type_powers[core.core_type]
+            return power
+
+        self._busy_by_core: list[tuple[float, ...]] = [
+            tuple(model_of(core).busy_power(f) for f in core.scale.levels)
+            for core in cores
+        ]
+        self._idle_by_core: list[float] = [
+            model_of(core).idle_power() for core in cores
+        ]
         self.accounts: list[CoreEnergyAccount] = [CoreEnergyAccount() for _ in cores]
         #: Optional piecewise-constant power trace per core:
         #: lists of (t_start, t_end, watts) — fed to the thermal analysis.
@@ -75,8 +91,8 @@ class EnergyMeter:
 
     def _core_power(self, core: SimCore) -> float:
         if core.state in BUSY_STATES:
-            return self._power.busy_power(core.frequency)
-        return self._power.idle_power()
+            return self._busy_by_core[core.core_id][core.level]
+        return self._idle_by_core[core.core_id]
 
     def observe(self, now: float) -> None:
         """Bill all cores for the interval ``[last, now]`` at current draw."""
@@ -92,19 +108,15 @@ class EnergyMeter:
             # billing interval by the jitter. Keep the later instant.
             self._last_time = max(last, now)
             return
-        busy_watts = self._busy_watts
-        busy_power = self._power.busy_power
-        idle_watts = self._idle_watts
+        busy_by_core = self._busy_by_core
+        idle_by_core = self._idle_by_core
         record = self.power_series is not None
         for i, (core, account) in enumerate(zip(self._cores, self.accounts)):
             state = core.state
             if state in BUSY_STATES:
-                frequency = core.scale.levels[core.level]
-                p = busy_watts.get(frequency)
-                if p is None:
-                    p = busy_watts[frequency] = busy_power(frequency)
+                p = busy_by_core[i][core.level]
             else:
-                p = idle_watts
+                p = idle_by_core[i]
             account.add(state, core.level, p * dt, dt)
             if record:
                 series = self.power_series[i]

@@ -1,9 +1,14 @@
 """Frequency scales for DVFS-capable cores.
 
 The paper assumes each core can run at ``r`` discrete frequencies
-``F_0 > F_1 > ... > F_{r-1}`` (Section III). :class:`FrequencyScale` captures
-that ordered set, validates it, and provides the index arithmetic used
-throughout the CC table and the k-tuple search.
+``F_0 > F_1 > ... > F_{r-1}`` (Section III). Since the operating-point
+generalisation (:mod:`repro.machine.operating_point`) the canonical
+representation of that ordered set is a one-type
+:class:`~repro.machine.operating_point.OperatingPointSpace`;
+:class:`FrequencyScale` survives at its historical import path as a thin
+**deprecated** alias over it — constructing one emits a
+``DeprecationWarning`` (the same pattern as the ``cilk_d`` policy alias)
+and behaves exactly like :func:`repro.machine.operating_point.homogeneous_space`.
 
 Frequencies are stored in hertz as floats. The evaluation platform of the
 paper (AMD Opteron 8380) exposes 2.5, 1.8, 1.3 and 0.8 GHz; see
@@ -12,29 +17,46 @@ paper (AMD Opteron 8380) exposes 2.5, 1.8, 1.3 and 0.8 GHz; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+import warnings
+from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.machine.operating_point import (
+    DEFAULT_CORE_TYPE,
+    OperatingPoint,
+    OperatingPointSpace,
+    homogeneous_space,
+)
 
 GHZ = 1e9
 """Multiplier converting GHz to Hz."""
 
 
-@dataclass(frozen=True)
-class FrequencyScale:
-    """An ordered, descending set of operating frequencies.
+class FrequencyScale(OperatingPointSpace):
+    """Deprecated homogeneous alias: an ordered, descending frequency set.
 
     Parameters
     ----------
     levels:
         Frequencies in hertz, strictly descending: ``levels[0]`` is the
-        fastest frequency ``F_0`` and ``levels[-1]`` the slowest ``F_{r-1}``.
+        fastest frequency ``F_0`` and ``levels[-1]`` the slowest
+        ``F_{r-1}``.
+
+    .. deprecated::
+        Use :func:`repro.machine.operating_point.homogeneous_space` (or a
+        full :class:`~repro.machine.operating_point.OperatingPointSpace`
+        for heterogeneous machines) instead. This alias keeps existing
+        examples and third-party scenario specs importable.
     """
 
-    levels: tuple[float, ...] = field()
-
     def __init__(self, levels: Sequence[float]) -> None:
+        warnings.warn(
+            "FrequencyScale is deprecated; use "
+            "repro.machine.operating_point.homogeneous_space(levels) "
+            "(or an OperatingPointSpace for heterogeneous machines)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         levels = tuple(float(f) for f in levels)
         if not levels:
             raise ConfigurationError("a frequency scale needs at least one level")
@@ -44,87 +66,28 @@ class FrequencyScale:
             raise ConfigurationError(
                 f"frequencies must be strictly descending (F_0 fastest), got {levels}"
             )
-        object.__setattr__(self, "levels", levels)
-
-    # -- basic views ------------------------------------------------------
-
-    @property
-    def r(self) -> int:
-        """Number of distinct frequency levels (the paper's ``r``)."""
-        return len(self.levels)
-
-    @property
-    def fastest(self) -> float:
-        """``F_0``, the highest frequency."""
-        return self.levels[0]
-
-    @property
-    def slowest(self) -> float:
-        """``F_{r-1}``, the lowest frequency."""
-        return self.levels[-1]
-
-    @property
-    def fastest_index(self) -> int:
-        return 0
-
-    @property
-    def slowest_index(self) -> int:
-        return self.r - 1
-
-    def __len__(self) -> int:
-        return self.r
-
-    def __iter__(self) -> Iterator[float]:
-        return iter(self.levels)
-
-    def __getitem__(self, index: int) -> float:
-        return self.levels[index]
-
-    # -- arithmetic used by the CC table ----------------------------------
-
-    def slowdown(self, index: int) -> float:
-        """``F_0 / F_index`` — how much slower level ``index`` is than ``F_0``.
-
-        This is the multiplier applied to row ``F_0`` of the CC table to
-        obtain row ``F_index`` (Table I of the paper).
-        """
-        return self.fastest / self.levels[index]
-
-    def relative_speed(self, index: int) -> float:
-        """``F_index / F_0`` in ``(0, 1]`` — normalised computational capacity."""
-        return self.levels[index] / self.fastest
-
-    def index_of(self, frequency: float, *, tol: float = 1e-6) -> int:
-        """Return the level index whose frequency matches ``frequency``.
-
-        Raises :class:`ConfigurationError` if no level matches within the
-        relative tolerance ``tol``.
-        """
-        for i, f in enumerate(self.levels):
-            if abs(f - frequency) <= tol * f:
-                return i
-        raise ConfigurationError(f"{frequency!r} Hz is not a level of {self.levels}")
-
-    def validate_index(self, index: int) -> int:
-        """Bounds-check a level index and return it."""
-        if not 0 <= index < self.r:
-            raise ConfigurationError(f"frequency index {index} out of range [0, {self.r})")
-        return index
+        super().__init__(
+            tuple(OperatingPoint(DEFAULT_CORE_TYPE, f) for f in levels)
+        )
 
 
-def opteron_8380_scale() -> FrequencyScale:
+def opteron_8380_scale() -> OperatingPointSpace:
     """The frequency ladder of the paper's AMD Opteron 8380 testbed.
 
     Section IV: "each core can run at four frequencies: 2.5GHz, 1.8GHz,
     1.3GHz and 0.8GHz".
     """
-    return FrequencyScale((2.5 * GHZ, 1.8 * GHZ, 1.3 * GHZ, 0.8 * GHZ))
+    return homogeneous_space((2.5 * GHZ, 1.8 * GHZ, 1.3 * GHZ, 0.8 * GHZ))
 
 
-def uniform_scale(fastest_ghz: float, steps: int, *, ratio: float = 0.75) -> FrequencyScale:
+def uniform_scale(
+    fastest_ghz: float, steps: int, *, ratio: float = 0.75
+) -> OperatingPointSpace:
     """A geometric frequency ladder, convenient for synthetic machines."""
     if steps < 1:
         raise ConfigurationError("steps must be >= 1")
     if not 0.0 < ratio < 1.0:
         raise ConfigurationError("ratio must be in (0, 1)")
-    return FrequencyScale(tuple(fastest_ghz * GHZ * ratio**i for i in range(steps)))
+    return homogeneous_space(
+        tuple(fastest_ghz * GHZ * ratio**i for i in range(steps))
+    )

@@ -61,7 +61,10 @@ class CilkDScheduler(CilkScheduler):
         # effective level can be pinned fast by a sibling, and re-requesting
         # the same target forever would livelock.
         level = ctx.requested_level(core_id)
-        slowest = ctx.machine.scale.slowest_index
+        # Per-core ladder: on a heterogeneous machine each core type has
+        # its own slowest P-state (identical to the machine scale's on
+        # homogeneous ones, where ladder_of returns the scale itself).
+        slowest = ctx.machine.ladder_of(core_id).slowest_index
 
         if work_visible:
             self._idle_since[core_id] = None

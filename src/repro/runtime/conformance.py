@@ -19,7 +19,12 @@ The battery exercises the invariants the engine relies on:
 7. the policy completes 100% of tasks under every mix of the standard
    fault matrix (:data:`repro.faults.matrix.STANDARD_FAULT_MATRIX`),
    with its energy/makespan degradation vs the fault-free baseline
-   reported in :attr:`ConformanceReport.fault_degradation`.
+   reported in :attr:`ConformanceReport.fault_degradation`;
+8. operating-point parity: a homogeneous machine expressed as an explicit
+   one-type operating-point space (``core_types``/``type_powers`` set)
+   reproduces the flat-ladder run bit-identically — the generalised
+   heterogeneous code paths must be exact supersets of the paper's
+   homogeneous ones.
 
 ``check_policy(..., deep=True)`` additionally replays a deep task-event
 trace through the race detector (:mod:`repro.checks.races`): exactly-once
@@ -142,16 +147,21 @@ def check_policy(
             assert 0 <= level < r and secs >= 0
 
     def fast_forward_parity() -> None:
-        # A strictly periodic program on the dyadic machine is the shape
+        # A strictly periodic program on a dyadic machine is the shape
         # that engages the engine's steady-state fast-forward (when the
         # policy exposes a sound ``state_fingerprint``); the two runs must
         # be bit-identical either way. Same core count and ladder depth as
         # the battery machine so factory-baked level vectors stay valid.
+        # A heterogeneous battery machine (dyadic by construction of the
+        # big.LITTLE preset) is exercised directly, so fast-forward parity
+        # is also proven across core types.
         from repro.sim.fingerprint import trace_fingerprint
         from repro.workloads.periodic import periodic_program
 
-        dyadic = dyadic_test_machine(
-            num_cores=machine.num_cores, r=machine.r
+        dyadic = (
+            machine
+            if machine.is_heterogeneous
+            else dyadic_test_machine(num_cores=machine.num_cores, r=machine.r)
         )
         program = periodic_program(12, 2, 4)
         full = simulate(
@@ -184,6 +194,31 @@ def check_policy(
                 f"({row.tasks_executed}/{row.tasks_expected})"
             )
 
+    def operating_point_parity() -> None:
+        # Check #9: the heterogeneous machinery (explicit core_types /
+        # type_powers, per-type search budgets, op-indexed c-groups) must
+        # be an exact superset of the flat-ladder paths. A homogeneous
+        # dyadic machine re-expressed as a one-type operating-point space
+        # has to reproduce the flat run bit-for-bit.
+        from dataclasses import replace
+
+        from repro.sim.fingerprint import trace_fingerprint
+
+        base = dyadic_test_machine(num_cores=machine.num_cores, r=machine.r)
+        only = base.scale.types[0]
+        twin = replace(
+            base,
+            core_types=((only, base.num_cores),),
+            type_powers=((only, base.power),),
+        )
+        assert twin.is_heterogeneous is False
+        program = _flat_program(3, [0.004] * 9 + [0.03])
+        flat = simulate(program, factory(), base, seed=7)
+        typed = simulate(program, factory(), twin, seed=7)
+        assert trace_fingerprint(flat) == trace_fingerprint(typed), (
+            "explicit one-type operating-point metadata changed behaviour"
+        )
+
     def race_free() -> None:
         # Imported here: repro.checks imports runtime modules, so a
         # module-level import would be circular.
@@ -209,6 +244,7 @@ def check_policy(
     run_check("frequency-sanity", frequency_sanity)
     run_check("fast-forward-parity", fast_forward_parity)
     run_check("fault-matrix", fault_matrix)
+    run_check("operating-point-parity", operating_point_parity)
     if deep:
         run_check("race-detection", race_free)
     return report
@@ -223,23 +259,22 @@ def check_registered_policies(
 
     Policies that require a fixed level vector (``needs_core_levels``)
     get the standard spread configuration
-    (:func:`repro.scenario.registry.spread_levels`); policies declaring
-    ``supports_spawns=False`` skip the nested-spawn check. This is what CI
-    runs (``python -m repro.runtime.conformance``), so a newly registered
-    policy is conformance-checked with no extra wiring.
+    (:func:`repro.scenario.registry.spread_levels_for`, which clamps each
+    core's level to its own ladder on heterogeneous machines); policies
+    declaring ``supports_spawns=False`` skip the nested-spawn check. This
+    is what CI runs (``python -m repro.runtime.conformance``), so a newly
+    registered policy is conformance-checked with no extra wiring.
     """
     # Imported here: the scenario layer imports runtime modules, so a
     # module-level import would be circular.
-    from repro.scenario.registry import POLICIES, spread_levels
+    from repro.scenario.registry import POLICIES, spread_levels_for
 
     if machine is None:
         machine = small_test_machine(num_cores=4, levels=(2.0e9, 1.5e9, 1.0e9))
     reports = []
     for entry in POLICIES:
         levels = (
-            spread_levels(machine.num_cores, machine.r)
-            if entry.needs_core_levels
-            else None
+            spread_levels_for(machine) if entry.needs_core_levels else None
         )
 
         def factory(entry=entry, levels=levels) -> SchedulerPolicy:
@@ -269,8 +304,21 @@ def main(argv: list[str] | None = None) -> int:
         "--shallow", action="store_true",
         help="skip the deep trace-replay race check",
     )
+    parser.add_argument(
+        "--machine", choices=("small", "big-little"), default="small",
+        help="battery machine: the homogeneous small test machine "
+        "(default) or the 4+4 big.LITTLE test machine",
+    )
     args = parser.parse_args(argv)
-    reports = check_registered_policies(deep=not args.shallow)
+    if args.machine == "big-little":
+        from repro.machine.topology import big_little_test_machine
+
+        battery_machine = big_little_test_machine()
+    else:
+        battery_machine = None
+    reports = check_registered_policies(
+        machine=battery_machine, deep=not args.shallow
+    )
     failed = False
     for report in reports:
         status = "ok" if report.ok else "FAIL"

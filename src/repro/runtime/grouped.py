@@ -57,8 +57,19 @@ class GroupedStealingPolicy(SchedulerPolicy):
         ctx = self._require_ctx()
         if self._grid is None:
             observer = getattr(ctx, "pool_observer", lambda: None)()
+            core_types = (
+                tuple(
+                    ctx.machine.core_type_of(i)
+                    for i in range(ctx.machine.num_cores)
+                )
+                if ctx.machine.is_heterogeneous
+                else None
+            )
             self._grid = PoolGrid(
-                ctx.machine.num_cores, ctx.machine.r, observer=observer
+                ctx.machine.num_cores,
+                ctx.machine.r,
+                observer=observer,
+                core_types=core_types,
             )
         self._plan = plan
         self._prefs = preference_lists(plan.num_groups)
@@ -76,14 +87,19 @@ class GroupedStealingPolicy(SchedulerPolicy):
                 plan.group_of_core, tuple(g.level for g in plan.groups)
             )
 
-    def _steal_would_blow_budget(self, thief_level: int, group_index: int) -> bool:
+    def _steal_would_blow_budget(self, thief_rank: int, group_index: int) -> bool:
         """True when the group's heaviest class cannot fit the iteration
-        budget at the thief's frequency (Fig. 1(c) guard)."""
+        budget at the thief's speed (Fig. 1(c) guard).
+
+        ``thief_rank`` is the thief group's global operating-point index
+        (== its frequency level on homogeneous machines), so the slowdown
+        accounts for per-type IPC as well as frequency.
+        """
         if self._group_max_workload is None or self._ideal_time is None:
             return False
         ctx = self._require_ctx()
         heaviest = self._group_max_workload[group_index]
-        return heaviest * ctx.machine.scale.slowdown(thief_level) > self._ideal_time
+        return heaviest * ctx.machine.scale.slowdown(thief_rank) > self._ideal_time
 
     def state_fingerprint(self) -> Optional[str]:
         """Digest the installed plan, steal cursors, guard state and pools.
@@ -158,14 +174,16 @@ class GroupedStealingPolicy(SchedulerPolicy):
         plan = self.plan
         own_group = plan.group_of_core[core_id]
 
-        thief_level = plan.groups[own_group].level
+        thief_rank = plan.groups[own_group].rank
         for group_index in self._prefs[own_group]:
             # A slower core helping out a faster group must not pick up a
-            # task too heavy to finish within the iteration budget.
+            # task too heavy to finish within the iteration budget. Group
+            # speed comparisons use the global operating-point rank so they
+            # stay meaningful across core types.
             if (
                 group_index != own_group
-                and plan.groups[group_index].level < thief_level
-                and self._steal_would_blow_budget(thief_level, group_index)
+                and plan.groups[group_index].rank < thief_rank
+                and self._steal_would_blow_budget(thief_rank, group_index)
             ):
                 self.stats.extra["guarded_steals"] = (
                     self.stats.extra.get("guarded_steals", 0) + 1

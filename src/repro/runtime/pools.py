@@ -48,6 +48,7 @@ class PoolGrid:
     __slots__ = (
         "num_cores",
         "num_pools",
+        "core_types",
         "_observer",
         "_pools",
         "_rows",
@@ -60,11 +61,20 @@ class PoolGrid:
         num_pools: int,
         *,
         observer: Optional[PoolObserver] = None,
+        core_types: Optional[Sequence[str]] = None,
     ) -> None:
         if num_cores < 1 or num_pools < 1:
             raise ConfigurationError("PoolGrid needs at least one core and one pool")
+        if core_types is not None and len(core_types) != num_cores:
+            raise ConfigurationError(
+                f"core_types has {len(core_types)} entries for {num_cores} cores"
+            )
         self.num_cores = num_cores
         self.num_pools = num_pools
+        #: Per-core type names on heterogeneous machines (metadata only —
+        #: push/pop/steal mechanics and victim selection are type-blind;
+        #: the *policy* decides which pools a core scans).
+        self.core_types = tuple(core_types) if core_types is not None else None
         self._observer = observer
         self._pools: list[list[WorkStealingDeque[Task]]] = [
             [WorkStealingDeque() for _ in range(num_pools)] for _ in range(num_cores)
@@ -156,6 +166,10 @@ class PoolGrid:
         """
         hasher = hashlib.sha256()
         hasher.update(f"{self.num_cores}x{self.num_pools}".encode())
+        # Typed grids digest their layout too; homogeneous grids (None)
+        # hash exactly the flat-ladder-era bytes.
+        if self.core_types is not None:
+            hasher.update(f"|types={','.join(self.core_types)}".encode())
         for core_id, row in enumerate(self._pools):
             for pool_index, pool in enumerate(row):
                 if pool:

@@ -30,18 +30,47 @@ from repro.runtime.policy import BatchAdjustment
 from repro.runtime.task import Task
 
 
-def plan_from_levels(core_levels: Sequence[int]) -> CGroupPlan:
-    """Build a (classless) c-group plan from a fixed per-core level vector."""
+def plan_from_levels(
+    core_levels: Sequence[int], machine=None
+) -> CGroupPlan:
+    """Build a (classless) c-group plan from a fixed per-core level vector.
+
+    ``core_levels`` holds each core's level *local to its own ladder*. On a
+    heterogeneous machine (``machine`` given and multi-type) cores sharing
+    a numeric level but differing in type run at different operating points
+    and must land in different c-groups, so grouping is by global
+    operating-point index; homogeneous machines keep the historical
+    group-by-level path (identical results, ``op_index`` left unset).
+    """
     if not core_levels:
         raise ConfigurationError("core_levels must be non-empty")
-    distinct = sorted(set(core_levels))  # ascending index = fastest first
-    groups: list[CGroup] = []
     group_of_core = [0] * len(core_levels)
-    for gidx, level in enumerate(distinct):
-        ids = tuple(c for c, lvl in enumerate(core_levels) if lvl == level)
-        groups.append(CGroup(index=gidx, level=level, core_ids=ids))
-        for cid in ids:
-            group_of_core[cid] = gidx
+    groups: list[CGroup] = []
+    if machine is not None and machine.is_heterogeneous:
+        scale = machine.scale
+        ops = [
+            scale.index_for(machine.core_type_of(c), lvl)
+            for c, lvl in enumerate(core_levels)
+        ]
+        for gidx, op in enumerate(sorted(set(ops))):  # ascending = fastest first
+            ids = tuple(c for c, o in enumerate(ops) if o == op)
+            groups.append(
+                CGroup(
+                    index=gidx,
+                    level=scale.type_level_of(op),
+                    core_ids=ids,
+                    op_index=op,
+                )
+            )
+            for cid in ids:
+                group_of_core[cid] = gidx
+    else:
+        distinct = sorted(set(core_levels))  # ascending index = fastest first
+        for gidx, level in enumerate(distinct):
+            ids = tuple(c for c, lvl in enumerate(core_levels) if lvl == level)
+            groups.append(CGroup(index=gidx, level=level, core_ids=ids))
+            for cid in ids:
+                group_of_core[cid] = gidx
     return CGroupPlan(
         core_levels=tuple(core_levels),
         groups=tuple(groups),
@@ -103,10 +132,10 @@ class WATSScheduler(GroupedStealingPolicy):
                 f"core_levels has {len(self._core_levels)} entries for "
                 f"{ctx.machine.num_cores} cores"
             )
-        for level in self._core_levels:
-            ctx.machine.scale.validate_index(level)
+        for core_id, level in enumerate(self._core_levels):
+            ctx.machine.ladder_of(core_id).validate_index(level)
         self.profiler = OnlineProfiler(scale=ctx.machine.scale)
-        self._install_plan(plan_from_levels(self._core_levels))
+        self._install_plan(plan_from_levels(self._core_levels, machine=ctx.machine))
         return BatchAdjustment(frequency_levels=list(self._core_levels))
 
     def on_batch_start(self, batch, tasks) -> None:
@@ -117,7 +146,13 @@ class WATSScheduler(GroupedStealingPolicy):
         assert self.profiler is not None
         level = task.executed_level
         assert level is not None
-        self.profiler.observe(task.function, task.elapsed, level, task.spec.counters)
+        machine = self._require_ctx().machine
+        core_type = (
+            machine.core_type_of(core_id) if machine.is_heterogeneous else None
+        )
+        self.profiler.observe(
+            task.function, task.elapsed, level, task.spec.counters, core_type
+        )
 
     def on_batch_end(self, batch_index: int) -> None:
         """Re-derive the class allocation from this batch's history."""
@@ -130,7 +165,7 @@ class WATSScheduler(GroupedStealingPolicy):
             (c.function, c.total_workload) for c in profiler.classes_by_workload()
         ]
         capacities = [
-            sum(ctx.machine.scale.relative_speed(g.level) for _ in g.core_ids)
+            sum(ctx.machine.scale.relative_speed(g.rank) for _ in g.core_ids)
             for g in plan.groups
         ]
         class_to_group = allocate_classes_by_capacity(plan, classes, capacities)

@@ -29,6 +29,7 @@ from typing import Any, Callable, Generic, Iterator, Mapping, Optional, Sequence
 from repro.errors import ScenarioError
 from repro.machine.topology import (
     MachineConfig,
+    big_little_test_machine,
     opteron_8380_machine,
     small_test_machine,
 )
@@ -147,15 +148,34 @@ class PolicyEntry:
 
 @dataclass(frozen=True)
 class MachinePresetEntry:
-    """One registered machine preset; ``builder(num_cores)`` → config."""
+    """One registered machine preset; ``builder(num_cores)`` → config.
+
+    Presets with ``supports_core_types=True`` additionally accept an
+    explicit ``((type_name, count), ...)`` partition (scenario schema v3's
+    ``core_types`` axis) as ``builder(num_cores, core_types=...)``.
+    """
 
     name: str
-    builder: Callable[[Optional[int]], MachineConfig]
+    builder: Callable[..., MachineConfig]
     description: str = ""
     default_cores: int = 16
+    #: Preset builds a heterogeneous machine and takes a core_types
+    #: partition (the scenario schema v3 axis).
+    supports_core_types: bool = False
     aliases: tuple[str, ...] = ()
 
-    def build(self, num_cores: Optional[int] = None) -> MachineConfig:
+    def build(
+        self,
+        num_cores: Optional[int] = None,
+        core_types: Optional[Sequence[tuple[str, int]]] = None,
+    ) -> MachineConfig:
+        if core_types is not None:
+            if not self.supports_core_types:
+                raise ScenarioError(
+                    f"machine preset {self.name!r} does not take a "
+                    "core_types partition"
+                )
+            return self.builder(num_cores, core_types=tuple(core_types))
         return self.builder(num_cores)
 
 
@@ -217,15 +237,17 @@ def register_machine(
     *,
     description: str = "",
     default_cores: int = 16,
+    supports_core_types: bool = False,
     aliases: Sequence[str] = (),
-) -> Callable[[Callable[[Optional[int]], MachineConfig]], Callable[[Optional[int]], MachineConfig]]:
-    def decorate(builder: Callable[[Optional[int]], MachineConfig]):
+) -> Callable[[Callable[..., MachineConfig]], Callable[..., MachineConfig]]:
+    def decorate(builder: Callable[..., MachineConfig]):
         MACHINES.register(
             MachinePresetEntry(
                 name=name,
                 builder=builder,
                 description=description,
                 default_cores=default_cores,
+                supports_core_types=supports_core_types,
                 aliases=tuple(aliases),
             )
         )
@@ -277,6 +299,22 @@ def spread_levels(num_cores: int, r: int) -> list[int]:
     if num_cores < 1 or r < 1:
         raise ScenarioError("spread_levels needs num_cores >= 1 and r >= 1")
     return [min(i * r // num_cores, r - 1) for i in range(num_cores)]
+
+
+def spread_levels_for(machine: MachineConfig) -> list[int]:
+    """Per-core spread vector valid on ``machine``'s per-core ladders.
+
+    On homogeneous machines this is exactly
+    ``spread_levels(machine.num_cores, machine.r)``. On heterogeneous
+    machines the spread is applied *within each core type* over that
+    type's own ladder — entries are type-local DVFS levels, so every
+    entry is valid for the core it configures (the 4+4 big.LITTLE test
+    machine gets ``[0, 1, 2, 3, 0, 1, 2, 3]``).
+    """
+    levels: list[int] = []
+    for name, count in machine.capacities():
+        levels.extend(spread_levels(count, machine.scale.ladder(name).r))
+    return levels
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +462,40 @@ def _preset_opteron_socket(num_cores: Optional[int]) -> MachineConfig:
 
 
 @register_machine(
+    "big-little-test",
+    description="dyadic 4+4 big.LITTLE machine: two core types with "
+    "overlapping frequency ranges merged into one operating-point space",
+    default_cores=8,
+    supports_core_types=True,
+)
+def _preset_big_little(
+    num_cores: Optional[int],
+    core_types: Optional[Sequence[tuple[str, int]]] = None,
+) -> MachineConfig:
+    if core_types is not None:
+        counts = dict(core_types)
+        unknown = sorted(set(counts) - {"big", "little"})
+        if unknown:
+            raise ScenarioError(
+                f"big-little-test: unknown core types {unknown}; "
+                "this preset has 'big' and 'little'"
+            )
+        machine = big_little_test_machine(
+            big_cores=counts.get("big", 0), little_cores=counts.get("little", 0)
+        )
+        if num_cores is not None and num_cores != machine.num_cores:
+            raise ScenarioError(
+                f"big-little-test: cores={num_cores} contradicts the "
+                f"core_types partition summing to {machine.num_cores}"
+            )
+        return machine
+    machine = big_little_test_machine()
+    if num_cores is not None and num_cores != machine.num_cores:
+        machine = machine.with_cores(num_cores)
+    return machine
+
+
+@register_machine(
     "small-test",
     description="tiny 3-level machine used by the conformance and race "
     "batteries and unit tests",
@@ -500,5 +572,6 @@ __all__ = [
     "register_policy",
     "register_workload",
     "spread_levels",
+    "spread_levels_for",
     "workload_names",
 ]

@@ -256,9 +256,8 @@ class Session:
         from repro.experiments.outcome import modal_levels_from_result
 
         result = self.run_single(resolved, seed=seed)
-        return modal_levels_from_result(
-            result, resolved.build_machine().num_cores
-        )
+        machine = resolved.build_machine()
+        return modal_levels_from_result(result, machine.num_cores, machine)
 
     # -- bookkeeping -----------------------------------------------------
 

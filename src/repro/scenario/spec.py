@@ -15,7 +15,7 @@ workload, and policy content — the digest that keys the result cache in
 JSON form (``repro run-spec scenario.json``)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "workload": "SHA-1",                 // registry name, or an inline
                                            // workload object with "classes"
       "policy": {"name": "eewa", "params": {"headroom": 0.2}},
@@ -24,6 +24,12 @@ JSON form (``repro run-spec scenario.json``)::
       "batches": 10,
       "faults": {"dvfs_deny_rate": 0.3}    // optional fault injection
     }
+
+Heterogeneous machines pin the per-type core partition with the schema-v3
+``core_types`` axis (preset must support it)::
+
+    "machine": {"preset": "big-little-test",
+                "core_types": [["big", 4], ["little", 4]]}
 """
 
 from __future__ import annotations
@@ -46,12 +52,15 @@ from repro.workloads.spec import WorkloadSpec
 #: Version of the scenario JSON schema *and* of the digest layout. Bump on
 #: any change to the spec fields or their canonical encoding: the bump
 #: invalidates every result-cache entry written under the old layout.
-#: v2 added the optional ``faults`` axis.
-SCENARIO_SCHEMA_VERSION = 2
+#: v2 added the optional ``faults`` axis. v3 added the machine
+#: ``core_types`` axis, and the machine canonical encoding changed
+#: underneath it (operating-point spaces replaced flat frequency ladders).
+SCENARIO_SCHEMA_VERSION = 3
 
-#: Schema versions :meth:`ScenarioSpec.from_dict` accepts. v1 documents
-#: are a strict subset of v2 (no ``faults`` key), so both read cleanly.
-_READABLE_SCHEMAS = frozenset({1, SCENARIO_SCHEMA_VERSION})
+#: Schema versions :meth:`ScenarioSpec.from_dict` accepts. v1/v2 documents
+#: are strict subsets of v3 (no ``faults``/``core_types`` keys), so all
+#: three read cleanly.
+_READABLE_SCHEMAS = frozenset({1, 2, SCENARIO_SCHEMA_VERSION})
 
 #: Seeds used when a scenario does not pin its own (the simulated stand-in
 #: for the paper's 100 repeated hardware runs).
@@ -71,6 +80,9 @@ class MachineSpec:
 
     preset: str = "opteron-8380"
     num_cores: Optional[int] = None
+    #: Schema-v3 axis: ordered per-type core counts for heterogeneous
+    #: presets (``supports_core_types``), e.g. ``(("big", 2), ("little", 6))``.
+    core_types: Optional[tuple[tuple[str, int], ...]] = None
     config: Optional[MachineConfig] = None
 
     def __post_init__(self) -> None:
@@ -78,6 +90,19 @@ class MachineSpec:
             object.__setattr__(self, "preset", MACHINES.canonical(self.preset))
         if self.num_cores is not None and self.num_cores < 1:
             raise ScenarioError("num_cores must be >= 1")
+        if self.core_types is not None:
+            if self.config is not None:
+                raise ScenarioError(
+                    "core_types cannot override an inline MachineConfig"
+                )
+            normalised = tuple(
+                (str(name), int(count)) for name, count in self.core_types
+            )
+            if not normalised:
+                raise ScenarioError("core_types must be non-empty when given")
+            if any(count < 1 for _, count in normalised):
+                raise ScenarioError("core_types counts must be >= 1")
+            object.__setattr__(self, "core_types", normalised)
 
     @classmethod
     def inline(
@@ -90,7 +115,7 @@ class MachineSpec:
             if self.num_cores is not None:
                 return self.config.with_cores(self.num_cores)
             return self.config
-        return MACHINES.get(self.preset).build(self.num_cores)
+        return MACHINES.get(self.preset).build(self.num_cores, self.core_types)
 
     def to_dict(self) -> dict[str, Any]:
         if self.config is not None:
@@ -101,19 +126,39 @@ class MachineSpec:
         data: dict[str, Any] = {"preset": self.preset}
         if self.num_cores is not None:
             data["num_cores"] = self.num_cores
+        if self.core_types is not None:
+            data["core_types"] = [[name, count] for name, count in self.core_types]
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MachineSpec":
         if not isinstance(data, Mapping):
             raise ScenarioError("machine must be a JSON object")
-        unknown = set(data) - {"preset", "num_cores"}
+        unknown = set(data) - {"preset", "num_cores", "core_types"}
         if unknown:
             raise ScenarioError(f"unknown machine fields: {sorted(unknown)}")
         num_cores = data.get("num_cores")
+        raw_types = data.get("core_types")
+        core_types: Optional[tuple[tuple[str, int], ...]] = None
+        if raw_types is not None:
+            if isinstance(raw_types, (str, bytes)) or not isinstance(
+                raw_types, Sequence
+            ):
+                raise ScenarioError(
+                    "core_types must be a list of [type_name, count] pairs"
+                )
+            try:
+                core_types = tuple(
+                    (str(name), int(count)) for name, count in raw_types
+                )
+            except (TypeError, ValueError) as exc:
+                raise ScenarioError(
+                    "core_types must be a list of [type_name, count] pairs"
+                ) from exc
         return cls(
             preset=str(data.get("preset", "opteron-8380")),
             num_cores=None if num_cores is None else int(num_cores),
+            core_types=core_types,
         )
 
 

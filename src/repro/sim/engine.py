@@ -98,7 +98,7 @@ DEFAULT_MAX_EVENTS = 50_000_000
 #: Version tag of the engine's observable behaviour. Part of the parallel
 #: runner's cache key: bump it whenever an engine change may alter any
 #: simulated result, so stale cached results can never be served.
-ENGINE_VERSION = "eewa-engine-3"
+ENGINE_VERSION = "eewa-engine-4"
 
 # Hoisted enum members: the run loop compares kinds millions of times and
 # attribute loads on the Enum class are Python-level descriptor calls.
@@ -225,11 +225,28 @@ class Simulator:
         # when root tasks are being placed. Only used for event attribution.
         self._trace_actor = LAUNCHER_ACTOR
 
+        # Each core carries its own (one-type) ladder, type and IPC scale;
+        # on homogeneous machines ladder_of returns machine.scale itself
+        # and the op-index maps are identities, so this is the exact
+        # pre-operating-point layout.
         self._cores = [
-            SimCore(core_id=i, scale=machine.scale) for i in range(machine.num_cores)
+            SimCore(
+                core_id=i,
+                scale=machine.ladder_of(i),
+                core_type=machine.core_type_of(i),
+                ipc_scale=machine.ipc_of(i),
+            )
+            for i in range(machine.num_cores)
+        ]
+        self._ladders = [machine.ladder_of(i) for i in range(machine.num_cores)]
+        self._op_maps = [
+            machine.op_index_map_of(i) for i in range(machine.num_cores)
         ]
         self._meter = EnergyMeter(
-            self._cores, machine.power, record_series=record_power_series
+            self._cores,
+            machine.power,
+            type_powers={t: machine.power_of(t) for t in machine.scale.types},
+            record_series=record_power_series,
         )
         self._queue = EventQueue()
         self._barrier = BatchBarrier()
@@ -916,11 +933,13 @@ class Simulator:
             self._record_lifecycle(TaskEventKind.EXEC, core.core_id, task.task_id)
         core.start_task(task.task_id)
         spec = task.spec
-        frequency = core.scale.levels[core.level]
-        acquire_seconds = action.acquire_cycles / frequency
-        # Same arithmetic as SimCore.exec_seconds, with the frequency load
-        # hoisted; spec costs were validated non-negative at construction.
-        exec_seconds = spec.cpu_cycles / frequency + spec.mem_stall_seconds
+        # Same arithmetic as SimCore.exec_seconds, with the effective-speed
+        # load hoisted; spec costs were validated non-negative at
+        # construction. Cycle-denominated costs (task work and the acquire
+        # overhead) retire at the core's effective speed.
+        effective_hz = core.scale.levels[core.level] * core.ipc_scale
+        acquire_seconds = action.acquire_cycles / effective_hz
+        exec_seconds = spec.cpu_cycles / effective_hz + spec.mem_stall_seconds
         task.start_time = now + acquire_seconds
         task.executed_on = core.core_id
         task.executed_level = core.level
@@ -999,7 +1018,7 @@ class Simulator:
         self._check_levels(levels)
         for cid, level in enumerate(levels):
             if level is not None:
-                self._machine.scale.validate_index(level)
+                self._ladders[cid].validate_index(level)
                 self._requested[cid] = level
         for core, level in zip(self._cores, self._effective_levels()):
             core.level = level
@@ -1036,10 +1055,10 @@ class Simulator:
         cores are provably no-ops and skipping them keeps a single-core
         ``SetFrequency`` O(1) instead of O(num_cores).
         """
-        scale_validate = self._machine.scale.validate_index
+        ladders = self._ladders
         requested = self._requested
         for cid, level in targets.items():
-            scale_validate(level)
+            ladders[cid].validate_index(level)
             requested[cid] = level
 
         domains = self._machine.dvfs_domains
@@ -1105,7 +1124,7 @@ class Simulator:
             raise SimulationError(
                 f"core {core.core_id} RUNNING without execution state"
             )
-        old_duration = state["cycles"] / core.frequency + state["stall"]
+        old_duration = state["cycles"] / core.effective_hz + state["stall"]
         elapsed = self.now() - state["seg_start"]
         fraction = 0.0 if old_duration <= 0 else min(1.0, elapsed / old_duration)
         state["cycles"] *= 1.0 - fraction
@@ -1113,7 +1132,7 @@ class Simulator:
         state["seg_start"] = self.now()
 
         core.level = level
-        remaining = state["cycles"] / core.frequency + state["stall"]
+        remaining = state["cycles"] / core.effective_hz + state["stall"]
         task_id = core.running_task_id
         assert task_id is not None
         event = self._queue.schedule(
@@ -1133,11 +1152,18 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _level_histogram(self) -> tuple[int, ...]:
+        """Cores per *operating point*, machine-wide.
+
+        Indexed by the machine's global operating-point order; on
+        homogeneous machines the per-core maps are identities, so this is
+        the flat per-frequency-level histogram it always was.
+        """
         hist = [0] * self._machine.r
+        op_maps = self._op_maps
         for core in self._cores:
             # A core mid-transition counts at its destination level.
             level = core.pending_level if core.pending_level is not None else core.level
-            hist[level] += 1
+            hist[op_maps[core.core_id][level]] += 1
         return tuple(hist)
 
     def _patch_batch_trace(

@@ -7,6 +7,8 @@ from repro.core.cc_table import CCTable, build_cc_table, cc_table_from_values
 from repro.core.profiler import TaskClassStats
 from repro.errors import SearchError
 from repro.machine.frequency import FrequencyScale, opteron_8380_scale
+from repro.machine.operating_point import homogeneous_space
+from repro.machine.topology import big_little_test_machine
 
 
 def stats(name: str, count: int, mean: float) -> TaskClassStats:
@@ -179,3 +181,61 @@ class TestDirectConstruction:
                 values=np.array([[-1.0], [1.0]]),
                 ideal_time=1.0,
             )
+
+
+class TestNonUniformLadders:
+    """CC tables over single-level and merged heterogeneous ladders."""
+
+    def test_single_level_ladder(self):
+        scale = homogeneous_space((2.0e9,))
+        table = build_cc_table([stats("a", 10, 0.02)], scale, ideal_time=0.05)
+        assert table.values.shape == (1, 1)
+        assert table[0, 0] == pytest.approx(10 * 0.02 / 0.05)
+        discrete = build_cc_table(
+            [stats("a", 10, 0.02)], scale, ideal_time=0.05,
+            mode="discrete", headroom=0.0,
+        )
+        # 0.05/0.02 → 2 tasks per core, ceil(10/2) = 5 cores.
+        assert discrete[0, 0] == 5.0
+
+    def test_big_little_fluid_table_pinned(self):
+        """|OP| x k shape with exact dyadic values on the merged ladder."""
+        scale = big_little_test_machine().scale
+        table = build_cc_table(
+            [stats("heavy", 3, 0.25), stats("light", 8, 0.0625)],
+            scale,
+            ideal_time=1.0,
+        )
+        assert table.values.shape == (scale.r, 2) == (8, 2)
+        # Rows scale by *effective* slowdown [1,2,4,4,8,8,16,32]; the
+        # machine is dyadic so every entry is exact.
+        assert np.array_equal(
+            table.column(0), [0.75, 1.5, 3.0, 3.0, 6.0, 6.0, 12.0, 24.0]
+        )
+        assert np.array_equal(
+            table.column(1), [0.5, 1.0, 2.0, 2.0, 4.0, 4.0, 8.0, 16.0]
+        )
+
+    def test_big_little_tied_operating_points_have_equal_rows(self):
+        # big@2^29 and little@2^30 retire equally fast: identical demand.
+        scale = big_little_test_machine().scale
+        table = build_cc_table([stats("a", 5, 0.125)], scale, ideal_time=1.0)
+        assert np.array_equal(table.row(2), table.row(3))
+
+    def test_big_little_discrete_table_pinned(self):
+        scale = big_little_test_machine().scale
+        table = build_cc_table(
+            [stats("a", 6, 0.25)], scale, ideal_time=1.0,
+            mode="discrete", headroom=0.0,
+        )
+        # Per-task time at op j is 0.25 * slowdown(j); ops slower than the
+        # budget (2s and beyond) are infeasible for this class.
+        assert np.array_equal(
+            table.column(0), [2.0, 3.0, 6.0, 6.0] + [np.inf] * 4
+        )
+
+    def test_fluid_entries_can_be_non_integral(self):
+        scale = big_little_test_machine().scale
+        table = build_cc_table([stats("a", 3, 0.25)], scale, ideal_time=1.0)
+        assert table[0, 0] == 0.75
+        assert not float(table[0, 0]).is_integer()

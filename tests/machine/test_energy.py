@@ -96,6 +96,67 @@ class TestAccounting:
         assert meter.seconds_by_level() == {0: pytest.approx(3.0)}
 
 
+class TestPerOperatingPointBilling:
+    def test_shared_electrical_frequency_bills_per_type(self):
+        """Two core types at the same hertz draw their own wattages.
+
+        Regression guard for the busy-watts memo: a table keyed by bare
+        frequency would bill both cores at whichever type's wattage was
+        computed first; the table is keyed per operating point.
+        """
+        from repro.machine.operating_point import homogeneous_space
+        from repro.machine.power import PowerModel, VoltageCurve
+
+        freqs = (2.0e9, 1.0e9)
+        big_ladder = homogeneous_space(freqs, core_type="big")
+        little_ladder = homogeneous_space(freqs, core_type="little")
+        curve = VoltageCurve(f_min=1.0e9, f_max=2.0e9, v_min=1.0, v_max=1.0)
+        big_power = PowerModel(
+            voltage_curve=curve, kappa=4e-9, core_idle_power=1.0,
+            machine_base_power=0.0,
+        )
+        little_power = PowerModel(
+            voltage_curve=curve, kappa=1e-9, core_idle_power=0.25,
+            machine_base_power=0.0,
+        )
+        cores = [
+            SimCore(core_id=0, scale=big_ladder, core_type="big"),
+            SimCore(core_id=1, scale=little_ladder, core_type="little"),
+        ]
+        meter = EnergyMeter(
+            cores, big_power,
+            type_powers={"big": big_power, "little": little_power},
+        )
+        for core in cores:
+            core.spin()
+        meter.finalize(1.0)
+        assert big_power.busy_power(2.0e9) != little_power.busy_power(2.0e9)
+        assert meter.accounts[0].joules == pytest.approx(
+            big_power.busy_power(2.0e9)
+        )
+        assert meter.accounts[1].joules == pytest.approx(
+            little_power.busy_power(2.0e9)
+        )
+
+    def test_types_without_override_fall_back_to_machine_model(self):
+        from repro.machine.operating_point import homogeneous_space
+
+        scale = opteron_8380_scale()
+        power = calibrated_power_model(scale)
+        little_ladder = homogeneous_space((2.5e9,), core_type="little")
+        cores = [
+            SimCore(core_id=0, scale=scale),
+            SimCore(core_id=1, scale=little_ladder, core_type="little"),
+        ]
+        meter = EnergyMeter(cores, power, type_powers={})
+        cores[0].spin()
+        cores[1].spin()
+        meter.finalize(1.0)
+        assert meter.accounts[0].joules == pytest.approx(
+            meter.accounts[1].joules
+        )
+
+
 class TestGuards:
     def test_time_cannot_go_backwards(self, setup):
         _, _, meter = setup

@@ -1,0 +1,172 @@
+"""Tests for operating points and operating-point spaces."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.operating_point import (
+    DEFAULT_CORE_TYPE,
+    OperatingPoint,
+    OperatingPointSpace,
+    homogeneous_space,
+    space_from_ladders,
+)
+from repro.machine.topology import big_little_test_machine
+
+
+class TestOperatingPoint:
+    def test_effective_speed_scales_by_ipc(self):
+        p = OperatingPoint("little", 2.0e9, ipc_scale=0.5)
+        assert p.effective_hz == 1.0e9
+
+    def test_reference_ipc_is_identity(self):
+        p = OperatingPoint("big", 2.0e9)
+        assert p.effective_hz == 2.0e9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"core_type": "", "frequency": 1.0e9},
+            {"core_type": "big", "frequency": 0.0},
+            {"core_type": "big", "frequency": -1.0},
+            {"core_type": "big", "frequency": 1.0e9, "ipc_scale": 0.0},
+        ],
+    )
+    def test_invalid_points_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(**kwargs)
+
+
+class TestHomogeneousSpace:
+    def test_flat_ladder_views(self):
+        scale = homogeneous_space((2.5e9, 1.8e9, 0.8e9))
+        assert scale.levels == (2.5e9, 1.8e9, 0.8e9)
+        assert scale.r == 3
+        assert (scale.fastest, scale.slowest) == (2.5e9, 0.8e9)
+        assert scale.is_homogeneous
+        assert scale.types == (DEFAULT_CORE_TYPE,)
+        assert list(scale) == list(scale.levels)
+        assert scale[1] == 1.8e9
+
+    def test_slowdown_is_the_frequency_ratio(self):
+        scale = homogeneous_space((2.0e9, 1.0e9))
+        assert scale.slowdown(1) == 2.0
+        assert scale.relative_speed(1) == 0.5
+
+    def test_ladder_of_own_type_is_identity(self):
+        scale = homogeneous_space((2.0e9, 1.0e9))
+        assert scale.ladder(DEFAULT_CORE_TYPE) is scale
+        with pytest.raises(ConfigurationError):
+            scale.ladder("big")
+
+    def test_non_descending_rejected(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous_space((1.0e9, 2.0e9))
+        with pytest.raises(ConfigurationError):
+            homogeneous_space((2.0e9, 2.0e9))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous_space(())
+
+
+class TestMergedSpace:
+    """The dyadic big.LITTLE space documented in the topology preset."""
+
+    @pytest.fixture
+    def scale(self):
+        return big_little_test_machine().scale
+
+    def test_merge_order_descending_effective_tie_by_declaration(self, scale):
+        assert [(p.core_type, p.frequency) for p in scale.points] == [
+            ("big", 2.0**31),
+            ("big", 2.0**30),
+            ("big", 2.0**29),  # eff 2^29 ...
+            ("little", 2.0**30),  # ... ties; big declared first
+            ("big", 2.0**28),
+            ("little", 2.0**29),
+            ("little", 2.0**28),
+            ("little", 2.0**27),
+        ]
+        assert scale.r == 8
+        assert not scale.is_homogeneous
+        assert scale.types == ("big", "little")
+
+    def test_slowdown_uses_effective_speed_not_frequency(self, scale):
+        # little@2^30 electrical retires at 2^29 → 4x slower than big@2^31.
+        assert scale.slowdown(3) == 4.0
+        # Cross-type effective tie: identical arithmetic for both points.
+        assert scale.slowdown(2) == scale.slowdown(3)
+        assert scale.relative_speed(2) == scale.relative_speed(3)
+
+    def test_index_arithmetic_round_trips(self, scale):
+        for index in range(scale.r):
+            core_type = scale.core_type_of(index)
+            level = scale.type_level_of(index)
+            assert scale.index_for(core_type, level) == index
+
+    def test_type_levels(self, scale):
+        assert [scale.type_level_of(i) for i in range(8)] == [
+            0, 1, 2, 0, 3, 1, 2, 3,
+        ]
+
+    def test_unknown_type_level_rejected(self, scale):
+        with pytest.raises(ConfigurationError):
+            scale.index_for("big", 4)
+        with pytest.raises(ConfigurationError):
+            scale.index_for("huge", 0)
+
+    def test_ladders_preserve_per_type_order(self, scale):
+        big = scale.ladder("big")
+        little = scale.ladder("little")
+        assert big.levels == tuple(2.0 ** (31 - i) for i in range(4))
+        assert little.levels == tuple(2.0 ** (30 - i) for i in range(4))
+        assert big.is_homogeneous and little.is_homogeneous
+        # Cached: repeated lookups share the sub-space object.
+        assert scale.ladder("big") is big
+
+    def test_pickle_round_trip_rebuilds_caches(self, scale):
+        clone = pickle.loads(pickle.dumps(scale))
+        assert clone == scale
+        assert clone.index_for("little", 1) == scale.index_for("little", 1)
+        assert clone.ladder("big").levels == scale.ladder("big").levels
+
+
+class TestSpaceValidation:
+    def test_duplicate_point_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            OperatingPointSpace(
+                (
+                    OperatingPoint("big", 2.0e9),
+                    OperatingPoint("big", 2.0e9),
+                )
+            )
+
+    def test_conflicting_ipc_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            OperatingPointSpace(
+                (
+                    OperatingPoint("big", 2.0e9, ipc_scale=1.0),
+                    OperatingPoint("big", 1.0e9, ipc_scale=0.5),
+                )
+            )
+
+    def test_unordered_points_rejected(self):
+        with pytest.raises(ConfigurationError, match="descending"):
+            OperatingPointSpace(
+                (
+                    OperatingPoint("big", 1.0e9),
+                    OperatingPoint("big", 2.0e9),
+                )
+            )
+
+    def test_space_from_ladders_validates_each_ladder(self):
+        with pytest.raises(ConfigurationError, match="descending"):
+            space_from_ladders([("big", (1.0e9, 2.0e9), 1.0)])
+        with pytest.raises(ConfigurationError, match="duplicate core type"):
+            space_from_ladders(
+                [("big", (2.0e9,), 1.0), ("big", (1.0e9,), 1.0)]
+            )
+        with pytest.raises(ConfigurationError):
+            space_from_ladders([])

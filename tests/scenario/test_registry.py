@@ -13,6 +13,7 @@ from repro.scenario.registry import (
     Registry,
     baseline_policy_names,
     spread_levels,
+    spread_levels_for,
     workload_names,
 )
 
@@ -84,10 +85,26 @@ class TestShippedEntries:
 
     def test_machine_presets(self):
         assert set(MACHINES.names()) == {
-            "opteron-8380", "opteron-8380-socket", "small-test",
+            "opteron-8380", "opteron-8380-socket", "big-little-test",
+            "small-test",
         }
         assert MACHINES.get("opteron-8380").build().num_cores == 16
         assert MACHINES.get("small-test").build().num_cores == 4
+
+    def test_big_little_preset(self):
+        entry = MACHINES.get("big-little-test")
+        assert entry.supports_core_types
+        machine = entry.build()
+        assert machine.is_heterogeneous
+        assert machine.capacities() == (("big", 4), ("little", 4))
+        skewed = entry.build(core_types=(("big", 2), ("little", 6)))
+        assert skewed.capacities() == (("big", 2), ("little", 6))
+        # Plain num_cores rescales the partition proportionally.
+        assert entry.build(4).capacities() == (("big", 2), ("little", 2))
+
+    def test_flat_presets_reject_core_types(self):
+        with pytest.raises(ScenarioError, match="core_types"):
+            MACHINES.get("small-test").build(core_types=(("core", 4),))
 
     def test_workload_names(self):
         assert workload_names(table2_only=True) == (
@@ -143,3 +160,17 @@ class TestSpreadLevels:
             spread_levels(0, 3)
         with pytest.raises(ScenarioError):
             spread_levels(4, 0)
+
+    def test_machine_aware_matches_flat_on_homogeneous(self):
+        machine = MACHINES.get("opteron-8380").build()
+        assert spread_levels_for(machine) == spread_levels(
+            machine.num_cores, machine.r
+        )
+
+    def test_machine_aware_spreads_within_each_type(self):
+        machine = MACHINES.get("big-little-test").build()
+        levels = spread_levels_for(machine)
+        assert levels == [0, 1, 2, 3, 0, 1, 2, 3]
+        # Every entry is valid on its core's own ladder.
+        for core_id, level in enumerate(levels):
+            machine.ladder_of(core_id).validate_index(level)

@@ -85,6 +85,27 @@ class TestRoundTrip:
         spec = ScenarioSpec.from_dict(data)
         assert spec.faults is None
 
+    def test_schema_v2_documents_still_read(self):
+        # v2 scenarios (written before the core_types axis) keep loading.
+        data = ScenarioSpec(workload="SHA-1", policy="cilk").to_dict()
+        data["schema"] = 2
+        assert ScenarioSpec.from_dict(data).machine.core_types is None
+
+    def test_core_types_round_trip(self):
+        spec = ScenarioSpec(
+            workload="SHA-1",
+            policy="eewa",
+            machine=MachineSpec(
+                preset="big-little-test",
+                core_types=(("big", 2), ("little", 6)),
+            ),
+        )
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        machine = restored.build_machine()
+        assert machine.capacities() == (("big", 2), ("little", 6))
+        assert machine.num_cores == 8
+
 
 class TestValidation:
     def test_unknown_scenario_field_rejected(self):
@@ -144,6 +165,32 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="cannot be serialised"):
             spec.to_dict()
 
+    def test_core_types_on_flat_preset_rejected(self):
+        spec = ScenarioSpec(
+            workload="SHA-1",
+            policy="cilk",
+            machine=MachineSpec(
+                preset="small-test", core_types=(("core", 4),)
+            ),
+        )
+        with pytest.raises(ScenarioError, match="core_types"):
+            spec.build_machine()
+
+    def test_core_types_contradicting_num_cores_rejected(self):
+        spec = MachineSpec(
+            preset="big-little-test",
+            num_cores=6,
+            core_types=(("big", 4), ("little", 4)),
+        )
+        with pytest.raises(ScenarioError, match="contradicts"):
+            spec.build()
+
+    def test_malformed_core_types_rejected(self):
+        with pytest.raises(ScenarioError, match="core_types"):
+            MachineSpec.from_dict(
+                {"preset": "big-little-test", "core_types": "big"}
+            )
+
 
 class TestDerivation:
     def test_with_policy_keeps_everything_else(self):
@@ -171,10 +218,10 @@ class TestDerivation:
 #: means every existing result-cache entry is orphaned — that must be a
 #: deliberate, schema-version-bumping decision, never a side effect.
 PINNED_DIGESTS = {
-    "cilk": "6f98e4968223ea7a04adddeb8de29c28568b9590cd880e8f671528f8255cb727",
-    "cilk-d": "a878046b73dcd6a200ffc58b19209a210c799bbf1320d6704574a3a791465210",
-    "wats": "aac0e216ff046cfe74886c0c208dbdbeb50fcfb46b7a7f5b29f76ae05a843d90",
-    "eewa": "65e29d873a47d177b2f8dc811145cfaa1344af7fb53e2b2087620aedd68d78e2",
+    "cilk": "62054d58ad8f3350fdb7ad55fce1369a420915b86fc0dd8de238aae13ed29909",
+    "cilk-d": "c1bbd46df7fd3c6de4f1ff39dadebe2aaa4c543be51541291386235174a3580d",
+    "wats": "594f637a239f97e63a5c2a0c96dae57758cfeaa2ac12417088dc377628372cbc",
+    "eewa": "0d5af0bb19735e8b0504352558eab04c7df6c9c7ebbedbb593345fd6d11035a3",
 }
 
 
