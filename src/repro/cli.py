@@ -15,6 +15,9 @@
 * ``sweep`` — the same grid through the persistent
   :class:`~repro.experiments.sweep.SweepEngine`, streaming per-cell
   results as they complete (duplicate-heavy loads coalesce in flight);
+  ``--fidelity model|auto`` serves cells from the analytic model tier;
+* ``predict`` — the analytic companion model (:mod:`repro.model`) for
+  one cell: O(1) makespan/energy prediction, no simulation;
 * ``cache`` — result-cache maintenance: ``stats``, ``prune``, ``migrate``
   (see :mod:`repro.experiments.cachectl`);
 * ``calibrate`` — re-measure the real kernels behind the workload costs;
@@ -228,10 +231,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backpressure bound on queued-but-undispatched cells",
     )
     sweep.add_argument(
+        "--fidelity", choices=("sim", "model", "auto"), default="sim",
+        help="cell fidelity: sim simulates everything (default); model "
+        "forces the analytic predictor wherever expressible; auto serves "
+        "model-eligible cells from the predictor and simulates the rest",
+    )
+    sweep.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-cell streaming lines (summary only)",
     )
     sweep.add_argument("--json", metavar="PATH", help="write sweep results as JSON")
+
+    predict = sub.add_parser(
+        "predict",
+        help="O(1) analytic model prediction for one cell (no simulation)",
+    )
+    predict.add_argument("benchmark", choices=workload_names())
+    predict.add_argument("policy", choices=POLICIES.names())
+    predict.add_argument("--batches", type=int, default=None)
+    predict.add_argument(
+        "--cores", type=int, default=None,
+        help="core count override (default: the preset's own default)",
+    )
+    predict.add_argument("--seed", type=int, default=11)
+    _add_machine_arg(predict)
+    predict.add_argument(
+        "--core-levels", nargs="+", type=int, metavar="LEVEL",
+        help="fixed per-core frequency levels (pinned-cilk prediction)",
+    )
+    predict.add_argument(
+        "--compare", action="store_true",
+        help="also run the simulator and report the model's relative error",
+    )
 
     cache = sub.add_parser(
         "cache", help="result-cache maintenance (stats, prune, migrate)"
@@ -239,6 +270,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats_p = cache_sub.add_parser(
         "stats", help="entry/byte counts and shard distribution"
+    )
+    cache_stats_p.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of the text summary",
     )
     cache_prune_p = cache_sub.add_parser(
         "prune", help="evict old and/or excess entries (oldest first)"
@@ -703,6 +738,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
         fast_forward=not args.no_fast_forward,
+        fidelity=args.fidelity,
     )
     with session:
         engine = session.engine.configure(
@@ -740,7 +776,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             streamed.append((ticket, outcome, latency))
             if not args.quiet:
                 spec = ticket.spec
-                source = "cached" if outcome.from_cache else "simulated"
+                if outcome.source == "model":
+                    source = "model cached" if outcome.from_cache else "model"
+                else:
+                    source = "cached" if outcome.from_cache else "simulated"
                 print(
                     f"  done {spec.benchmark}/{spec.policy} seed {spec.seed}: "
                     f"{outcome.result.total_time*1e3:.1f} ms sim, "
@@ -752,7 +791,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"  {stats.cells} submissions in {wall:.2f} s "
             f"({stats.cells / wall:.0f}/s): {stats.executed} simulated in "
-            f"{stats.chunks} chunks, {stats.cache_hits} from cache "
+            f"{stats.chunks} chunks, {stats.model_cells} model-predicted, "
+            f"{stats.cache_hits} from cache "
             f"({stats.memo_hits} memo), {stats.deduplicated} coalesced in flight "
             f"(dedup rate {dedup_rate:.1%}), {stats.cancelled} cancelled"
         )
@@ -774,9 +814,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "wall_seconds": wall,
                 "submit_seconds": submitted,
                 "fast_forward": not args.no_fast_forward,
+                "fidelity": args.fidelity,
                 "stats": {
                     "submissions": stats.cells,
                     "executed": stats.executed,
+                    "model_cells": stats.model_cells,
                     "cache_hits": stats.cache_hits,
                     "memo_hits": stats.memo_hits,
                     "deduplicated": stats.deduplicated,
@@ -793,6 +835,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         "policy": t.spec.policy,
                         "seed": t.spec.seed,
                         "from_cache": o.from_cache,
+                        "source": o.source,
                         "total_time": o.result.total_time,
                         "total_joules": o.result.total_joules,
                         "latency_s": lat,
@@ -806,11 +849,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.model import MAX_RELATIVE_ERROR, classify_cell, predict_cell
+
+    scenario = ScenarioSpec(
+        workload=args.benchmark,
+        policy=PolicySpec(
+            args.policy,
+            core_levels=(
+                None if args.core_levels is None else tuple(args.core_levels)
+            ),
+        ),
+        machine=_machine_spec(args.cores, preset=args.machine),
+        seeds=(args.seed,),
+        batches=args.batches,
+    )
+    machine = scenario.build_machine()
+    program = tuple(scenario.program(args.seed))
+    verdict = classify_cell(
+        program, args.policy, machine,
+        core_levels=scenario.policy.core_levels,
+    )
+    result = predict_cell(
+        program, args.policy, machine, args.seed,
+        core_levels=scenario.policy.core_levels,
+    )
+    if result is None:
+        reason = verdict.reason or "seed-dependent (rotation-sensitive) schedule"
+        print(f"{args.benchmark} / {args.policy}: no analytic form — {reason}")
+        return 2
+    print(
+        f"{args.benchmark} / {args.policy} on {machine.num_cores} cores "
+        f"(model): {result.total_time*1e3:.1f} ms, "
+        f"{result.total_joules:.2f} J (avg {result.average_power:.0f} W), "
+        f"{result.tasks_executed} tasks"
+    )
+    print(
+        f"  energy breakdown: running {result.running_joules:.1f} J, "
+        f"spinning {result.spin_joules:.1f} J, "
+        f"baseline {result.baseline_joules:.1f} J"
+    )
+    if verdict.eligible:
+        print(
+            f"  within the calibrated envelope "
+            f"(error bound {MAX_RELATIVE_ERROR:.0%})"
+        )
+    else:
+        print(f"  outside the calibrated envelope: {verdict.reason}")
+    if args.compare:
+        sim = Session().run_single(scenario)
+        time_err = abs(result.total_time - sim.total_time) / sim.total_time
+        joule_err = abs(result.total_joules - sim.total_joules) / sim.total_joules
+        print(
+            f"  simulator: {sim.total_time*1e3:.1f} ms, "
+            f"{sim.total_joules:.2f} J — relative error "
+            f"{time_err:.4%} time, {joule_err:.4%} energy"
+        )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments import cachectl
 
     if args.cache_command == "stats":
-        print(cachectl.cache_stats(args.cache_dir).summary())
+        stats = cachectl.cache_stats(args.cache_dir)
+        if args.json:
+            import dataclasses
+            import json
+
+            print(json.dumps(dataclasses.asdict(stats), indent=2, sort_keys=True))
+        else:
+            print(stats.summary())
         return 0
     if args.cache_command == "prune":
         if args.max_age_days is None and args.max_bytes is None:
@@ -871,6 +980,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "calibrate":

@@ -215,6 +215,11 @@ class CellOutcome:
     #: number of adjustment decisions — Table III's "measured" column.
     adjuster_wallclock_s: float = 0.0
     adjuster_decisions: int = 0
+    #: Provenance: ``"sim"`` for simulator results (fresh or cached),
+    #: ``"model"`` for analytic predictions served by the sweep engine's
+    #: ``fidelity="model"|"auto"`` tier. Model outcomes carry the
+    #: model-versioned key, never the simulation key.
+    source: str = "sim"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -623,10 +628,11 @@ class SweepStats:
     ``cells`` counts submissions; every submission is exactly one of
     ``executed`` (simulated), ``cache_hits`` (served from the on-disk
     cache or its in-memory memo), ``deduplicated`` (coalesced onto an
-    in-flight identical cell), or ``cancelled``. ``memo_hits`` is the
-    subset of ``cache_hits`` served without touching disk; ``chunks`` is
-    the number of dispatch round-trips the executed cells were batched
-    into.
+    in-flight identical cell), ``model_cells`` (served by a fresh
+    analytic-model prediction under ``fidelity="model"|"auto"``), or
+    ``cancelled``. ``memo_hits`` is the subset of ``cache_hits`` served
+    without touching disk; ``chunks`` is the number of dispatch
+    round-trips the executed cells were batched into.
     """
 
     cells: int = 0
@@ -636,6 +642,7 @@ class SweepStats:
     cancelled: int = 0
     memo_hits: int = 0
     chunks: int = 0
+    model_cells: int = 0
 
 
 class ParallelRunner:
@@ -662,6 +669,11 @@ class ParallelRunner:
         ``False`` forces full event-by-event simulation of every cell —
         the ``repro bench --no-fast-forward`` escape hatch. The flag is
         part of every cell's cache key.
+    fidelity:
+        ``"sim"`` (default) simulates every cell; ``"auto"`` serves
+        model-eligible cells from the analytic predictor and simulates
+        the rest; ``"model"`` forces the predictor wherever it is
+        structurally expressible (see :mod:`repro.model`).
     """
 
     def __init__(
@@ -671,6 +683,7 @@ class ParallelRunner:
         workers: Optional[int] = None,
         cache_dir: str | os.PathLike[str] | None = DEFAULT_CACHE_DIR,
         fast_forward: bool = True,
+        fidelity: str = "sim",
     ) -> None:
         from repro.experiments.sweep import SweepEngine  # circular-import guard
 
@@ -679,6 +692,7 @@ class ParallelRunner:
             workers=workers,
             cache_dir=cache_dir,
             fast_forward=fast_forward,
+            fidelity=fidelity,
         )
         self._machine = self.engine.machine
         self._workers = workers
@@ -772,15 +786,16 @@ class ParallelRunner:
     ) -> list[int]:
         """Cached equivalent of ``runner.modal_eewa_levels`` — shares its
         cell (and therefore its cache entry) with any plain EEWA run of the
-        same benchmark and seed."""
-        (outcome,) = self.run_cells(
-            [
-                CellSpec(
-                    benchmark=benchmark, policy="eewa", seed=seed,
-                    batches=batches, eewa_config=eewa_config, machine=machine,
-                )
-            ]
-        )
+        same benchmark and seed. Always simulates (``fidelity="sim"``):
+        the modal configuration is read off the per-batch trace, which the
+        analytic model does not produce."""
+        outcome = self.engine.submit(
+            CellSpec(
+                benchmark=benchmark, policy="eewa", seed=seed,
+                batches=batches, eewa_config=eewa_config, machine=machine,
+            ),
+            fidelity="sim",
+        ).result()
         resolved = machine if machine is not None else self._machine
         return modal_levels_from_result(
             outcome.result, resolved.num_cores, resolved

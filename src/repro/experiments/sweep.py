@@ -30,6 +30,15 @@ Four mechanisms carry the load:
   from a bounded in-memory memo of decoded cache payloads before the
   sharded on-disk :class:`~repro.experiments.parallel.ResultCache` is
   consulted at all.
+* **analytic model tier** — with ``fidelity="auto"`` a cell inside the
+  calibrated envelope (:func:`repro.model.bounds.classify_cell`) is
+  served in O(1) by the analytic predictor instead of being queued at
+  all; ``fidelity="model"`` forces the predictor wherever it is
+  structurally expressible. Predictions carry
+  ``CellOutcome.source == "model"`` and are cached under a
+  model-versioned key (:func:`repro.model.predict.model_key`), so a
+  simulation result is never shadowed — and a cached *sim* result for
+  the same cell always wins over a fresh prediction.
 
 Results stream: :meth:`SweepEngine.submit` returns a :class:`SweepTicket`
 immediately, :meth:`SweepEngine.iter_cells` yields outcomes in submission
@@ -74,9 +83,20 @@ from repro.experiments.parallel import (
     cell_key,
 )
 from repro.machine.topology import MachineConfig, opteron_8380_machine
+from repro.model.bounds import classify_cell
+from repro.model.predict import (
+    MODEL_VERSION,
+    decline_reason,
+    model_key,
+    predict_cell,
+)
+from repro.sim.engine import ENGINE_VERSION
 
 #: Job lifecycle states.
 _QUEUED, _DISPATCHED, _DONE, _CANCELLED = range(4)
+
+#: Valid values of the engine's ``fidelity`` axis.
+FIDELITIES = ("sim", "model", "auto")
 
 
 def _warm_worker() -> None:
@@ -191,6 +211,12 @@ class SweepEngine:
         Hard cap on cells per dispatch chunk.
     memo_entries:
         Size of the in-memory LRU of decoded cache payloads.
+    fidelity:
+        ``"sim"`` (default) simulates every cell; ``"auto"`` serves
+        model-eligible cells from the analytic predictor and falls back
+        to simulation outside the calibrated envelope; ``"model"``
+        forces the predictor wherever it is structurally expressible
+        (including cells the envelope does not vouch for).
     """
 
     def __init__(
@@ -204,9 +230,14 @@ class SweepEngine:
         chunk_target_seconds: float = 0.25,
         max_chunk: int = 32,
         memo_entries: int = 1024,
+        fidelity: str = "sim",
     ) -> None:
         if workers is not None and workers < 0:
             raise ConfigurationError("workers must be non-negative")
+        if fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+            )
         if max_pending < 1:
             raise ConfigurationError("max_pending must be positive")
         if max_chunk < 1:
@@ -214,6 +245,7 @@ class SweepEngine:
         self.machine = machine if machine is not None else opteron_8380_machine()
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = SweepStats()
+        self.fidelity = fidelity
         self._fast_forward = fast_forward
         self._max_pending = max_pending
         self._chunk_target = chunk_target_seconds
@@ -260,12 +292,27 @@ class SweepEngine:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, spec: CellSpec, *, priority: int = 0) -> SweepTicket:
+    def submit(
+        self,
+        spec: CellSpec,
+        *,
+        priority: int = 0,
+        fidelity: Optional[str] = None,
+    ) -> SweepTicket:
         """Enqueue one cell; returns immediately with a ticket.
 
         A submission coalesces onto an identical in-flight cell, resolves
         instantly from the memo/disk cache, or joins the priority queue.
+        ``fidelity`` overrides the engine default for this one cell —
+        consumers that need a full :class:`~repro.sim.engine.SimResult`
+        (per-batch traces, task lists) pass ``"sim"`` to bypass the model
+        tier regardless of the engine's setting.
         """
+        if fidelity is not None and fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+            )
+        cell_fidelity = fidelity if fidelity is not None else self.fidelity
         machine = spec.machine if spec.machine is not None else self.machine
         program = _resolve_program(spec)
         key = cell_key(
@@ -295,6 +342,13 @@ class SweepEngine:
                     self._outcome(spec, key, payload, from_cache=True)
                 )
                 return ticket
+
+            if cell_fidelity != "sim":
+                ticket = self._model_ticket(
+                    spec, key, program, machine, cell_fidelity
+                )
+                if ticket is not None:
+                    return ticket
 
             self._apply_backpressure()
             args = (
@@ -451,6 +505,72 @@ class SweepEngine:
         with self._lock:
             return self._ema_cell_seconds
 
+    # -- internals: model tier ------------------------------------------
+
+    def _model_ticket(
+        self,
+        spec: CellSpec,
+        key: str,
+        program: tuple,
+        machine: MachineConfig,
+        fidelity: str,
+    ) -> Optional[SweepTicket]:
+        """Serve one cell from the analytic model, or ``None`` to simulate.
+
+        Called with the lock held, after the in-flight and sim-cache
+        checks — a cell that was ever *simulated* is therefore always
+        served from its simulation result, never re-predicted. The model
+        payload lives under :func:`~repro.model.predict.model_key` (the
+        sim key never aliases it), versioned by ``MODEL_VERSION`` in both
+        the key and the payload.
+        """
+        if fidelity == "auto":
+            if not classify_cell(
+                program, spec.policy, machine,
+                core_levels=spec.core_levels, eewa_config=spec.eewa_config,
+                policy_params=spec.policy_params, faults=spec.faults,
+            ):
+                return None
+        elif decline_reason(
+            program, spec.policy, machine,
+            core_levels=spec.core_levels, eewa_config=spec.eewa_config,
+            policy_params=spec.policy_params, faults=spec.faults,
+        ) is not None:
+            return None
+        mkey = model_key(key)
+        payload = self._lookup_cached(mkey)
+        if payload is not None and payload.get("model_version") == MODEL_VERSION:
+            self.stats.cache_hits += 1
+            ticket = SweepTicket(self, spec, mkey)
+            ticket.future.set_result(
+                self._outcome(spec, mkey, payload, from_cache=True)
+            )
+            return ticket
+        result = predict_cell(
+            program, spec.policy, machine, spec.seed,
+            core_levels=spec.core_levels, eewa_config=spec.eewa_config,
+            policy_params=spec.policy_params, faults=spec.faults,
+        )
+        if result is None:
+            return None
+        payload = {
+            "engine_version": ENGINE_VERSION,
+            "model_version": MODEL_VERSION,
+            "result": result,
+            "adjuster_wallclock_s": 0.0,
+            "adjuster_decisions": result.adjuster_decisions,
+            "source": "model",
+        }
+        if self.cache is not None:
+            self.cache.put(mkey, payload)
+            self._memo_put(mkey, payload)
+        self.stats.model_cells += 1
+        ticket = SweepTicket(self, spec, mkey)
+        ticket.future.set_result(
+            self._outcome(spec, mkey, payload, from_cache=False)
+        )
+        return ticket
+
     # -- internals: cache/memo ------------------------------------------
 
     def _lookup_cached(self, key: str) -> Optional[dict[str, Any]]:
@@ -483,6 +603,7 @@ class SweepEngine:
             from_cache=from_cache,
             adjuster_wallclock_s=payload["adjuster_wallclock_s"],
             adjuster_decisions=payload["adjuster_decisions"],
+            source=payload.get("source", "sim"),
         )
 
     # -- internals: queue/backpressure ----------------------------------
@@ -671,4 +792,4 @@ class SweepEngine:
             self._work.notify_all()
 
 
-__all__ = ["SweepEngine", "SweepTicket"]
+__all__ = ["FIDELITIES", "SweepEngine", "SweepTicket"]

@@ -1,0 +1,45 @@
+"""Analytic companion model: O(1) cell prediction with sim-validated bounds.
+
+The simulator answers "what happens" by replaying every event; this
+package answers the same question for the *analytically expressible*
+policies (cilk, cilk-d, eewa's modal steady state) directly from the cell
+inputs: the CC-table math, the operating-point capacities, and the power
+model's per-operating-point busy/idle watts. Three modules:
+
+* :mod:`repro.model.predict` — the deterministic pure-python predictor
+  (:func:`~repro.model.predict.predict_cell`) plus the structural
+  eligibility test (:func:`~repro.model.predict.decline_reason`);
+* :mod:`repro.model.bounds` — the calibrated error envelope and the
+  model-eligibility classification the sweep engine's ``fidelity="auto"``
+  tier consults;
+* :mod:`repro.model.validate` — cross-validation of the model against the
+  simulator over the full golden grid (30 jittered cells + 8 long-horizon
+  cells), the source of the calibrated envelope and the CI gate.
+
+The model never shadows simulation results: predictions are cached under
+a distinct model-versioned key (:func:`~repro.model.predict.model_key`)
+and carried in a :class:`~repro.model.predict.ModelResult` whose
+provenance is visible as ``CellOutcome.source == "model"``.
+"""
+
+from repro.model.bounds import MAX_RELATIVE_ERROR, Eligibility, classify_cell
+from repro.model.predict import (
+    MODEL_POLICIES,
+    MODEL_VERSION,
+    ModelResult,
+    decline_reason,
+    model_key,
+    predict_cell,
+)
+
+__all__ = [
+    "MAX_RELATIVE_ERROR",
+    "MODEL_POLICIES",
+    "MODEL_VERSION",
+    "Eligibility",
+    "ModelResult",
+    "classify_cell",
+    "decline_reason",
+    "model_key",
+    "predict_cell",
+]

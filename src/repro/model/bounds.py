@@ -1,0 +1,83 @@
+"""Calibrated error envelope: when is the analytic model *trusted*?
+
+:func:`repro.model.predict.decline_reason` answers the structural
+question — does the closed form exist. This module answers the
+operational one — is the closed form *close enough* to serve in place of
+the simulator. The envelope below was calibrated by
+:mod:`repro.model.validate` against the full golden grid (30 jittered
+cells + 8 long-horizon cells); ``fidelity="auto"`` in the sweep engine
+serves a cell from the model only when :func:`classify_cell` says
+eligible, and falls back to full simulation otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Sequence
+
+from repro.machine.topology import MachineConfig
+from repro.model.predict import decline_reason
+from repro.runtime.task import Batch
+
+#: The promise ``fidelity="auto"`` makes: every served prediction's
+#: makespan and energy are within this relative error of the simulator
+#: on the calibration grid. Enforced by ``python -m repro.model.validate``
+#: (CI-gating) and by conformance check #10.
+MAX_RELATIVE_ERROR = 0.02
+
+
+@dataclasses.dataclass(frozen=True)
+class Eligibility:
+    """Verdict on one cell: serve from the model, or simulate."""
+
+    eligible: bool
+    reason: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.eligible
+
+
+def classify_cell(
+    program: Sequence[Batch],
+    policy: str,
+    machine: MachineConfig,
+    *,
+    core_levels: Optional[Sequence[int]] = None,
+    eewa_config: Any = None,
+    policy_params: Optional[tuple[tuple[str, Any], ...]] = None,
+    faults: Any = None,
+) -> Eligibility:
+    """Classify one cell against the calibrated envelope.
+
+    Structural declines come first (no closed form at all); the remaining
+    conditions mark cells the closed form covers but the calibration grid
+    does not, so ``auto`` refuses to vouch for them:
+
+    * heterogeneous machines — the golden grid calibrates homogeneous
+      ladders only; big.LITTLE cells simulate until a hetero grid lands;
+    * sub-core batches — with fewer tasks than cores the makespan is one
+      task's runtime and steal-scan timing noise is no longer amortised.
+    """
+    reason = decline_reason(
+        program,
+        policy,
+        machine,
+        core_levels=core_levels,
+        eewa_config=eewa_config,
+        policy_params=policy_params,
+        faults=faults,
+    )
+    if reason is not None:
+        return Eligibility(False, reason)
+    if machine.is_heterogeneous:
+        return Eligibility(
+            False, "heterogeneous machines are outside the calibrated grid"
+        )
+    if any(len(batch.specs) < machine.num_cores for batch in program):
+        return Eligibility(
+            False, "batch smaller than the machine; steal noise unamortised"
+        )
+    return Eligibility(True)
+
+
+__all__ = ["MAX_RELATIVE_ERROR", "Eligibility", "classify_cell"]

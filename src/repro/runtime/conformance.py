@@ -24,7 +24,12 @@ The battery exercises the invariants the engine relies on:
    one-type operating-point space (``core_types``/``type_powers`` set)
    reproduces the flat-ladder run bit-identically — the generalised
    heterogeneous code paths must be exact supersets of the paper's
-   homogeneous ones.
+   homogeneous ones;
+9. model parity: wherever the analytic companion model
+   (:mod:`repro.model`) offers a prediction for the policy, its makespan
+   and energy agree with the simulator within the calibrated error bound
+   (:data:`repro.model.bounds.MAX_RELATIVE_ERROR`); policies without an
+   analytic steady state decline and pass vacuously.
 
 ``check_policy(..., deep=True)`` additionally replays a deep task-event
 trace through the race detector (:mod:`repro.checks.races`): exactly-once
@@ -219,6 +224,40 @@ def check_policy(
             "explicit one-type operating-point metadata changed behaviour"
         )
 
+    def model_parity() -> None:
+        # Check #10: the analytic companion model must agree with the
+        # simulator within its calibrated bound wherever it offers a
+        # prediction. The model predicts the *registry* configuration of
+        # the policy's name, so the simulation side builds through the
+        # factory — for the shipped registry-default policies the two
+        # coincide; unregistered or analytically inexpressible policies
+        # decline the prediction and the check passes vacuously.
+        from repro.model.bounds import MAX_RELATIVE_ERROR, classify_cell
+        from repro.model.predict import predict_cell
+
+        program = _flat_program(3, [0.004] * 9 + [0.03])
+        if not classify_cell(tuple(program), report.policy_name, machine):
+            # Outside the calibrated envelope (no analytic form, hetero
+            # battery machine, …): fidelity="auto" would simulate this
+            # cell, so there is no promise to check.
+            return
+        predicted = predict_cell(tuple(program), report.policy_name, machine)
+        if predicted is None:
+            return
+        sim = simulate(program, factory(), machine, seed=7)
+        time_err = abs(predicted.total_time - sim.total_time) / sim.total_time
+        joule_err = (
+            abs(predicted.total_joules - sim.total_joules) / sim.total_joules
+        )
+        assert time_err <= MAX_RELATIVE_ERROR, (
+            f"model makespan off by {time_err:.2%} "
+            f"(bound {MAX_RELATIVE_ERROR:.0%})"
+        )
+        assert joule_err <= MAX_RELATIVE_ERROR, (
+            f"model energy off by {joule_err:.2%} "
+            f"(bound {MAX_RELATIVE_ERROR:.0%})"
+        )
+
     def race_free() -> None:
         # Imported here: repro.checks imports runtime modules, so a
         # module-level import would be circular.
@@ -245,6 +284,7 @@ def check_policy(
     run_check("fast-forward-parity", fast_forward_parity)
     run_check("fault-matrix", fault_matrix)
     run_check("operating-point-parity", operating_point_parity)
+    run_check("model-parity", model_parity)
     if deep:
         run_check("race-detection", race_free)
     return report

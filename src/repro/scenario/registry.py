@@ -514,7 +514,7 @@ def _preset_small_test(num_cores: Optional[int]) -> MachineConfig:
 
 
 def _register_shipped_workloads() -> None:
-    from repro.workloads import benchmarks, synthetic
+    from repro.workloads import benchmarks, periodic, synthetic
 
     table2 = {
         "BWC": benchmarks.bwc_spec,
@@ -546,6 +546,13 @@ def _register_shipped_workloads() -> None:
             name="DMC-phased",
             spec_factory=synthetic.phased_spec,
             description="batch-to-batch varying workload (Fig. 7 discussion)",
+        )
+    )
+    WORKLOADS.register(
+        WorkloadEntry(
+            name="periodic",
+            spec_factory=periodic.periodic_workload_spec,
+            description=periodic.periodic_workload_spec().description,
         )
     )
 

@@ -63,6 +63,11 @@ class Session:
     fast_forward:
         Engine steady-state fast-forward (default on); ``False`` forces
         full event-by-event simulation of every cell.
+    fidelity:
+        ``"sim"`` (default) simulates every cell; ``"auto"`` serves
+        model-eligible cells from the analytic predictor
+        (:mod:`repro.model`) and simulates the rest; ``"model"`` forces
+        the predictor wherever it is structurally expressible.
     """
 
     def __init__(
@@ -72,11 +77,13 @@ class Session:
         workers: Optional[int] = 0,
         cache_dir: str | os.PathLike[str] | None = None,
         fast_forward: bool = True,
+        fidelity: str = "sim",
     ) -> None:
         self.spec = spec
         self._fast_forward = fast_forward
         self._runner = _parallel().ParallelRunner(
-            workers=workers, cache_dir=cache_dir, fast_forward=fast_forward
+            workers=workers, cache_dir=cache_dir, fast_forward=fast_forward,
+            fidelity=fidelity,
         )
 
     @classmethod
@@ -87,9 +94,13 @@ class Session:
         workers: Optional[int] = 0,
         cache_dir: str | os.PathLike[str] | None = None,
         fast_forward: bool = True,
+        fidelity: str = "sim",
     ) -> "Session":
         """Bind ``spec``: ``Session.from_spec(spec).run()`` → RunOutcome."""
-        return cls(spec, workers=workers, cache_dir=cache_dir, fast_forward=fast_forward)
+        return cls(
+            spec, workers=workers, cache_dir=cache_dir,
+            fast_forward=fast_forward, fidelity=fidelity,
+        )
 
     @classmethod
     def for_experiment(
@@ -99,16 +110,21 @@ class Session:
         workers: Optional[int] = None,
         cache_dir: str | os.PathLike[str] | None = None,
         fast_forward: bool = True,
+        fidelity: str = "sim",
     ) -> "Session":
         """The exhibit modules' convention: serial and uncached by default;
         ``parallel=True`` fans out over processes with the shared on-disk
         cache."""
         if not parallel:
-            return cls(workers=0, cache_dir=None, fast_forward=fast_forward)
+            return cls(
+                workers=0, cache_dir=None, fast_forward=fast_forward,
+                fidelity=fidelity,
+            )
         return cls(
             workers=workers,
             cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
             fast_forward=fast_forward,
+            fidelity=fidelity,
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -218,7 +234,9 @@ class Session:
 
         ``record_power_series=True`` runs outside the runner/cache — power
         traces are observability extras the content-addressed cache does
-        not store.
+        not store. Always simulates regardless of the session's
+        ``fidelity``: a *full* result (per-batch trace) is the contract,
+        and the analytic model does not produce one.
         """
         resolved = self._bound(spec)
         if seed is None:
@@ -235,9 +253,9 @@ class Session:
                 fast_forward=self._fast_forward,
                 faults=resolved.faults,
             )
-        (outcome,) = self._runner.run_cells(
-            [_parallel().CellSpec.from_scenario(resolved, seed)]
-        )
+        outcome = self.engine.submit(
+            _parallel().CellSpec.from_scenario(resolved, seed), fidelity="sim"
+        ).result()
         return outcome.result
 
     def modal_eewa_levels(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.errors import WorkloadError
 from repro.runtime.task import Batch
 from repro.workloads.generators import generate_program
+from repro.workloads.periodic import periodic_workload_spec
 from repro.workloads.spec import TaskClassSpec, WorkloadSpec
 from repro.workloads.synthetic import phased_spec
 
@@ -153,6 +154,9 @@ _SPECS = {
     # Not in Table II: the batch-to-batch-varying workload used to
     # demonstrate the value of per-batch adaptation (Fig. 7 discussion).
     "DMC-phased": phased_spec,
+    # Not in Table II: the strictly periodic zero-jitter mix — the
+    # steady-state regime fast-forward and the analytic model target.
+    "periodic": periodic_workload_spec,
 }
 
 #: The paper's Table II benchmark names, in its order.

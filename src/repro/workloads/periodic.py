@@ -7,13 +7,19 @@ the task cycle counts below are dyadic multiples of the frequency ladder,
 so all durations and energies are float-exact and the engine's fast-forward
 replay is provably bit-identical.
 
-This module is deliberately *not* registered in the ``WORKLOADS`` registry:
-it is a test/bench harness workload, not a paper benchmark.
+The raw :func:`periodic_program` harness builds batches directly (no
+jitter, cycle counts pinned to the dyadic constants below). The module
+also ships :func:`periodic_workload_spec`, the ``WORKLOADS``-registered
+``periodic`` entry: the same two-class mix expressed as a
+:class:`~repro.workloads.spec.WorkloadSpec` with zero jitter and drift,
+so ``repro run periodic ...`` exercises the strictly periodic shape the
+fast-forward engine and the analytic model are built around.
 """
 
 from __future__ import annotations
 
 from repro.runtime.task import Batch, TaskSpec, flat_batch
+from repro.workloads.spec import TaskClassSpec, WorkloadSpec
 
 #: Reference frequency the cycle counts below are dyadic fractions of
 #: (``F_0`` of :func:`~repro.machine.topology.dyadic_test_machine`).
@@ -50,3 +56,39 @@ def periodic_program(
         heavy, light, heavy_cycles=heavy_cycles, light_cycles=light_cycles
     )
     return [flat_batch(i, list(specs)) for i in range(batches)]
+
+
+def periodic_workload_spec() -> WorkloadSpec:
+    """The registry entry for the strictly periodic two-class workload.
+
+    Class means are the dyadic harness constants expressed in seconds at
+    the dyadic reference frequency; zero jitter, drift, and miss
+    intensity make every batch identical and the generated program
+    seed-independent — the pure steady-state regime (Fig. 2's
+    "iterations of similar computation") where fast-forward replay and
+    the analytic model are exact.
+    """
+    return WorkloadSpec(
+        name="periodic",
+        classes=(
+            TaskClassSpec(
+                name="heavy",
+                count=4,
+                mean_seconds=HEAVY_CYCLES / DYADIC_REF_FREQUENCY,
+                jitter_sigma=0.0,
+                drift_sigma=0.0,
+                miss_intensity=0.0,
+            ),
+            TaskClassSpec(
+                name="light",
+                count=8,
+                mean_seconds=LIGHT_CYCLES / DYADIC_REF_FREQUENCY,
+                jitter_sigma=0.0,
+                drift_sigma=0.0,
+                miss_intensity=0.0,
+            ),
+        ),
+        default_batches=12,
+        description="strictly periodic two-class mix (zero jitter/drift): "
+        "the steady-state regime fast-forward and the analytic model target",
+    )

@@ -6,6 +6,7 @@ crash-safety contract (atomic writes, torn-entry recovery, flat-layout
 migration, pack compaction), and the ``repro cache`` backing functions.
 """
 
+import os
 import pickle
 import threading
 import time
@@ -382,3 +383,54 @@ class TestCachectl:
         result = cachectl.prune(tmp_path, max_bytes=0)
         assert result.removed == 2
         assert cachectl.cache_stats(tmp_path).entries == 0
+
+    def test_prune_keeps_entry_exactly_at_age_cutoff(self, tmp_path):
+        # The age bound is strict (mtime < cutoff): an entry whose mtime
+        # equals the cutoff to the second is NOT stale yet.
+        self._warm(tmp_path)
+        cache = ResultCache(tmp_path)
+        entries = cachectl._entry_map(cache)
+        at_cutoff, stale = sorted(entries)
+        base = 1_700_000_000.0
+        os.utime(cache._path(at_cutoff), (base, base))
+        os.utime(cache._path(stale), (base - 1.0, base - 1.0))
+        result = cachectl.prune(
+            tmp_path, max_age_days=1, now=base + 86400.0
+        )
+        assert (result.removed, result.kept) == (1, 1)
+        assert cache.get(at_cutoff) is not None
+        assert cache.get(stale) is None
+
+    def test_prune_by_bytes_breaks_mtime_ties_by_key(self, tmp_path):
+        # Equal mtimes: eviction order falls back to the key, so the
+        # victim choice stays deterministic across runs.
+        self._warm(tmp_path, seeds=(11, 23, 37))
+        cache = ResultCache(tmp_path)
+        entries = cachectl._entry_map(cache)
+        base = 1_700_000_000.0
+        for key in entries:
+            os.utime(cache._path(key), (base, base))
+        total = sum(nbytes for _, nbytes in entries.values())
+        result = cachectl.prune(tmp_path, max_bytes=total - 1)
+        assert result.removed == 1
+        assert cache.get(min(entries)) is None  # smallest key loses the tie
+        for key in sorted(entries)[1:]:
+            assert cache.get(key) is not None
+
+    def test_prune_empty_cache_is_a_noop(self, tmp_path):
+        result = cachectl.prune(
+            tmp_path / "never-written", max_age_days=1, max_bytes=0
+        )
+        assert (result.removed, result.kept, result.bytes_freed) == (0, 0, 0)
+
+    def test_prune_just_migrated_cache_keeps_packed_entries(self, tmp_path):
+        # Migration rewrites entries into per-shard packs; generous bounds
+        # must see (and keep) the packed copies, not treat them as gone.
+        self._warm(tmp_path)
+        cachectl.migrate(tmp_path)
+        result = cachectl.prune(
+            tmp_path, max_age_days=10_000, max_bytes=1 << 40
+        )
+        assert (result.removed, result.kept) == (0, 2)
+        assert result.bytes_freed == 0
+        assert cachectl.cache_stats(tmp_path).entries == 2

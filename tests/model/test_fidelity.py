@@ -1,0 +1,184 @@
+"""Tests for the sweep engine's analytic-model tier (``fidelity`` axis).
+
+The contracts the conformance/acceptance gates rely on:
+
+* ``fidelity="auto"`` serves model-eligible cells in O(1) with
+  ``CellOutcome.source == "model"`` and falls back to full simulation
+  everywhere else — bit-identical to ``fidelity="sim"`` for every
+  ineligible cell;
+* model payloads are cached under a model-versioned key, so a model run
+  never shadows (or is shadowed by) the simulation cache entry for the
+  same cell;
+* per-submit ``fidelity`` overrides let trace consumers force a full
+  simulation through a model-tier engine.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import CellSpec, ResultCache
+from repro.experiments.sweep import FIDELITIES, SweepEngine
+from repro.model.predict import model_key
+from repro.sim.fingerprint import trace_fingerprint
+
+BATCHES = 3
+
+
+def spec(policy="cilk", seed=11, benchmark="SHA-1", **kwargs):
+    return CellSpec(
+        benchmark=benchmark, policy=policy, seed=seed, batches=BATCHES,
+        **kwargs,
+    )
+
+
+class TestFidelityValidation:
+    def test_axis_values(self):
+        assert FIDELITIES == ("sim", "model", "auto")
+
+    def test_engine_rejects_unknown_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(workers=0, cache_dir=None, fidelity="oracle")
+
+    def test_submit_rejects_unknown_fidelity(self):
+        with SweepEngine(workers=0, cache_dir=None) as eng:
+            with pytest.raises(ConfigurationError):
+                eng.submit(spec(), fidelity="oracle")
+
+
+class TestAutoTier:
+    def test_eligible_cell_served_by_model(self):
+        with SweepEngine(workers=0, cache_dir=None, fidelity="auto") as eng:
+            outcome = eng.submit(spec()).result()
+        assert outcome.source == "model"
+        assert not outcome.from_cache
+        assert eng.stats.model_cells == 1
+        assert eng.stats.executed == 0
+
+    def test_ineligible_cell_bit_identical_to_sim(self):
+        # wats has no analytic form: auto must fall back to the exact
+        # simulation the sim engine produces.
+        levels = (0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0, 2, 2, 2, 2)
+        wats = spec(policy="wats", core_levels=levels)
+        with SweepEngine(workers=0, cache_dir=None, fidelity="auto") as auto_eng:
+            via_auto = auto_eng.submit(wats).result()
+        with SweepEngine(workers=0, cache_dir=None, fidelity="sim") as sim_eng:
+            via_sim = sim_eng.submit(wats).result()
+        assert via_auto.source == "sim"
+        assert auto_eng.stats.model_cells == 0
+        assert trace_fingerprint(via_auto.result) == trace_fingerprint(
+            via_sim.result
+        )
+        assert via_auto.result.total_joules == via_sim.result.total_joules
+
+    def test_model_outcome_matches_sim_within_bounds(self):
+        from repro.model.bounds import MAX_RELATIVE_ERROR
+
+        cell = spec()
+        with SweepEngine(workers=0, cache_dir=None, fidelity="auto") as eng:
+            modeled = eng.submit(cell).result()
+        with SweepEngine(workers=0, cache_dir=None, fidelity="sim") as eng:
+            simulated = eng.submit(cell).result()
+        assert modeled.result.total_time == pytest.approx(
+            simulated.result.total_time, rel=MAX_RELATIVE_ERROR
+        )
+        assert modeled.result.total_joules == pytest.approx(
+            simulated.result.total_joules, rel=MAX_RELATIVE_ERROR
+        )
+
+
+class TestModelCacheKeying:
+    def test_model_cached_under_model_key(self, tmp_path):
+        cell = spec()
+        with SweepEngine(workers=0, cache_dir=None) as eng:
+            sim_key = eng.submit(cell, fidelity="sim").result().key
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="auto"
+        ) as eng:
+            outcome = eng.submit(cell).result()
+        assert outcome.key == model_key(sim_key)
+        cache = ResultCache(tmp_path)
+        assert cache.get(model_key(sim_key)) is not None
+        assert cache.get(sim_key) is None  # the sim entry is untouched
+
+    def test_sim_results_never_shadowed(self, tmp_path):
+        cell = spec()
+        # Model run first, then a sim run of the same cell: both land in
+        # the cache under distinct keys and both are served back.
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="auto"
+        ) as eng:
+            eng.submit(cell).result()
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="sim"
+        ) as eng:
+            simulated = eng.submit(cell).result()
+            assert not simulated.from_cache  # model entry did not shadow
+            assert simulated.source == "sim"
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="sim"
+        ) as eng:
+            warm = eng.submit(cell).result()
+            assert warm.from_cache
+            assert warm.source == "sim"
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="auto"
+        ) as eng:
+            warm_model = eng.submit(cell).result()
+            assert warm_model.from_cache
+            # Both entries exist now; the exact sim result always wins.
+            assert warm_model.source == "sim"
+            assert eng.stats.model_cells == 0  # cache hit, not recompute
+
+    def test_sim_cache_hit_beats_model_tier(self, tmp_path):
+        cell = spec()
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="sim"
+        ) as eng:
+            eng.submit(cell).result()
+        # A warm sim entry wins even under fidelity="auto": cached exact
+        # results are always preferred over predictions.
+        with SweepEngine(
+            workers=0, cache_dir=tmp_path, fidelity="auto"
+        ) as eng:
+            outcome = eng.submit(cell).result()
+        assert outcome.from_cache
+        assert outcome.source == "sim"
+
+
+class TestPerSubmitOverride:
+    def test_force_sim_through_model_engine(self):
+        with SweepEngine(workers=0, cache_dir=None, fidelity="model") as eng:
+            outcome = eng.submit(spec(), fidelity="sim").result()
+        assert outcome.source == "sim"
+        # A full SimResult with a per-batch trace, as trace consumers need.
+        assert outcome.result.trace.batches
+
+    def test_force_model_through_sim_engine(self):
+        with SweepEngine(workers=0, cache_dir=None) as eng:
+            outcome = eng.submit(spec(), fidelity="model").result()
+        assert outcome.source == "model"
+
+
+class TestSessionFidelity:
+    def test_run_single_always_simulates(self):
+        from repro.scenario import ScenarioSpec, Session
+        from repro.scenario.spec import PolicySpec
+
+        scenario = ScenarioSpec(
+            workload="SHA-1", policy=PolicySpec("cilk"), batches=BATCHES
+        )
+        with Session(fidelity="auto") as session:
+            result = session.run_single(scenario)
+        assert result.trace.batches  # full simulation despite auto
+
+    def test_grid_serves_model_cells(self):
+        from repro.scenario import ScenarioSpec, Session
+        from repro.scenario.spec import PolicySpec
+
+        scenario = ScenarioSpec(
+            workload="SHA-1", policy=PolicySpec("cilk"),
+            batches=BATCHES, seeds=(11,),
+        )
+        with Session(fidelity="auto") as session:
+            cells = session.run_grid_detailed([scenario])
+        assert [o.source for o in cells[0]] == ["model"]

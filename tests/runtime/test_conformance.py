@@ -18,7 +18,7 @@ class TestShippedPolicies:
     def test_cilk_conforms(self):
         report = check_policy(CilkScheduler)
         assert report.ok, report.failures
-        assert report.checks_run == 9
+        assert report.checks_run == 10
         # The fault-matrix check reports degradation per standard mix.
         from repro.faults.matrix import STANDARD_FAULT_MATRIX
         assert set(report.fault_degradation) == {
@@ -81,7 +81,7 @@ class TestBrokenPolicies:
         report = check_policy(OnlyCoreZero)
         # Completes all work (not a correctness failure) but may trip the
         # serialisation bound; either way it must not crash the harness.
-        assert report.checks_run == 9
+        assert report.checks_run == 10
 
     def test_spawnless_policy_with_flag(self):
         class NoSpawns(SchedulerPolicy):
@@ -118,11 +118,11 @@ class TestBrokenPolicies:
 
 
 class TestDeepMode:
-    def test_shallow_runs_nine_checks_deep_runs_ten(self):
+    def test_shallow_runs_ten_checks_deep_runs_eleven(self):
         shallow = check_policy(CilkScheduler)
         deep = check_policy(CilkScheduler, deep=True)
-        assert shallow.checks_run == 9
-        assert deep.checks_run == 10
+        assert shallow.checks_run == 10
+        assert deep.checks_run == 11
         assert deep.ok, deep.failures
 
     def test_eewa_is_race_free_in_deep_mode(self):

@@ -111,7 +111,7 @@ class TestShippedEntries:
             "BWC", "Bzip-2", "DMC", "JE", "LZW", "MD5", "SHA-1",
         )
         assert set(workload_names()) - set(workload_names(table2_only=True)) == {
-            "STREAM-like", "DMC-phased",
+            "STREAM-like", "DMC-phased", "periodic",
         }
         assert WORKLOADS.get("SHA-1").table2
 
