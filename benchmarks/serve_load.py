@@ -1,0 +1,244 @@
+"""Multi-client load harness for ``repro serve`` — writes ``BENCH_serve.json``.
+
+Spins one :class:`~repro.service.server.SweepServer` on an ephemeral port
+(fresh temp cache), then throws ``--clients`` concurrent streaming
+clients at it, every client requesting the *same* grid. Two phases:
+
+* **cold** — fresh cache: one client's cells simulate, every other
+  client's identical cells coalesce in flight or hit the shared
+  cache/memo. The cross-client dedup rate is exact: with C clients over
+  U distinct cells, ``(C-1)*U`` of ``C*U`` submissions must be served
+  without a second simulation.
+* **warm** — the same fleet again: nothing simulates; every cell streams
+  from the cache/memo.
+
+Per-cell stream latency is measured client-side, request start to frame
+arrival, and reported as p50/p99/max per phase.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_load.py [--clients 4]
+        [--out BENCH_serve.json] [--batches 2] [--no-check]
+
+The acceptance gate (``--no-check`` disables it) asserts the cold phase
+simulated each distinct cell exactly once (full cross-client dedup) and
+the warm phase simulated nothing. Timings are machine-dependent;
+correctness is gated by ``tests/service/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.service.client import SweepServiceClient
+from repro.service.server import serve
+
+#: The shared grid every client requests (duplicate-heavy *across* clients).
+BENCHMARKS = ("SHA-1", "MD5")
+POLICIES = ("cilk", "eewa")
+SEEDS = (11, 23)
+
+
+def grid(batches: int) -> list[dict]:
+    return [
+        {
+            "schema": 3,
+            "workload": bench,
+            "policy": policy,
+            "seeds": list(SEEDS),
+            "batches": batches,
+        }
+        for bench in BENCHMARKS
+        for policy in POLICIES
+    ]
+
+
+def distinct_cells() -> int:
+    return len(BENCHMARKS) * len(POLICIES) * len(SEEDS)
+
+
+def _percentiles_ms(latencies: list[float]) -> dict[str, float]:
+    ordered = sorted(latencies)
+    qs = statistics.quantiles(ordered, n=100, method="inclusive")
+    return {
+        "p50_ms": 1e3 * qs[49],
+        "p99_ms": 1e3 * qs[98],
+        "max_ms": 1e3 * ordered[-1],
+    }
+
+
+def run_phase(
+    url: str, scenarios: list[dict], clients: int
+) -> tuple[dict[str, object], dict[str, object]]:
+    """All clients stream the grid concurrently; returns (report, stats)."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    streamed = [0] * clients
+    from_cache = [0] * clients
+    failures: list[str] = []
+    gate = threading.Barrier(clients)
+
+    def hit(slot: int) -> None:
+        client = SweepServiceClient(url, jitter_seed=slot)
+        gate.wait()
+        started = time.perf_counter()
+        try:
+            for frame in client.stream(scenarios):
+                if frame["frame"] == "error":
+                    failures.append(frame["detail"])
+                    return
+                if frame["frame"] == "cell":
+                    latencies[slot].append(time.perf_counter() - started)
+                    streamed[slot] += 1
+                    from_cache[slot] += int(frame["from_cache"])
+        except Exception as exc:  # surfaced in the report, fails acceptance
+            failures.append(f"{type(exc).__name__}: {exc}")
+
+    before = SweepServiceClient(url).stats()["engine"]
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(target=hit, args=(slot,)) for slot in range(clients)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    after = SweepServiceClient(url).stats()["engine"]
+
+    flat = [lat for per_client in latencies for lat in per_client]
+    submissions = after["cells"] - before["cells"]
+    executed = after["executed"] - before["executed"]
+    shared = (
+        (after["deduplicated"] - before["deduplicated"])
+        + (after["cache_hits"] - before["cache_hits"])
+    )
+    report: dict[str, object] = {
+        "clients": clients,
+        "cells_per_client": sum(len(s["seeds"]) for s in scenarios),
+        "streamed": sum(streamed),
+        "from_cache": sum(from_cache),
+        "failures": failures,
+        "wall_seconds": wall,
+        "throughput_cells_per_sec": sum(streamed) / wall if wall > 0 else 0.0,
+        "engine_submissions": submissions,
+        "cells_simulated": executed,
+        "served_without_resimulation": shared,
+        "cross_client_dedup_rate": (
+            shared / submissions if submissions else 0.0
+        ),
+        **_percentiles_ms(flat),
+    }
+    return report, after
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--batches", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the dedup/warm-phase acceptance assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 2:
+        parser.error("--clients must be >= 2 (the point is cross-client load)")
+
+    scenarios = grid(args.batches)
+    cache_dir = tempfile.mkdtemp(prefix="serve-load-")
+    server = serve(port=0, cache_dir=cache_dir)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    if not server.wait_until_serving():
+        raise RuntimeError("server failed to start")
+    url = f"http://127.0.0.1:{server.server_port}"
+    try:
+        print(
+            f"serving on {url}: {args.clients} clients x "
+            f"{distinct_cells()} cells ({args.batches} batches each)"
+        )
+        cold, _ = run_phase(url, scenarios, args.clients)
+        print(
+            f"cold: {cold['wall_seconds']:.3f}s "
+            f"({cold['cells_simulated']} simulated, "
+            f"{100 * cold['cross_client_dedup_rate']:.1f}% served by "
+            f"coalescing/cache, p99 {cold['p99_ms']:.1f} ms)"
+        )
+        warm, engine_after = run_phase(url, scenarios, args.clients)
+        print(
+            f"warm: {warm['wall_seconds']:.3f}s "
+            f"({warm['cells_simulated']} simulated, "
+            f"{warm['from_cache']} streamed from cache, "
+            f"p99 {warm['p99_ms']:.1f} ms)"
+        )
+        shutdown_log = None
+    finally:
+        shutdown_log = server.drain_and_close()
+        thread.join(timeout=30)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    expected_shared = (args.clients - 1) * distinct_cells()
+    report = {
+        "generated_by": "benchmarks/serve_load.py",
+        "host": {
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "load": {
+            "clients": args.clients,
+            "distinct_cells": distinct_cells(),
+            "benchmarks": list(BENCHMARKS),
+            "policies": list(POLICIES),
+            "seeds": list(SEEDS),
+            "batches": args.batches,
+        },
+        "cold": cold,
+        "warm": warm,
+        "engine_final": engine_after,
+        "shutdown_log": shutdown_log,
+        "acceptance": {
+            "cold_cells_simulated": cold["cells_simulated"],
+            "cold_served_without_resimulation":
+                cold["served_without_resimulation"],
+            "expected_served_without_resimulation": expected_shared,
+            "warm_cells_simulated": warm["cells_simulated"],
+            "clean_streams": not (cold["failures"] or warm["failures"]),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not args.no_check:
+        assert not cold["failures"] and not warm["failures"], (
+            f"stream failures: cold={cold['failures']} warm={warm['failures']}"
+        )
+        assert cold["cells_simulated"] == distinct_cells(), (
+            f"cold phase simulated {cold['cells_simulated']} cells; "
+            f"expected exactly {distinct_cells()} (one per distinct cell)"
+        )
+        assert cold["served_without_resimulation"] == expected_shared, (
+            f"cold phase shared {cold['served_without_resimulation']} "
+            f"submissions across clients; expected {expected_shared}"
+        )
+        assert warm["cells_simulated"] == 0, (
+            f"warm phase simulated {warm['cells_simulated']} cells; "
+            "expected everything from cache/memo"
+        )
+        print(
+            "acceptance: full cross-client dedup cold, 0 simulated warm — OK"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -241,6 +241,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="suppress the per-cell streaming lines (summary only)",
     )
     sweep.add_argument("--json", metavar="PATH", help="write sweep results as JSON")
+    sweep.add_argument(
+        "--remote", metavar="URL", default=None,
+        help="stream the sweep through a running 'repro serve' instance "
+        "(http://host:port or unix:/path.sock) instead of a local engine",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve streaming sweeps over HTTP (one shared engine, many clients)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 8377; 0 binds an ephemeral port)",
+    )
+    srv.add_argument(
+        "--unix-socket", metavar="PATH", default=None,
+        help="serve on a unix domain socket instead of TCP",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=0,
+        help="engine worker processes (default 0: in-process, deterministic)",
+    )
+    srv.add_argument("--cache-dir", default=".repro-cache")
+    srv.add_argument("--no-cache", action="store_true")
+    srv.add_argument("--no-fast-forward", action="store_true")
+    srv.add_argument(
+        "--fidelity", choices=("sim", "model", "auto"), default="sim",
+        help="default cell fidelity for requests that don't pick their own",
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=None,
+        help="admission bound on queued cells (full queue answers HTTP 429)",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true",
+        help="log each request to stderr (default: quiet)",
+    )
 
     predict = sub.add_parser(
         "predict",
@@ -734,6 +772,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import time
 
+    if args.remote is not None:
+        return _cmd_sweep_remote(args)
     session = Session(
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -847,6 +887,131 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 json.dump(payload, fh, indent=2)
             print(f"  wrote {args.json}")
         return 0
+
+
+def _cmd_sweep_remote(args: argparse.Namespace) -> int:
+    """``repro sweep --remote URL``: same grid, streamed through a server.
+
+    Core-level resolution for policies that need it happens server-side
+    (the server owns the shared engine and its cache), so the scenarios
+    ship as written.
+    """
+    import time
+
+    from repro.service.client import ServiceError, SweepServiceClient
+
+    machine = _machine_spec(args.cores, preset=args.machine)
+    scenarios = [
+        ScenarioSpec(
+            workload=name, policy=policy, machine=machine,
+            seeds=tuple(args.seeds), batches=args.batches,
+        )
+        for _ in range(args.repeat)
+        for name in args.benchmarks
+        for policy in args.policies
+    ]
+    client = SweepServiceClient(args.remote)
+    started = time.perf_counter()
+    frames: list[tuple[dict, float]] = []
+    terminal: Optional[dict] = None
+    try:
+        for frame in client.stream(scenarios, fidelity=args.fidelity):
+            if frame["frame"] != "cell":
+                terminal = frame
+                break
+            latency = time.perf_counter() - started
+            frames.append((frame, latency))
+            if not args.quiet:
+                if frame["source"] == "model":
+                    source = "model cached" if frame["from_cache"] else "model"
+                else:
+                    source = "cached" if frame["from_cache"] else "simulated"
+                print(
+                    f"  done {frame['benchmark']}/{frame['policy']} "
+                    f"seed {frame['seed']}: "
+                    f"{frame['result']['total_time_s']*1e3:.1f} ms sim, "
+                    f"{frame['result']['total_joules']:.2f} J [{source}]"
+                )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    wall = time.perf_counter() - started
+    if terminal is None or terminal["frame"] == "error":
+        detail = "" if terminal is None else terminal.get("detail", "")
+        code = "disconnect" if terminal is None else terminal.get("code")
+        print(
+            f"error: stream ended after {len(frames)} cells "
+            f"({code}): {detail}",
+            file=sys.stderr,
+        )
+        return 1
+    rate = terminal["streamed"] / wall if wall > 0 else 0.0
+    sources = ", ".join(
+        f"{count} {name}" for name, count in sorted(terminal["sources"].items())
+    )
+    print(
+        f"  {terminal['cells']} cells streamed from {args.remote} in "
+        f"{wall:.2f} s ({rate:.0f}/s): {terminal['from_cache']} from cache "
+        f"({sources})"
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "remote": args.remote,
+            "seeds": list(args.seeds),
+            "repeat": args.repeat,
+            "wall_seconds": wall,
+            "fidelity": args.fidelity,
+            "summary": {k: v for k, v in terminal.items() if k != "frame"},
+            "cells": [
+                {
+                    "benchmark": f["benchmark"],
+                    "policy": f["policy"],
+                    "seed": f["seed"],
+                    "from_cache": f["from_cache"],
+                    "source": f["source"],
+                    "total_time": f["result"]["total_time_s"],
+                    "total_joules": f["result"]["total_joules"],
+                    "latency_s": lat,
+                }
+                for f, lat in frames
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import DEFAULT_PORT, serve
+
+    server = serve(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        unix_socket=args.unix_socket,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        fast_forward=not args.no_fast_forward,
+        fidelity=args.fidelity,
+        max_pending=args.max_pending,
+        verbose=args.verbose,
+    )
+    if args.unix_socket is not None:
+        where = f"unix:{args.unix_socket}"
+    else:
+        where = f"http://{args.host}:{server.server_port}"
+    print(f"serving sweeps on {where} (Ctrl-C to drain and stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ninterrupt: draining in-flight streams...")
+    finally:
+        for line in server.drain_and_close(call_shutdown=False):
+            print(f"  shutdown: {line}", file=sys.stderr)
+    print("server closed")
+    return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -980,6 +1145,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "predict":
             return _cmd_predict(args)
         if args.command == "cache":
@@ -989,6 +1156,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Sessions and servers are context-managed, so the unwind that got
+        # us here already closed them; 130 = 128 + SIGINT, the shell
+        # convention for death-by-Ctrl-C.
+        print("interrupted", file=sys.stderr)
+        return 130
     return 1  # pragma: no cover
 
 

@@ -66,6 +66,7 @@ import itertools
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as _futures_wait
@@ -368,7 +369,11 @@ class SweepEngine:
             return ticket
 
     def submit_many(
-        self, specs: Sequence[CellSpec], *, priority: int = 0
+        self,
+        specs: Sequence[CellSpec],
+        *,
+        priority: int = 0,
+        fidelity: Optional[str] = None,
     ) -> list[SweepTicket]:
         """Submit a batch atomically with respect to dispatch.
 
@@ -379,11 +384,16 @@ class SweepEngine:
         backpressure: at the bound the dispatcher drains even mid-batch.
         Duplicates still resolve to one simulation (a dispatched job
         coalesces until it completes, after which the memo serves it).
+        ``fidelity`` overrides the engine default for the whole batch
+        (the per-request axis the sweep service forwards).
         """
         with self._lock:
             self._submit_gate += 1
         try:
-            return [self.submit(spec, priority=priority) for spec in specs]
+            return [
+                self.submit(spec, priority=priority, fidelity=fidelity)
+                for spec in specs
+            ]
         finally:
             with self._lock:
                 self._submit_gate -= 1
@@ -431,31 +441,66 @@ class SweepEngine:
             yield ticket.result()
 
     def as_completed(
-        self, tickets: Sequence[SweepTicket]
+        self, tickets: Sequence[SweepTicket], *, timeout: Optional[float] = None
     ) -> Iterator[SweepTicket]:
-        """Yield tickets in *completion* order (cache hits first)."""
-        pending = {ticket.future: ticket for ticket in tickets}
+        """Yield tickets in *completion* order (cache hits first).
+
+        Keyed by ticket identity, not by future: tickets coalesced onto
+        one deduplicated cell share a future but are still yielded one
+        each — exactly as many tickets come out as went in. ``timeout``
+        bounds the *total* wait; when it expires a ``TimeoutError`` is
+        raised with the already-yielded tickets consumed and the rest
+        still pending (in-process, a chunk already running is never
+        interrupted, so the deadline can overshoot by one chunk).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pending = list(tickets)
         while pending:
-            done_now = [f for f in list(pending) if f.done()]
+            done_now = [t for t in pending if t.future.done()]
             if done_now:
-                for future in done_now:
-                    yield pending.pop(future)
+                done_ids = {id(t) for t in done_now}
+                pending = [t for t in pending if id(t) not in done_ids]
+                yield from done_now
                 continue
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{len(pending)} of {len(tickets)} cells unresolved "
+                    f"after {timeout} s"
+                )
             if self._pooled:
-                _futures_wait(list(pending), return_when=FIRST_COMPLETED)
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                _futures_wait(
+                    {t.future for t in pending},
+                    timeout=remaining,
+                    return_when=FIRST_COMPLETED,
+                )
             else:
                 with self._lock:
                     if not self._run_one_chunk_locked():
                         # Nothing runnable is left; whatever remains must
                         # already be resolved (or cancelled) — drain it.
-                        for future in list(pending):
-                            yield pending.pop(future)
+                        yield from pending
                         return
 
     # -- lifecycle -------------------------------------------------------
 
+    #: Seconds :meth:`close` waits for the dispatcher thread to exit
+    #: before declaring it wedged (class attribute so tests and embedders
+    #: can tighten it per instance).
+    dispatcher_join_seconds: float = 5.0
+
     def close(self, *, wait: bool = True) -> None:
-        """Cancel queued work and shut the pool down (idempotent)."""
+        """Cancel queued work and shut the pool down (idempotent).
+
+        A dispatcher thread that fails to join within
+        :attr:`dispatcher_join_seconds` is reported with a
+        ``RuntimeWarning`` instead of leaking silently — a wedged
+        dispatcher means a pool round-trip never returned and the engine
+        should not be trusted for reuse in this process.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -475,7 +520,15 @@ class SweepEngine:
             pool, self._pool = self._pool, None
             dispatcher, self._dispatcher = self._dispatcher, None
         if dispatcher is not None:
-            dispatcher.join(timeout=5.0)
+            dispatcher.join(timeout=self.dispatcher_join_seconds)
+            if dispatcher.is_alive():
+                warnings.warn(
+                    "SweepEngine dispatcher thread failed to join within "
+                    f"{self.dispatcher_join_seconds:.1f} s and is leaked; "
+                    "a pool round-trip is likely wedged",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         if pool is not None:
             pool.shutdown(wait=wait)
 
@@ -498,6 +551,12 @@ class SweepEngine:
         """Cells the next dispatch round-trip would carry."""
         with self._lock:
             return self._chunk_size_locked()
+
+    @property
+    def max_pending(self) -> int:
+        """Backpressure bound on queued-but-undispatched cells."""
+        with self._lock:
+            return self._max_pending
 
     @property
     def ema_cell_seconds(self) -> Optional[float]:

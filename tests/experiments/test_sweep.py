@@ -10,6 +10,7 @@ import os
 import pickle
 import threading
 import time
+import warnings
 from concurrent.futures import CancelledError, Future
 
 import pytest
@@ -248,6 +249,65 @@ class TestCloseRaces:
         feeder.join(timeout=30)
         assert not feeder.is_alive()
         assert failures and "closed" in str(failures[0])
+
+
+class TestAsCompletedTickets:
+    def test_coalesced_tickets_each_yielded_exactly_once(self, engine):
+        # Regression: keying completion by future dropped tickets that
+        # coalesced onto one in-flight cell — exactly as many tickets must
+        # come out of as_completed as went in.
+        first = engine.submit(spec())
+        second = engine.submit(spec())
+        assert engine.stats.deduplicated == 1
+        out = list(engine.as_completed([first, second]))
+        assert len(out) == 2
+        assert {id(t) for t in out} == {id(first), id(second)}
+        assert engine.stats.executed == 1
+        assert out[0].result().result is out[1].result().result
+
+    def test_coalesced_batch_yields_one_per_ticket(self, engine):
+        tickets = engine.submit_many([spec(), spec(), spec(seed=23)])
+        out = list(engine.as_completed(tickets))
+        assert len(out) == len(tickets)
+        assert {id(t) for t in out} == {id(t) for t in tickets}
+
+    def test_timeout_zero_raises_with_cells_unresolved(self, engine):
+        tickets = engine.submit_many([spec(seed=s) for s in (11, 23)])
+        with pytest.raises(TimeoutError, match="unresolved"):
+            list(engine.as_completed(tickets, timeout=0))
+
+    def test_timeout_yields_resolved_cells_before_raising(self, engine):
+        engine.submit(spec()).result()  # warm the memo
+        warm = engine.submit(spec())  # resolves at submit time
+        cold = engine.submit(spec(seed=23))
+        got = []
+        with pytest.raises(TimeoutError):
+            for ticket in engine.as_completed([warm, cold], timeout=0):
+                got.append(ticket)
+        assert got == [warm]
+        assert cold.cancel()
+
+
+class TestCloseDispatcherJoin:
+    def test_wedged_dispatcher_join_warns_instead_of_leaking_silently(self):
+        eng = SweepEngine(workers=0, cache_dir=None)
+        release = threading.Event()
+        wedged = threading.Thread(target=release.wait, name="wedged-dispatcher")
+        wedged.start()
+        eng._dispatcher = wedged
+        eng.dispatcher_join_seconds = 0.05
+        try:
+            with pytest.warns(RuntimeWarning, match="failed to join"):
+                eng.close()
+        finally:
+            release.set()
+            wedged.join()
+
+    def test_clean_close_emits_no_warning(self):
+        eng = SweepEngine(workers=0, cache_dir=None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            eng.close()
 
 
 class TestTornEntryRecovery:

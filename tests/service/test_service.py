@@ -1,0 +1,455 @@
+"""Service-layer tests: streaming, backpressure, deadlines, disconnects.
+
+Real sockets on ephemeral ports (and a unix socket) — the same plumbing
+``repro serve`` runs — plus direct ``stream_request`` calls where a test
+needs to fail the write path deterministically.
+"""
+
+import contextlib
+import http.client
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.experiments.parallel import CellSpec
+from repro.scenario.session import Session
+from repro.scenario.spec import ScenarioSpec
+from repro.service.client import ServiceError, SweepServiceClient
+from repro.service.protocol import (
+    encode_frame,
+    end_frame,
+    parse_sweep_request,
+)
+from repro.service.server import serve, stream_request
+from repro.sim.export import result_to_dict
+
+BATCHES = 2
+
+
+def scenario(workload="SHA-1", policy="cilk", seeds=(11,)):
+    return {
+        "schema": 3,
+        "workload": workload,
+        "policy": policy,
+        "seeds": list(seeds),
+        "batches": BATCHES,
+    }
+
+
+def cell(policy="cilk", seed=11, benchmark="SHA-1"):
+    return CellSpec(benchmark=benchmark, policy=policy, seed=seed, batches=BATCHES)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = serve(port=0, cache_dir=tmp_path / "cache")
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    assert srv.wait_until_serving()
+    yield srv
+    srv.drain_and_close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(server):
+    return SweepServiceClient(
+        f"http://127.0.0.1:{server.server_port}",
+        backoff_base=0.01, backoff_cap=0.05,
+    )
+
+
+class TestGoldenBitIdentity:
+    def test_eight_cell_grid_matches_local_run_exactly(self, server, client, tmp_path):
+        # The acceptance grid: 2 benchmarks x 2 policies x 2 seeds through
+        # HTTP must equal a local Session.run_grid bit for bit. Floats
+        # survive a json round-trip exactly, so dict equality is the
+        # bit-identity check.
+        grid = [
+            scenario(workload=w, policy=p, seeds=(11, 23))
+            for w in ("SHA-1", "MD5")
+            for p in ("cilk", "eewa")
+        ]
+        cells, end = client.run(grid)
+        assert end["cells"] == 8
+        assert end["streamed"] == 8
+        assert len(cells) == 8
+
+        with Session(cache_dir=tmp_path / "local-cache") as session:
+            specs = [ScenarioSpec.from_dict(s) for s in grid]
+            local = {
+                (o.spec.benchmark, o.spec.policy, o.spec.seed): o.result
+                for group in session.run_grid_detailed(specs)
+                for o in group
+            }
+        for frame in cells:
+            expected = result_to_dict(
+                local[(frame["benchmark"], frame["policy"], frame["seed"])]
+            )
+            assert frame["result"] == json.loads(json.dumps(expected))
+
+    def test_cells_arrive_with_stable_request_indices(self, server, client):
+        cells, _ = client.run([scenario(seeds=(11, 23, 37))])
+        assert sorted(f["index"] for f in cells) == [0, 1, 2]
+        assert {f["scenario"] for f in cells} == {0}
+
+
+class TestCrossClientDedup:
+    def test_two_concurrent_clients_share_one_simulation_per_cell(self, tmp_path):
+        # A repeated cell resolves via in-flight coalescing (submitted
+        # while the twin is queued) or via the cache/memo (submitted after
+        # it completed) — both are cross-client sharing, and their sum is
+        # deterministic regardless of thread interleaving.
+        srv = serve(port=0, cache_dir=tmp_path / "shared-cache")
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        assert srv.wait_until_serving()
+        try:
+            grid = [scenario(seeds=(11, 23, 37, 41))]
+            results = [None, None]
+
+            def hit(slot):
+                c = SweepServiceClient(f"http://127.0.0.1:{srv.server_port}")
+                results[slot] = c.run(grid)
+
+            workers = [
+                threading.Thread(target=hit, args=(slot,)) for slot in (0, 1)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=120)
+            assert all(r is not None for r in results)
+            for cells, end in results:
+                assert end["cells"] == 4 and end["streamed"] == 4
+
+            stats = SweepServiceClient(
+                f"http://127.0.0.1:{srv.server_port}"
+            ).stats()
+            engine = stats["engine"]
+            assert engine["cells"] == 8
+            assert engine["executed"] == 4
+            assert engine["deduplicated"] + engine["cache_hits"] == 4
+            assert stats["cache"]["entries"] == 4
+            assert stats["server"]["requests"] == 2
+        finally:
+            srv.drain_and_close()
+            thread.join(timeout=10)
+
+
+class TestDeadline:
+    def test_expiry_streams_resolved_cells_then_deadline_error(self, server, client):
+        # Warm one cell, then ask for it plus a cold one with a zero
+        # deadline: the warm cell streams (already resolved at submit),
+        # the cold one is cancelled and the stream ends with a terminal
+        # ``deadline`` error frame.
+        client.run([scenario(seeds=(11,))])
+        frames = list(client.stream(
+            [scenario(seeds=(11, 23))], deadline_s=0
+        ))
+        kinds = [f["frame"] for f in frames]
+        assert kinds == ["cell", "error"]
+        assert frames[0]["seed"] == 11
+        assert frames[0]["from_cache"]
+        assert frames[1]["code"] == "deadline"
+        assert "1 cells unresolved" in frames[1]["detail"]
+        # The server survives; the cold cell runs fine on a fresh request.
+        cells, end = client.run([scenario(seeds=(23,))])
+        assert end["streamed"] == 1
+
+    def test_run_raises_on_deadline_error_frame(self, server, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.run([scenario(seeds=(61,))], deadline_s=0)
+        assert excinfo.value.code == "deadline"
+
+
+class TestDisconnect:
+    def test_disconnect_cancels_only_that_clients_queued_tickets(self, tmp_path):
+        session = Session(cache_dir=None)
+        with session:
+            engine = session.engine
+            # Another client's tickets for the same cells, already queued.
+            other = [engine.submit(cell(seed=s)) for s in (11, 23, 37)]
+            request = parse_sweep_request(
+                {"scenarios": [scenario(seeds=(11, 23, 37))]}
+            )
+            wrote = []
+
+            def failing_write(frame: bytes) -> None:
+                wrote.append(frame)
+                raise OSError("client went away")
+
+            summary = stream_request(session, request, failing_write)
+            assert summary["ended"] == "disconnect"
+            assert len(wrote) == 1  # died on the first frame
+            # The disconnected request's remaining tickets are withdrawn...
+            assert engine.stats.cancelled >= 1
+            # ...but the coalesced survivor still resolves every cell.
+            for ticket in other:
+                assert ticket.result().result.tasks_executed > 0
+
+    def test_server_keeps_serving_after_a_client_is_killed_mid_stream(
+        self, server, client
+    ):
+        # Open a raw connection, read the headers plus a partial body,
+        # then slam the socket shut while cells are still queued.
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.server_port, timeout=30
+        )
+        body = json.dumps(
+            {"scenarios": [scenario(seeds=(101, 102, 103, 104))]}
+        )
+        conn.request("POST", "/sweep", body=body,
+                     headers={"Content-Type": "application/json"})
+        sock = conn.sock  # grab before getresponse hands it to the reader
+        resp = conn.getresponse()
+        assert resp.status == 200
+        resp.fp.readline()  # one frame, then vanish
+        with contextlib.suppress(OSError):
+            sock.shutdown(socket.SHUT_RDWR)
+        resp.close()
+        # The other client's sweep is untouched.
+        cells, end = client.run([scenario(seeds=(11, 23))])
+        assert end["streamed"] == 2
+        deadline = time.monotonic() + 30
+        while server.active_streams and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert server.active_streams == 0
+
+
+class TestBackpressure:
+    def test_queue_full_answers_429_with_retry_after(self, tmp_path):
+        srv = serve(port=0, cache_dir=None, max_pending=2)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        assert srv.wait_until_serving()
+        try:
+            engine = srv.session.engine
+            parked = [engine.submit(cell(seed=s)) for s in (201, 202, 203)]
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", srv.server_port, timeout=30
+            )
+            conn.request(
+                "POST", "/sweep",
+                body=json.dumps({"scenarios": [scenario(seeds=(11,))]}),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 429
+            assert int(resp.headers["Retry-After"]) >= 1
+            payload = json.loads(resp.read())
+            assert payload["code"] == "backpressure"
+            conn.close()
+
+            # 429 then retry: drain the backlog in the background while a
+            # retrying client waits its backoff out, then succeeds.
+            def drain():
+                time.sleep(0.05)
+                for ticket in parked:
+                    ticket.result()
+
+            drainer = threading.Thread(target=drain)
+            drainer.start()
+            client = SweepServiceClient(
+                f"http://127.0.0.1:{srv.server_port}",
+                retries=8, backoff_base=0.05, backoff_cap=0.2,
+            )
+            cells, end = client.run([scenario(seeds=(11,))])
+            drainer.join(timeout=60)
+            assert end["streamed"] == 1
+            assert client.backoff_log  # at least one 429 was waited out
+        finally:
+            srv.drain_and_close()
+            thread.join(timeout=10)
+
+    def test_retry_budget_exhaustion_raises(self, tmp_path):
+        srv = serve(port=0, cache_dir=None, max_pending=1)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        assert srv.wait_until_serving()
+        try:
+            parked = [
+                srv.session.engine.submit(cell(seed=s)) for s in (301, 302)
+            ]
+            client = SweepServiceClient(
+                f"http://127.0.0.1:{srv.server_port}",
+                retries=1, backoff_base=0.01, backoff_cap=0.02,
+            )
+            with pytest.raises(ServiceError, match="retries exhausted"):
+                client.run([scenario(seeds=(11,))])
+            for ticket in parked:
+                ticket.result()
+        finally:
+            srv.drain_and_close()
+            thread.join(timeout=10)
+
+
+class TestHttpSurface:
+    def test_healthz(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.server_port)
+        conn.request("GET", "/healthz")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert json.loads(resp.read()) == {"status": "ok"}
+        conn.close()
+
+    def test_unknown_route_404(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.server_port)
+        conn.request("GET", "/nope")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+    def test_invalid_body_400_not_retried(self, server, client):
+        conn = http.client.HTTPConnection("127.0.0.1", server.server_port)
+        conn.request("POST", "/sweep", body="{not json")
+        resp = conn.getresponse()
+        assert resp.status == 400
+        assert json.loads(resp.read())["code"] == "bad-request"
+        conn.close()
+        with pytest.raises(ServiceError) as excinfo:
+            client.run([dict(scenario(), turbo=True)])
+        assert excinfo.value.code == "bad-request"
+        assert not client.backoff_log  # validation errors never retry
+
+    def test_draining_server_answers_503(self, server, client):
+        server.draining = True
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", server.server_port)
+            conn.request(
+                "POST", "/sweep",
+                body=json.dumps({"scenarios": [scenario()]}),
+            )
+            resp = conn.getresponse()
+            assert resp.status == 503
+            assert json.loads(resp.read())["code"] == "shutdown"
+            conn.close()
+        finally:
+            server.draining = False
+
+    def test_stats_shape(self, server, client):
+        client.run([scenario(seeds=(11,))])
+        stats = client.stats()
+        assert set(stats) == {"engine", "server", "cache"}
+        assert stats["engine"]["executed"] >= 1
+        assert stats["engine"]["fidelity"] == "sim"
+        assert stats["server"]["draining"] is False
+        assert stats["cache"]["entries"] >= 1
+
+
+class TestUnixSocket:
+    def test_round_trip_over_unix_socket(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        srv = serve(unix_socket=path, cache_dir=None)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        assert srv.wait_until_serving()
+        try:
+            client = SweepServiceClient(f"unix:{path}")
+            cells, end = client.run([scenario(seeds=(11,))])
+            assert end["streamed"] == 1
+            assert client.stats()["server"]["requests"] == 1
+        finally:
+            srv.drain_and_close()
+            thread.join(timeout=10)
+        assert not (tmp_path / "serve.sock").exists()
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """First attempt dies after one cell frame; the replay completes."""
+
+    protocol_version = "HTTP/1.1"
+    attempts = 0
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    def do_POST(self):  # noqa: N802
+        length = int(self.headers.get("Content-Length", "0"))
+        self.rfile.read(length)
+        type(self).attempts += 1
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        self.wfile.write(encode_frame({"frame": "cell", "index": 0}))
+        if type(self).attempts == 1:
+            return  # EOF with no terminal frame: mid-stream death
+        self.wfile.write(encode_frame({"frame": "cell", "index": 1}))
+        self.wfile.write(encode_frame(end_frame(
+            cells=2, streamed=2, from_cache=0, sources={"sim": 2},
+        )))
+
+
+class TestClientRetrySemantics:
+    def test_mid_stream_eof_retries_and_dedups_by_index(self, tmp_path):
+        _FlakyHandler.attempts = 0
+        srv = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = SweepServiceClient(
+                f"http://127.0.0.1:{srv.server_port}",
+                retries=2, backoff_base=0.01, backoff_cap=0.02,
+            )
+            frames = list(client.stream([scenario(seeds=(11,))]))
+            assert _FlakyHandler.attempts == 2
+            assert [f["frame"] for f in frames] == ["cell", "cell", "end"]
+            # Index 0 was streamed on both attempts but surfaces once.
+            assert [f["index"] for f in frames[:2]] == [0, 1]
+            assert len(client.backoff_log) == 1
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=10)
+
+    def test_backoff_is_deterministic_for_a_seed(self):
+        # Same seed, same jitter stream: two clients with the same policy
+        # reproduce their own retry timing exactly.
+        a = SweepServiceClient("http://localhost:1", jitter_seed=7)
+        b = SweepServiceClient("http://localhost:1", jitter_seed=7)
+        assert [a._rng.uniform(0, 1) for _ in range(5)] == [
+            b._rng.uniform(0, 1) for _ in range(5)
+        ]
+
+    def test_connection_refused_exhausts_retries(self, tmp_path):
+        # Bind-then-close guarantees the port is unoccupied.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = SweepServiceClient(
+            f"http://127.0.0.1:{port}",
+            retries=1, backoff_base=0.01, backoff_cap=0.02, timeout=1,
+        )
+        with pytest.raises(ServiceError, match="retries exhausted"):
+            list(client.stream([scenario(seeds=(11,))]))
+        assert len(client.backoff_log) == 1
+
+
+class TestShutdownLog:
+    def test_drain_surfaces_wedged_dispatcher_warning(self, tmp_path):
+        srv = serve(port=0, cache_dir=None)
+        release = threading.Event()
+        wedged = threading.Thread(target=release.wait, name="wedged-dispatcher")
+        wedged.start()
+        engine = srv.session.engine
+        engine._dispatcher = wedged
+        engine.dispatcher_join_seconds = 0.05
+        try:
+            lines = srv.drain_and_close(call_shutdown=False)
+        finally:
+            release.set()
+            wedged.join()
+        assert any("failed to join" in line for line in lines)
+        assert lines[0] == "drained in-flight streams"
+        assert lines[-1] == "engine closed"
+
+    def test_clean_drain_reports_no_warnings(self, tmp_path):
+        srv = serve(port=0, cache_dir=None)
+        lines = srv.drain_and_close(call_shutdown=False)
+        assert lines == ["drained in-flight streams", "engine closed"]

@@ -194,6 +194,48 @@ class TestSweepCli:
         assert not (tmp_path / "c").exists()
 
 
+class TestRemoteSweepCli:
+    def test_sweep_remote_streams_through_a_server(self, tmp_path, capsys):
+        import threading
+
+        from repro.service.server import serve
+
+        srv = serve(port=0, cache_dir=tmp_path / "cache")
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        assert srv.wait_until_serving()
+        try:
+            url = f"http://127.0.0.1:{srv.server_port}"
+            json_path = tmp_path / "remote.json"
+            assert main(_sweep_args(
+                tmp_path / "unused-local-cache", "--remote", url,
+                "--json", str(json_path),
+            )) == 0
+            out = capsys.readouterr().out
+            assert "done SHA-1/cilk seed 11" in out
+            assert f"streamed from {url}" in out
+            payload = json.loads(json_path.read_text())
+            assert payload["summary"]["cells"] == 1
+            (cell,) = payload["cells"]
+            assert cell["benchmark"] == "SHA-1"
+            assert cell["total_joules"] > 0
+        finally:
+            srv.drain_and_close()
+            thread.join(timeout=10)
+
+
+class TestInterruptExitCode:
+    def test_keyboard_interrupt_maps_to_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_sweep", interrupted)
+        assert main(_sweep_args("unused")) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
 class TestCacheCli:
     def test_stats_migrate_prune_roundtrip(self, tmp_path, capsys):
         cache = str(tmp_path / "c")

@@ -12,6 +12,7 @@ import repro.kernels
 import repro.machine
 import repro.runtime
 import repro.scenario
+import repro.service
 import repro.sim
 import repro.workloads
 
@@ -69,6 +70,12 @@ SCENARIO = {
     "register_workload", "run_grid", "spread_levels", "workload_names",
 }
 
+SERVICE = {
+    "PROTOCOL_VERSION", "ServiceError", "SweepRequest", "SweepServer",
+    "SweepServiceClient", "decode_frame", "encode_frame",
+    "parse_sweep_request", "serve",
+}
+
 
 def _check(module, names):
     exported = set(module.__all__)
@@ -112,6 +119,10 @@ def test_sim_surface():
 
 def test_scenario_surface():
     _check(repro.scenario, SCENARIO)
+
+
+def test_service_surface():
+    _check(repro.service, SERVICE)
 
 
 def test_version_string():
